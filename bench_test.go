@@ -1,0 +1,261 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation, one target per artifact (DESIGN.md §4). Each benchmark
+// reports its headline quantity through b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// prints the reproduced numbers alongside the usual ns/op. Benchmarks
+// run scaled-down per iteration; cmd/zipline-bench runs the
+// paper-scale versions and prints the full paper-layout tables.
+package zipline_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"zipline"
+	"zipline/internal/experiments"
+	"zipline/internal/gd"
+	"zipline/internal/netsim"
+	"zipline/internal/trace"
+)
+
+// BenchmarkTable1 regenerates the Hamming/CRC parameter table,
+// validating every polynomial constructively.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table1()
+		if len(rows) != 15 {
+			b.Fatal("table 1 incomplete")
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates the Hamming(7,4)/CRC-3 equivalence.
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Table2Verify(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func fig3Dataset(seed int64) *trace.Trace {
+	tr, err := gd.NewHammingM(8)
+	if err != nil {
+		panic(err)
+	}
+	return trace.Sensor(trace.SensorConfig{
+		Records: 60_000, Sensors: 100, Seed: seed,
+		SnapCodec: gd.NewCodec(tr), GlitchProb: 0.6,
+	})
+}
+
+// BenchmarkFigure3Synthetic reproduces the synthetic-dataset group of
+// Figure 3 (scaled down) and reports the dynamic-learning ratio
+// (paper: 0.11).
+func BenchmarkFigure3Synthetic(b *testing.B) {
+	ds := fig3Dataset(2)
+	b.ResetTimer()
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure3(ds, experiments.Figure3Config{Seed: int64(i) + 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range res.Cases {
+			if c.Name == "Dynamic learning" {
+				ratio = c.Ratio
+			}
+		}
+	}
+	b.ReportMetric(ratio, "dynamic-ratio")
+}
+
+// BenchmarkFigure3DNS reproduces the DNS group of Figure 3 (scaled
+// down) and reports the dynamic-learning ratio (paper: 0.10).
+func BenchmarkFigure3DNS(b *testing.B) {
+	ds := trace.DNS(trace.DNSConfig{Queries: 60_000, Domains: 1000, Seed: 4})
+	b.ResetTimer()
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure3(ds, experiments.Figure3Config{
+			Seed: int64(i) + 5, SkipStatic: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range res.Cases {
+			if c.Name == "Dynamic learning" {
+				ratio = c.Ratio
+			}
+		}
+	}
+	b.ReportMetric(ratio, "dynamic-ratio")
+}
+
+// BenchmarkFigure4 reproduces the throughput sweep (short window) and
+// reports the 9000-byte encode throughput in Gbit/s (paper: ≈line
+// rate).
+func BenchmarkFigure4(b *testing.B) {
+	var gbps float64
+	for i := 0; i < b.N; i++ {
+		cells, err := experiments.Figure4(experiments.Figure4Config{
+			WindowNs: 2 * netsim.Millisecond,
+			Repeats:  2,
+			Seed:     int64(i) + 7,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range cells {
+			if c.Op == experiments.OpEncode && c.FrameSize == 9000 {
+				gbps = c.Gbps.Mean()
+			}
+		}
+	}
+	b.ReportMetric(gbps, "encode-9000B-Gbps")
+}
+
+// BenchmarkFigure5 reproduces the RTT experiment and reports the
+// encode RTT in µs (paper: single-digit µs, equal to no-op).
+func BenchmarkFigure5(b *testing.B) {
+	var rtt float64
+	for i := 0; i < b.N; i++ {
+		cells, err := experiments.Figure5(experiments.Figure5Config{
+			Probes: 200, Seed: int64(i) + 9,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rtt = cells[1].RTTMicros.Mean() // encode
+	}
+	b.ReportMetric(rtt, "encode-rtt-us")
+}
+
+// BenchmarkLearning reproduces the dynamic-learning delay and reports
+// it in milliseconds (paper: 1.77 ± 0.08).
+func BenchmarkLearning(b *testing.B) {
+	var ms float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Learning(experiments.LearningConfig{
+			Repeats: 3, Seed: int64(i) + 11,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ms = res.DelayMs.Mean()
+	}
+	b.ReportMetric(ms, "learning-ms")
+}
+
+// BenchmarkAblationPadding reports the aligned-layout no-table ratio
+// (paper: 1.03; packed would be 1.00).
+func BenchmarkAblationPadding(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationPadding()
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = rows[0].NoTableRatio
+	}
+	b.ReportMetric(ratio, "aligned-no-table-ratio")
+}
+
+// BenchmarkAblationMSweep sweeps the Hamming parameter and reports
+// the m=8 compressed ratio.
+func BenchmarkAblationMSweep(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationMSweep(1<<20, 13)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.M == 8 {
+				ratio = r.Type3Ratio
+			}
+		}
+	}
+	b.ReportMetric(ratio, "m8-type3-ratio")
+}
+
+// BenchmarkAblationDictSize reports the compression ratio under an
+// 8-bit (256-entry) dictionary, the LRU-thrash regime.
+func BenchmarkAblationDictSize(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationDictSize(100_000, 15)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.IDBits == 8 {
+				ratio = r.Ratio
+			}
+		}
+	}
+	b.ReportMetric(ratio, "idbits8-ratio")
+}
+
+// BenchmarkAblationVsDedup reports GD's ratio advantage over exact
+// dedup on single-bit-glitch data.
+func BenchmarkAblationVsDedup(b *testing.B) {
+	var advantage float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationTransforms(60_000, 17)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var gdRatio, dedupRatio float64
+		for _, r := range rows {
+			if r.Dataset == "1-bit glitches" {
+				switch r.Transform {
+				case "GD hamming(255,247)":
+					gdRatio = r.Ratio
+				case "dedup (identity)":
+					dedupRatio = r.Ratio
+				}
+			}
+		}
+		advantage = dedupRatio / gdRatio
+	}
+	b.ReportMetric(advantage, "gd-advantage-x")
+}
+
+// BenchmarkCodecEncode measures the software chunk encode rate
+// (A6: the paper's switch does this at line rate in hardware).
+func BenchmarkCodecEncode(b *testing.B) {
+	codec := zipline.MustCodec(zipline.Config{})
+	chunk := make([]byte, codec.ChunkSize())
+	rand.New(rand.NewSource(1)).Read(chunk)
+	b.SetBytes(int64(len(chunk)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := codec.Split(chunk); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCodecDecode measures the software chunk decode rate.
+func BenchmarkCodecDecode(b *testing.B) {
+	codec := zipline.MustCodec(zipline.Config{})
+	chunk := make([]byte, codec.ChunkSize())
+	rand.New(rand.NewSource(1)).Read(chunk)
+	s, _ := codec.Split(chunk)
+	dst := make([]byte, 0, 32)
+	b.SetBytes(int64(len(chunk)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out, err := codec.Merge(s, dst[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !bytes.Equal(out, chunk) {
+			b.Fatal("mismatch")
+		}
+	}
+}

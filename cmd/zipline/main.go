@@ -1,0 +1,67 @@
+// Command zipline compresses and decompresses files with generalized
+// deduplication.
+//
+//	zipline -c [-m 8] [-idbits 15] < input > output.zl
+//	zipline -d < output.zl > input
+//	zipline -stats -c < input > /dev/null
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"zipline"
+)
+
+func main() {
+	compress := flag.Bool("c", false, "compress stdin to stdout")
+	decompress := flag.Bool("d", false, "decompress stdin to stdout")
+	m := flag.Int("m", 8, "Hamming parameter (3..15): chunks are 2^m bits")
+	idBits := flag.Int("idbits", 15, "dictionary identifier width in bits (1..24)")
+	showStats := flag.Bool("stats", false, "print chunk statistics to stderr")
+	flag.Parse()
+
+	if *compress == *decompress {
+		fmt.Fprintln(os.Stderr, "zipline: exactly one of -c or -d is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	in := bufio.NewReaderSize(os.Stdin, 1<<20)
+	out := bufio.NewWriterSize(os.Stdout, 1<<20)
+	defer out.Flush()
+
+	if *compress {
+		zw, err := zipline.NewWriter(out, zipline.Config{M: *m, IDBits: *idBits})
+		fatal(err)
+		n, err := io.Copy(zw, in)
+		fatal(err)
+		fatal(zw.Close())
+		fatal(out.Flush())
+		if *showStats {
+			fmt.Fprintf(os.Stderr, "in=%d chunks=%d hits=%d misses=%d tail=%d\n",
+				n, zw.Stats.Chunks, zw.Stats.Hits, zw.Stats.Misses, zw.Stats.TailBytes)
+		}
+		return
+	}
+
+	zr, err := zipline.NewReader(in)
+	fatal(err)
+	n, err := io.Copy(out, zr)
+	fatal(err)
+	fatal(out.Flush())
+	if *showStats {
+		fmt.Fprintf(os.Stderr, "out=%d chunks=%d hits=%d misses=%d tail=%d\n",
+			n, zr.Stats.Chunks, zr.Stats.Hits, zr.Stats.Misses, zr.Stats.TailBytes)
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "zipline:", err)
+		os.Exit(1)
+	}
+}

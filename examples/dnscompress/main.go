@@ -1,0 +1,90 @@
+// Dnscompress: compress a day of campus DNS queries, the real-world
+// workload of the paper's Figure 3. Query payloads (transaction ID
+// stripped, as the paper does) are 32-byte chunks whose bases repeat
+// with Zipf name popularity.
+//
+//	go run ./examples/dnscompress
+package main
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"log"
+	"math/rand"
+	"strings"
+
+	"zipline"
+)
+
+func main() {
+	queries := buildWorkload(200_000, 2_000)
+	fmt.Printf("workload: %d queries x %d B = %.1f MB\n",
+		len(queries)/32, 32, float64(len(queries))/1e6)
+
+	comp, err := zipline.CompressBytes(queries, zipline.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("zipline: %.1f%% of original size\n",
+		100*float64(len(comp))/float64(len(queries)))
+
+	restored, err := zipline.DecompressBytes(comp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("lossless:", bytes.Equal(restored, queries))
+
+	// Chunk-level view: how many distinct bases does the day hold?
+	codec := zipline.MustCodec(zipline.Config{})
+	bases := map[string]int{}
+	for off := 0; off < len(queries); off += 32 {
+		s, err := codec.Split(queries[off : off+32])
+		if err != nil {
+			log.Fatal(err)
+		}
+		bases[string(s.Basis)]++
+	}
+	fmt.Printf("distinct bases: %d (dictionary holds %d)\n", len(bases), 1<<15)
+}
+
+// buildWorkload emits n stripped 34-byte DNS queries (32 B each) for
+// Zipf-popular names.
+func buildWorkload(n, domains int) []byte {
+	rng := rand.New(rand.NewSource(7))
+	zipf := rand.NewZipf(rng, 1.3, 1, uint64(domains-1))
+	names := make([]string, domains)
+	const letters = "abcdefghijklmnopqrstuvwxyz"
+	for i := range names {
+		var sb strings.Builder
+		sb.WriteString("www.")
+		for j := 0; j < 8; j++ {
+			sb.WriteByte(letters[rng.Intn(26)])
+		}
+		sb.WriteString(".edu")
+		names[i] = sb.String()
+	}
+	out := make([]byte, 0, n*32)
+	for i := 0; i < n; i++ {
+		out = append(out, query(names[zipf.Uint64()])...)
+	}
+	return out
+}
+
+// query builds a wire-format DNS query and strips the 2-byte txid,
+// yielding the 32-byte chunk ZipLine sees.
+func query(name string) []byte {
+	q := make([]byte, 10, 32)                 // header minus txid
+	binary.BigEndian.PutUint16(q[0:], 0x0100) // RD
+	binary.BigEndian.PutUint16(q[2:], 1)      // QDCOUNT
+	for _, label := range strings.Split(name, ".") {
+		q = append(q, byte(len(label)))
+		q = append(q, label...)
+	}
+	q = append(q, 0)          // root
+	q = append(q, 0, 1, 0, 1) // QTYPE A, QCLASS IN
+	if len(q) != 32 {
+		log.Fatalf("query for %s is %d bytes, want 32", name, len(q))
+	}
+	return q
+}

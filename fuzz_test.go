@@ -1,0 +1,87 @@
+package zipline
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecompressBytes: arbitrary input must never panic the stream
+// decoder — it either round-fails with an error or decodes quietly.
+func FuzzDecompressBytes(f *testing.F) {
+	// Seed with valid streams of several shapes plus junk.
+	for _, data := range [][]byte{
+		nil,
+		[]byte("not a stream"),
+		bytes.Repeat([]byte{0xA5}, 100),
+	} {
+		f.Add(data)
+	}
+	if comp, err := CompressBytes(bytes.Repeat([]byte{1, 2, 3, 4}, 100), Config{}); err == nil {
+		f.Add(comp)
+	}
+	if comp, err := CompressBytes([]byte("tail-only"), Config{M: 5}); err == nil {
+		f.Add(comp)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		out, err := DecompressBytes(data)
+		if err == nil && len(out) > 1<<26 {
+			t.Fatalf("implausible expansion: %d bytes", len(out))
+		}
+	})
+}
+
+// FuzzStreamRoundTrip: every input must compress and decompress back
+// to itself under several configurations.
+func FuzzStreamRoundTrip(f *testing.F) {
+	f.Add([]byte(nil), uint8(8), uint8(1))
+	f.Add([]byte("hello zipline"), uint8(3), uint8(1))
+	f.Add(bytes.Repeat([]byte{0xFF}, 300), uint8(8), uint8(2))
+	f.Add(bytes.Repeat([]byte("abcdefgh"), 64), uint8(5), uint8(1))
+	f.Fuzz(func(t *testing.T, data []byte, m, tt uint8) {
+		cfg := Config{M: int(m%13) + 3, T: int(tt%2) + 1}
+		comp, err := CompressBytes(data, cfg)
+		if err != nil {
+			t.Fatalf("compress: %v", err)
+		}
+		back, err := DecompressBytes(comp)
+		if err != nil {
+			t.Fatalf("decompress: %v", err)
+		}
+		if !bytes.Equal(back, data) {
+			t.Fatalf("round trip failed for cfg %+v", cfg)
+		}
+	})
+}
+
+// TestStreamRandomCorruptionNeverPanics flips random bits/bytes in
+// valid streams; the decoder must return errors or data, never panic.
+func TestStreamRandomCorruptionNeverPanics(t *testing.T) {
+	base, err := CompressBytes(bytes.Repeat([]byte("sensor-reading-0123456789abcdef!"), 200), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := newTestRand(99)
+	for trial := 0; trial < 500; trial++ {
+		corrupt := append([]byte(nil), base...)
+		for k := 0; k < 1+rng.Intn(4); k++ {
+			switch rng.Intn(3) {
+			case 0: // flip a bit
+				i := rng.Intn(len(corrupt))
+				corrupt[i] ^= 1 << uint(rng.Intn(8))
+			case 1: // truncate
+				corrupt = corrupt[:rng.Intn(len(corrupt)+1)]
+			case 2: // splice garbage
+				if len(corrupt) > 4 {
+					i := rng.Intn(len(corrupt) - 4)
+					rng.Read(corrupt[i : i+4])
+				}
+			}
+			if len(corrupt) == 0 {
+				break
+			}
+		}
+		// Must not panic; errors and silent wrong data are both
+		// acceptable for a format without integrity checksums.
+		DecompressBytes(corrupt)
+	}
+}

@@ -1,0 +1,177 @@
+// Package baseline implements the comparison points of the paper's
+// Figure 3: gzip (DEFLATE — "an algorithm that doubtlessly cannot be
+// implemented on our hardware P4 target due to its unbounded
+// execution time") and, as an extra ablation, classic exact-match
+// deduplication, to quantify what the GD transformation itself adds.
+package baseline
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+
+	"zipline/internal/bitvec"
+	"zipline/internal/gd"
+	"zipline/internal/packet"
+	"zipline/internal/trace"
+)
+
+// GzipSize compresses the trace's concatenated payloads with gzip at
+// the given level (0 = gzip.DefaultCompression, as the paper's
+// off-the-shelf invocation) and returns the compressed size in bytes.
+// This is the Figure 3 "Gzip" bar: "we extract all payloads in a
+// regular file that we compress with the gzip compression tool".
+func GzipSize(t *trace.Trace, level int) (int, error) {
+	if level == 0 {
+		level = gzip.DefaultCompression
+	}
+	var buf bytes.Buffer
+	w, err := gzip.NewWriterLevel(&buf, level)
+	if err != nil {
+		return 0, fmt.Errorf("baseline: %w", err)
+	}
+	if _, err := w.Write(t.Bytes()); err != nil {
+		return 0, fmt.Errorf("baseline: %w", err)
+	}
+	if err := w.Close(); err != nil {
+		return 0, fmt.Errorf("baseline: %w", err)
+	}
+	return buf.Len(), nil
+}
+
+// GzipRoundTrip verifies losslessness of the gzip baseline and
+// returns the decompressed byte count (tests use it; the harness
+// trusts the stdlib).
+func GzipRoundTrip(t *trace.Trace, level int) (int, error) {
+	var buf bytes.Buffer
+	w, err := gzip.NewWriterLevel(&buf, normaliseLevel(level))
+	if err != nil {
+		return 0, err
+	}
+	if _, err := w.Write(t.Bytes()); err != nil {
+		return 0, err
+	}
+	if err := w.Close(); err != nil {
+		return 0, err
+	}
+	r, err := gzip.NewReader(&buf)
+	if err != nil {
+		return 0, err
+	}
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(r); err != nil {
+		return 0, err
+	}
+	if !bytes.Equal(out.Bytes(), t.Bytes()) {
+		return 0, fmt.Errorf("baseline: gzip round trip mismatch")
+	}
+	return out.Len(), nil
+}
+
+func normaliseLevel(level int) int {
+	if level == 0 {
+		return gzip.DefaultCompression
+	}
+	return level
+}
+
+// DedupConfig parameterises a dictionary-compression run.
+type DedupConfig struct {
+	// Codec selects the transform. nil means classic exact-match
+	// deduplication (the key is the whole chunk).
+	Codec *gd.Codec
+	// IDBits sizes the dictionary at 2^IDBits LRU slots (default 15,
+	// the paper's).
+	IDBits int
+	// HitBytes is the payload cost of a dictionary hit. Default:
+	// the aligned type 3 wire size for the codec (3 B at m=8, t=15),
+	// or 2 + IDBits/8-rounded reference bytes for exact dedup.
+	HitBytes int
+	// MissBytes is the payload cost of a miss. Default: the aligned
+	// type 2 wire size (33 B at m=8), or the record size for exact
+	// dedup.
+	MissBytes int
+}
+
+// DedupResult summarises a dictionary compression run at the payload
+// level.
+type DedupResult struct {
+	Records       int
+	HitRecords    int // emitted as short references
+	MissRecords   int // emitted with full content
+	OutputBytes   int
+	DistinctKeys  int
+	EvictedKeys   int
+	DictionaryCap int
+}
+
+// Ratio returns output size over input size.
+func (r DedupResult) Ratio(inputBytes int) float64 {
+	return float64(r.OutputBytes) / float64(inputBytes)
+}
+
+// DedupSize runs dictionary compression over the trace. The
+// dictionary holds 2^IDBits entries with LRU replacement — the same
+// policy as the switch tables, but in-process and with instantaneous
+// learning. It is the "static table meets finite memory" model used
+// by the dictionary-size and transform ablations.
+func DedupSize(t *trace.Trace, cfg DedupConfig) (DedupResult, error) {
+	if cfg.IDBits == 0 {
+		cfg.IDBits = 15
+	}
+	if cfg.Codec != nil && cfg.Codec.ChunkBytes() != t.RecordSize {
+		return DedupResult{}, fmt.Errorf("baseline: chunk %d != record %d", cfg.Codec.ChunkBytes(), t.RecordSize)
+	}
+	if cfg.HitBytes == 0 {
+		if cfg.Codec != nil {
+			f, err := packet.NewFormat(cfg.Codec, cfg.IDBits, true)
+			if err != nil {
+				return DedupResult{}, err
+			}
+			cfg.HitBytes = f.Type3Len()
+		} else {
+			cfg.HitBytes = (cfg.IDBits + 7) / 8
+		}
+	}
+	if cfg.MissBytes == 0 {
+		if cfg.Codec != nil {
+			f, err := packet.NewFormat(cfg.Codec, cfg.IDBits, true)
+			if err != nil {
+				return DedupResult{}, err
+			}
+			cfg.MissBytes = f.Type2Len()
+		} else {
+			cfg.MissBytes = t.RecordSize
+		}
+	}
+
+	dict := gd.NewDictionary(cfg.IDBits)
+	res := DedupResult{Records: t.Records(), DictionaryCap: dict.Capacity()}
+	seen := make(map[string]struct{})
+	for i := 0; i < t.Records(); i++ {
+		rec := t.Record(i)
+		var key *bitvec.Vector
+		if cfg.Codec == nil {
+			key = bitvec.FromBytes(rec, len(rec)*8)
+		} else {
+			s, err := cfg.Codec.SplitChunk(rec)
+			if err != nil {
+				return res, err
+			}
+			key = s.Basis
+		}
+		seen[key.Key()] = struct{}{}
+		if _, hit := dict.Lookup(key); hit {
+			res.HitRecords++
+			res.OutputBytes += cfg.HitBytes
+		} else {
+			res.MissRecords++
+			res.OutputBytes += cfg.MissBytes
+			if _, evicted := dict.Insert(key); evicted != nil {
+				res.EvictedKeys++
+			}
+		}
+	}
+	res.DistinctKeys = len(seen)
+	return res, nil
+}

@@ -1,0 +1,95 @@
+package bch
+
+import (
+	"fmt"
+
+	"zipline/internal/bitvec"
+)
+
+// Transform is the GD transform over a BCH code: deviation = the
+// deg(g)-bit syndrome, basis = the message bits of the nearest
+// codeword within radius t (or of the canonical coset representative
+// when no codeword is that near). It implements gd.Transform.
+type Transform struct {
+	code *Code
+}
+
+// NewTransform builds the GD transform for BCH(2^m − 1, t).
+func NewTransform(m, t int) (*Transform, error) {
+	code, err := New(m, t)
+	if err != nil {
+		return nil, err
+	}
+	return &Transform{code: code}, nil
+}
+
+// Code exposes the underlying BCH code.
+func (tr *Transform) Code() *Code { return tr.code }
+
+// WordBits returns n.
+func (tr *Transform) WordBits() int { return tr.code.n }
+
+// BasisBits returns k = n − deg g.
+func (tr *Transform) BasisBits() int { return tr.code.k }
+
+// DeviationBits returns deg g (≤ t·m).
+func (tr *Transform) DeviationBits() int { return tr.code.genDeg }
+
+// leaderPositions returns the wire positions of the coset leader for
+// syndrome s: the ≤ t error positions when the syndrome is within
+// the decoding radius, else the canonical fallback (the syndrome
+// embedded in the parity-bit positions, which always has syndrome s).
+func (tr *Transform) leaderPositions(s uint32) []int {
+	if pos, ok := tr.code.ErrorPositions(s); ok {
+		return pos
+	}
+	var pos []int
+	for j := 0; j < tr.code.genDeg; j++ {
+		if s>>uint(j)&1 == 1 {
+			pos = append(pos, tr.code.n-1-j)
+		}
+	}
+	return pos
+}
+
+// Split maps a word to (basis, deviation).
+func (tr *Transform) Split(word *bitvec.Vector) (*bitvec.Vector, uint32) {
+	if word.Len() != tr.code.n {
+		panic(fmt.Sprintf("bch: word length %d != n=%d", word.Len(), tr.code.n))
+	}
+	s := tr.code.Syndrome(word)
+	cw := word
+	if s != 0 {
+		cw = word.Clone()
+		for _, p := range tr.leaderPositions(s) {
+			cw.Flip(p)
+		}
+	}
+	return cw.Slice(tr.code.genDeg, tr.code.k), s
+}
+
+// Merge reconstructs the word from (basis, deviation).
+func (tr *Transform) Merge(basis *bitvec.Vector, deviation uint32) (*bitvec.Vector, error) {
+	if basis.Len() != tr.code.k {
+		return nil, fmt.Errorf("bch: basis length %d != k=%d", basis.Len(), tr.code.k)
+	}
+	if tr.code.genDeg < 32 && deviation >= 1<<uint(tr.code.genDeg) {
+		return nil, fmt.Errorf("bch: deviation %#x wider than %d bits", deviation, tr.code.genDeg)
+	}
+	p := tr.code.Parity(basis)
+	w := bitvec.NewWriter((tr.code.n + 7) / 8)
+	w.WriteUint(uint64(p), tr.code.genDeg)
+	w.WriteVector(basis)
+	word := bitvec.FromBytes(w.Bytes(), tr.code.n)
+	if deviation != 0 {
+		for _, pos := range tr.leaderPositions(deviation) {
+			word.Flip(pos)
+		}
+	}
+	return word, nil
+}
+
+// String implements fmt.Stringer.
+func (tr *Transform) String() string {
+	return fmt.Sprintf("gd-bch(%d,%d,t=%d)", tr.code.n, tr.code.k, tr.code.t)
+}

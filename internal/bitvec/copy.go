@@ -1,0 +1,66 @@
+package bitvec
+
+// CopyBits copies nbits bits from src starting at bit srcOff into dst
+// starting at bit dstOff, overwriting the destination bits and
+// leaving all other dst bits untouched. Offsets are MSB-first bit
+// positions. It processes a destination byte at a time, so arbitrary
+// misalignment costs roughly one shift per byte rather than per bit.
+func CopyBits(dst []byte, dstOff int, src []byte, srcOff, nbits int) {
+	if nbits < 0 {
+		panic("bitvec: negative bit count")
+	}
+	if srcOff+nbits > len(src)*8 || dstOff+nbits > len(dst)*8 {
+		panic("bitvec: CopyBits out of range")
+	}
+	// Fully byte-aligned fast path.
+	if dstOff&7 == 0 && srcOff&7 == 0 {
+		n := nbits >> 3
+		copy(dst[dstOff>>3:dstOff>>3+n], src[srcOff>>3:srcOff>>3+n])
+		if rem := nbits & 7; rem != 0 {
+			mask := byte(0xFF) << (8 - uint(rem))
+			di := dstOff>>3 + n
+			dst[di] = dst[di]&^mask | src[srcOff>>3+n]&mask
+		}
+		return
+	}
+	for nbits > 0 {
+		db := dstOff & 7
+		w := 8 - db
+		if w > nbits {
+			w = nbits
+		}
+		v := extractBits(src, srcOff, w)
+		shift := uint(8 - db - w)
+		mask := byte(1<<uint(w)-1) << shift
+		di := dstOff >> 3
+		dst[di] = dst[di]&^mask | byte(v<<shift)&mask
+		dstOff += w
+		srcOff += w
+		nbits -= w
+	}
+}
+
+// extractBits returns w (≤ 8) bits of src starting at bit off,
+// right-aligned in the result.
+func extractBits(src []byte, off, w int) byte {
+	si := off >> 3
+	v := uint16(src[si]) << 8
+	if si+1 < len(src) {
+		v |= uint16(src[si+1])
+	}
+	v <<= uint(off & 7)
+	return byte(v >> (16 - uint(w)))
+}
+
+// Wrap builds an n-bit vector that takes ownership of data (no copy).
+// The caller must not reuse data afterwards, and data must be exactly
+// ceil(n/8) bytes with any trailing pad bits already zero. It exists
+// for hot paths that have just assembled a fresh buffer.
+func Wrap(data []byte, n int) *Vector {
+	if len(data) != (n+7)/8 {
+		panic("bitvec: Wrap buffer size mismatch")
+	}
+	v := &Vector{data: data, n: n}
+	v.clearTail()
+	return v
+}

@@ -1,0 +1,190 @@
+package bitvec
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrShortBuffer is returned by Reader when a read runs past the end
+// of the underlying data.
+var ErrShortBuffer = errors.New("bitvec: read past end of buffer")
+
+// Writer packs bits MSB-first into a growing byte slice. It is the
+// serialisation half of ZipLine's non-byte-aligned wire formats.
+// The zero value is ready for use.
+type Writer struct {
+	buf  []byte
+	nbit int
+}
+
+// NewWriter returns a Writer with capacity preallocated for sizeHint
+// bytes.
+func NewWriter(sizeHint int) *Writer {
+	return &Writer{buf: make([]byte, 0, sizeHint)}
+}
+
+// WriteBit appends a single bit.
+func (w *Writer) WriteBit(b bool) {
+	if w.nbit&7 == 0 {
+		w.buf = append(w.buf, 0)
+	}
+	if b {
+		w.buf[w.nbit>>3] |= 1 << (7 - uint(w.nbit&7))
+	}
+	w.nbit++
+}
+
+// WriteUint appends the low n bits of x, most significant first.
+func (w *Writer) WriteUint(x uint64, n int) {
+	if n < 0 || n > 64 {
+		panic(fmt.Sprintf("bitvec: WriteUint width %d out of range", n))
+	}
+	for i := n - 1; i >= 0; i-- {
+		w.WriteBit(x>>uint(i)&1 == 1)
+	}
+}
+
+// WriteVector appends every bit of v.
+func (w *Writer) WriteVector(v *Vector) {
+	// Fast path when the writer is byte aligned.
+	if w.nbit&7 == 0 {
+		w.buf = append(w.buf, v.data...)
+		w.nbit += v.n
+		w.clearTail()
+		return
+	}
+	need := (w.nbit + v.n + 7) / 8
+	for len(w.buf) < need {
+		w.buf = append(w.buf, 0)
+	}
+	CopyBits(w.buf, w.nbit, v.data, 0, v.n)
+	w.nbit += v.n
+}
+
+// WriteBytes appends whole bytes (8 bits each).
+func (w *Writer) WriteBytes(p []byte) {
+	if w.nbit&7 == 0 {
+		w.buf = append(w.buf, p...)
+		w.nbit += 8 * len(p)
+		return
+	}
+	for _, b := range p {
+		w.WriteUint(uint64(b), 8)
+	}
+}
+
+// Pad appends zero bits until the stream is byte aligned, returning
+// the number of padding bits added. Mirrors the byte-alignment
+// padding the Tofino compiler forces onto non-aligned headers.
+func (w *Writer) Pad() int {
+	n := (8 - w.nbit&7) & 7
+	for i := 0; i < n; i++ {
+		w.WriteBit(false)
+	}
+	return n
+}
+
+// Len returns the number of bits written so far.
+func (w *Writer) Len() int { return w.nbit }
+
+// Bytes returns the packed bytes; the final partial byte (if any) is
+// zero padded. The slice aliases the writer's buffer.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Reset clears the writer for reuse, retaining the allocation.
+func (w *Writer) Reset() {
+	w.buf = w.buf[:0]
+	w.nbit = 0
+}
+
+func (w *Writer) clearTail() {
+	if r := w.nbit & 7; r != 0 && len(w.buf) > 0 {
+		w.buf[len(w.buf)-1] &= byte(0xFF) << (8 - uint(r))
+	}
+}
+
+// Reader consumes bits MSB-first from a byte slice. It is the parsing
+// half of ZipLine's wire formats. Reads past the end return
+// ErrShortBuffer.
+type Reader struct {
+	data []byte
+	pos  int // next bit position
+	n    int // total bits available
+}
+
+// NewReader returns a Reader over all bits of data.
+func NewReader(data []byte) *Reader {
+	return &Reader{data: data, n: len(data) * 8}
+}
+
+// NewReaderBits returns a Reader over the first nbits of data.
+func NewReaderBits(data []byte, nbits int) *Reader {
+	if nbits > len(data)*8 {
+		panic(fmt.Sprintf("bitvec: NewReaderBits %d > %d available", nbits, len(data)*8))
+	}
+	return &Reader{data: data, n: nbits}
+}
+
+// ReadBit consumes and returns one bit.
+func (r *Reader) ReadBit() (bool, error) {
+	if r.pos >= r.n {
+		return false, ErrShortBuffer
+	}
+	b := r.data[r.pos>>3]>>(7-uint(r.pos&7))&1 == 1
+	r.pos++
+	return b, nil
+}
+
+// ReadUint consumes n bits and returns them as an unsigned integer,
+// first bit read being the most significant.
+func (r *Reader) ReadUint(n int) (uint64, error) {
+	if n < 0 || n > 64 {
+		panic(fmt.Sprintf("bitvec: ReadUint width %d out of range", n))
+	}
+	if r.pos+n > r.n {
+		return 0, ErrShortBuffer
+	}
+	var x uint64
+	for i := 0; i < n; i++ {
+		x <<= 1
+		if r.data[r.pos>>3]>>(7-uint(r.pos&7))&1 == 1 {
+			x |= 1
+		}
+		r.pos++
+	}
+	return x, nil
+}
+
+// ReadVector consumes n bits into a new Vector.
+func (r *Reader) ReadVector(n int) (*Vector, error) {
+	if r.pos+n > r.n {
+		return nil, ErrShortBuffer
+	}
+	out := New(n)
+	if r.pos&7 == 0 {
+		copy(out.data, r.data[r.pos>>3:])
+		out.clearTail()
+		r.pos += n
+		return out, nil
+	}
+	for i := 0; i < n; i++ {
+		b, _ := r.ReadBit()
+		out.Set(i, b)
+	}
+	return out, nil
+}
+
+// Skip discards n bits.
+func (r *Reader) Skip(n int) error {
+	if r.pos+n > r.n {
+		return ErrShortBuffer
+	}
+	r.pos += n
+	return nil
+}
+
+// Remaining returns the number of unread bits.
+func (r *Reader) Remaining() int { return r.n - r.pos }
+
+// Pos returns the number of bits consumed so far.
+func (r *Reader) Pos() int { return r.pos }

@@ -1,0 +1,299 @@
+// Package controlplane implements ZipLine's controller: the Python/
+// BfRt component of the paper (§5, §6) that owns the identifier pool
+// and the dictionary tables in the switches.
+//
+// Responsibilities, mirroring the paper:
+//
+//   - receive digests reporting bases unknown to an encoder;
+//   - pick an identifier: an unused one if available, otherwise
+//     recycle the least recently used entry (as observed by the
+//     data plane's idle timers);
+//   - install the reverse (ID→basis) mapping in the decoder switch
+//     FIRST, so compressed packets can always be uncompressed, then
+//     the forward (basis→ID) mapping in the encoder switch;
+//   - age entries out via TNA-style per-entry TTLs.
+//
+// Every step pays a modelled latency (digest delivery, decision time,
+// one BfRt write per table touched). The defaults sum to the paper's
+// measured learning delay: a new basis becomes compressible
+// (1.77 ± 0.08) ms after its first appearance. Writes for distinct
+// bases proceed concurrently — BfRt batches table programming — so
+// learning throughput is not serialised on the write latency, only
+// each mapping's visibility is delayed by it.
+package controlplane
+
+import (
+	"fmt"
+
+	"zipline/internal/bitvec"
+	"zipline/internal/netsim"
+	"zipline/internal/tofino"
+	"zipline/internal/zswitch"
+)
+
+// Config models the controller's timing and pool size.
+type Config struct {
+	// IDBits sizes the identifier pool at 2^IDBits (default 15).
+	IDBits int
+	// DigestLatencyNs is the data-plane→controller delivery delay,
+	// covering hardware digest batching and the BfRt stream channel
+	// (default 150 µs).
+	DigestLatencyNs netsim.Time
+	// DecisionNs is the controller's processing time per new basis
+	// (default 20 µs).
+	DecisionNs netsim.Time
+	// WriteLatencyNs is one BfRt table write (default 800 µs).
+	// A fresh mapping takes two writes: decoder first, then encoder.
+	WriteLatencyNs netsim.Time
+	// JitterFrac adds uniform noise to every latency component
+	// (default 0.03).
+	JitterFrac float64
+	// SweepIntervalNs polls the encoder's idle timers for TTL expiry
+	// (0 disables aging sweeps).
+	SweepIntervalNs netsim.Time
+}
+
+// Defaults chosen so that DigestLatency + Decision + 2×Write =
+// 1.77 ms, the paper's measured learning delay.
+const (
+	DefaultDigestLatencyNs = 150 * netsim.Microsecond
+	DefaultDecisionNs      = 20 * netsim.Microsecond
+	DefaultWriteLatencyNs  = 800 * netsim.Microsecond
+)
+
+func (c Config) withDefaults() Config {
+	if c.IDBits == 0 {
+		c.IDBits = 15
+	}
+	if c.DigestLatencyNs == 0 {
+		c.DigestLatencyNs = DefaultDigestLatencyNs
+	}
+	if c.DecisionNs == 0 {
+		c.DecisionNs = DefaultDecisionNs
+	}
+	if c.WriteLatencyNs == 0 {
+		c.WriteLatencyNs = DefaultWriteLatencyNs
+	}
+	if c.JitterFrac == 0 {
+		c.JitterFrac = 0.03
+	}
+	return c
+}
+
+// Stats counts controller activity.
+type Stats struct {
+	// DigestsSeen is every digest delivered, including duplicates.
+	DigestsSeen uint64
+	// Learned is the number of fresh basis→ID mappings installed.
+	Learned uint64
+	// Recycled counts identifiers taken from live mappings via LRU.
+	Recycled uint64
+	// Expired counts mappings removed by TTL sweeps.
+	Expired uint64
+	// Duplicates counts digests ignored because the basis was
+	// already mapped or mid-installation.
+	Duplicates uint64
+}
+
+// mapping is one live dictionary entry from the controller's view.
+type mapping struct {
+	id    uint32
+	basis *bitvec.Vector
+}
+
+// Controller is the simulated control plane bound to one encoder
+// pipeline and one decoder pipeline (which may be the same pipeline
+// in a unified single-switch deployment).
+type Controller struct {
+	sim *netsim.Sim
+	cfg Config
+	enc *tofino.Pipeline
+	dec *tofino.Pipeline
+
+	basisBits int
+
+	free      []uint32
+	byKey     map[string]mapping // installed encoder mappings
+	inflight  map[string]bool    // digest accepted, writes pending
+	recycling map[string]bool    // victims with a pending eviction
+
+	stats Stats
+}
+
+// New builds a controller for an encoder/decoder pipeline pair.
+// basisBits is the dictionary key width (Codec.BasisBits()).
+func New(sim *netsim.Sim, cfg Config, enc, dec *tofino.Pipeline, basisBits int) (*Controller, error) {
+	cfg = cfg.withDefaults()
+	if basisBits <= 0 {
+		return nil, fmt.Errorf("controlplane: basisBits %d", basisBits)
+	}
+	if cfg.IDBits < 1 || cfg.IDBits > 24 {
+		return nil, fmt.Errorf("controlplane: IDBits %d out of range", cfg.IDBits)
+	}
+	c := &Controller{
+		sim:       sim,
+		cfg:       cfg,
+		enc:       enc,
+		dec:       dec,
+		basisBits: basisBits,
+		byKey:     make(map[string]mapping),
+		inflight:  make(map[string]bool),
+		recycling: make(map[string]bool),
+	}
+	n := 1 << uint(cfg.IDBits)
+	c.free = make([]uint32, 0, n)
+	for id := n - 1; id >= 0; id-- {
+		c.free = append(c.free, uint32(id))
+	}
+	if cfg.SweepIntervalNs > 0 {
+		sim.After(cfg.SweepIntervalNs, c.sweep)
+	}
+	return c, nil
+}
+
+// Stats returns a snapshot of controller counters.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// Mappings reports the number of live basis→ID mappings.
+func (c *Controller) Mappings() int { return len(c.byKey) }
+
+// Bind subscribes the controller to a switch's digests, paying the
+// digest delivery latency for each.
+func (c *Controller) Bind(sw *netsim.Switch) {
+	prev := sw.OnDigest
+	sw.OnDigest = func(ds []tofino.Digest) {
+		if prev != nil {
+			prev(ds)
+		}
+		for _, d := range ds {
+			if d.Name != zswitch.DigestNewBasis {
+				continue
+			}
+			data := d.Data
+			c.sim.After(c.sim.Jitter(c.cfg.DigestLatencyNs, c.cfg.JitterFrac), func() {
+				c.handleDigest(data)
+			})
+		}
+	}
+}
+
+// HandleDigestNow injects a digest directly (test and tooling hook);
+// the digest latency is NOT applied.
+func (c *Controller) HandleDigestNow(basis *bitvec.Vector) {
+	c.handleDigest(basis.Bytes())
+}
+
+func (c *Controller) handleDigest(data []byte) {
+	c.stats.DigestsSeen++
+	basis := bitvec.FromBytes(data, c.basisBits)
+	key := basis.Key()
+	if c.inflight[key] {
+		c.stats.Duplicates++
+		return
+	}
+	if _, known := c.byKey[key]; known {
+		c.stats.Duplicates++
+		return
+	}
+	c.inflight[key] = true
+	c.sim.After(c.sim.Jitter(c.cfg.DecisionNs, c.cfg.JitterFrac), func() {
+		c.allocateAndInstall(key, basis)
+	})
+}
+
+// allocateAndInstall runs the paper's two-phase protocol for one new
+// basis. Each table touch costs one write latency; phases chain
+// sequentially: (optional evict from encoder) → decoder install →
+// encoder install.
+func (c *Controller) allocateAndInstall(key string, basis *bitvec.Vector) {
+	if len(c.free) > 0 {
+		id := c.free[len(c.free)-1]
+		c.free = c.free[:len(c.free)-1]
+		c.installDecoderThenEncoder(key, basis, id)
+		return
+	}
+	// Pool exhausted: recycle the least recently used installed
+	// mapping, as seen by the data plane's idle timers. Victims with
+	// an eviction already in flight are skipped so two learns never
+	// recycle the same identifier; if every mapping is mid-flight
+	// (a burst larger than the pool), retry after a write interval.
+	encTbl, ok := c.enc.Table(zswitch.TableBasisToID)
+	if !ok {
+		panic("controlplane: encoder pipeline lacks dictionary table")
+	}
+	victimKey := ""
+	victimIdle := int64(-1)
+	for k := range c.byKey {
+		if c.recycling[k] {
+			continue
+		}
+		idle, live := encTbl.IdleTime(k, c.sim.Now())
+		if !live {
+			continue
+		}
+		if idle > victimIdle || (idle == victimIdle && k < victimKey) {
+			victimKey, victimIdle = k, idle
+		}
+	}
+	if victimKey == "" {
+		c.sim.After(c.sim.Jitter(c.cfg.WriteLatencyNs, c.cfg.JitterFrac), func() {
+			c.allocateAndInstall(key, basis)
+		})
+		return
+	}
+	id := c.byKey[victimKey].id
+	c.recycling[victimKey] = true
+	// Phase 0: stop the encoder from using the identifier.
+	c.sim.After(c.sim.Jitter(c.cfg.WriteLatencyNs, c.cfg.JitterFrac), func() {
+		encTbl.Delete(victimKey)
+		delete(c.byKey, victimKey)
+		delete(c.recycling, victimKey)
+		c.stats.Recycled++
+		c.installDecoderThenEncoder(key, basis, id)
+	})
+}
+
+func (c *Controller) installDecoderThenEncoder(key string, basis *bitvec.Vector, id uint32) {
+	// Phase 1: decoder first, so that compressed packets can always
+	// be uncompressed (paper §5).
+	c.sim.After(c.sim.Jitter(c.cfg.WriteLatencyNs, c.cfg.JitterFrac), func() {
+		if err := zswitch.InstallIDToBasis(c.dec, id, basis, c.sim.Now()); err != nil {
+			panic(fmt.Sprintf("controlplane: decoder install: %v", err))
+		}
+		// Phase 2: encoder mapping goes live.
+		c.sim.After(c.sim.Jitter(c.cfg.WriteLatencyNs, c.cfg.JitterFrac), func() {
+			if err := zswitch.InstallBasisToID(c.enc, basis, id, c.sim.Now()); err != nil {
+				panic(fmt.Sprintf("controlplane: encoder install: %v", err))
+			}
+			c.byKey[key] = mapping{id: id, basis: basis}
+			delete(c.inflight, key)
+			c.stats.Learned++
+		})
+	})
+}
+
+// sweep ages out mappings whose encoder-side idle timers lapsed.
+func (c *Controller) sweep() {
+	for _, key := range zswitch.ExpiredBases(c.enc, c.sim.Now()) {
+		m, known := c.byKey[key]
+		if !known || c.recycling[key] {
+			continue
+		}
+		c.recycling[key] = true
+		basis := m.basis
+		// One write per table: encoder entry out first, then the
+		// decoder entry, then the identifier returns to the pool.
+		keyCopy, idCopy := key, m.id
+		c.sim.After(c.sim.Jitter(c.cfg.WriteLatencyNs, c.cfg.JitterFrac), func() {
+			zswitch.DeleteBasisToID(c.enc, basis)
+			delete(c.byKey, keyCopy)
+			delete(c.recycling, keyCopy)
+			c.sim.After(c.sim.Jitter(c.cfg.WriteLatencyNs, c.cfg.JitterFrac), func() {
+				zswitch.DeleteIDToBasis(c.dec, idCopy)
+				c.free = append(c.free, idCopy)
+				c.stats.Expired++
+			})
+		})
+	}
+	c.sim.After(c.cfg.SweepIntervalNs, c.sweep)
+}

@@ -1,0 +1,224 @@
+package crc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"zipline/internal/bitvec"
+)
+
+// table2 reproduces paper Table 2b: CRC-3 (generator x^3+x+1, param
+// 0x3) of the seven single-bit 7-bit sequences.
+var table2 = []struct {
+	seq  string
+	want uint32
+}{
+	{"0000001", 0b001}, // x^0
+	{"0000010", 0b010}, // x^1
+	{"0000100", 0b100}, // x^2
+	{"0001000", 0b011}, // x^3
+	{"0010000", 0b110}, // x^4
+	{"0100000", 0b111}, // x^5
+	{"1000000", 0b101}, // x^6
+}
+
+func TestPaperTable2(t *testing.T) {
+	e := MustNew(3, 0x3)
+	for _, tc := range table2 {
+		v := bitvec.MustParse(tc.seq)
+		if got := e.RemainderVector(v); got != tc.want {
+			t.Errorf("CRC-3(%s) = %03b, want %03b", tc.seq, got, tc.want)
+		}
+	}
+}
+
+func TestPaperTable2ViaPowX(t *testing.T) {
+	// The syndrome of the single-bit sequence x^j must equal
+	// rem(x^j); this is the identity that builds the syndrome
+	// lookup table.
+	e := MustNew(3, 0x3)
+	for j, tc := range table2 {
+		if got := e.PowX(j); got != tc.want {
+			t.Errorf("PowX(%d) = %03b, want %03b", j, got, tc.want)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 1); err == nil {
+		t.Error("width 0 accepted")
+	}
+	if _, err := New(32, 1); err == nil {
+		t.Error("width 32 accepted")
+	}
+	if _, err := New(3, 0x8); err == nil {
+		t.Error("param wider than width accepted")
+	}
+	if _, err := New(3, 0x6); err == nil {
+		t.Error("param with zero constant term accepted")
+	}
+	if _, err := New(3, 0x3); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+}
+
+func TestLinearity(t *testing.T) {
+	// CRC(A XOR B) == CRC(A) XOR CRC(B): the property §2 relies on.
+	e := MustNew(8, 0x1D)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		a := make([]byte, 32)
+		b := make([]byte, 32)
+		rng.Read(a)
+		rng.Read(b)
+		ab := make([]byte, 32)
+		for i := range ab {
+			ab[i] = a[i] ^ b[i]
+		}
+		nbits := 255
+		if got, want := e.Remainder(ab, nbits), e.Remainder(a, nbits)^e.Remainder(b, nbits); got != want {
+			t.Fatalf("trial %d: CRC(A^B)=%x != CRC(A)^CRC(B)=%x", trial, got, want)
+		}
+	}
+}
+
+func TestTableMatchesBitwise(t *testing.T) {
+	widths := []struct {
+		m     int
+		param uint32
+	}{
+		{3, 0x3}, {4, 0x3}, {5, 0x05}, {6, 0x03}, {7, 0x09},
+		{8, 0x1D}, {9, 0x011}, {10, 0x009}, {11, 0x005},
+		{12, 0x053}, {13, 0x01B}, {14, 0x143}, {15, 0x003},
+	}
+	rng := rand.New(rand.NewSource(99))
+	for _, w := range widths {
+		e := MustNew(w.m, w.param)
+		for trial := 0; trial < 50; trial++ {
+			n := 1 + rng.Intn(64)
+			data := make([]byte, n)
+			rng.Read(data)
+			nbits := 1 + rng.Intn(n*8)
+			fast := e.Remainder(data, nbits)
+			slow := e.RemainderBitwise(data, nbits)
+			if fast != slow {
+				t.Fatalf("m=%d trial=%d nbits=%d: table %x != bitwise %x", w.m, trial, nbits, fast, slow)
+			}
+		}
+	}
+}
+
+func TestMatrixFormMatches(t *testing.T) {
+	// CRC(B) = B·Hᵀ: the XOR-of-precomputed-columns formulation.
+	e := MustNew(8, 0x1D)
+	rows := e.Matrix(255)
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		data := make([]byte, 32)
+		rng.Read(data)
+		got := RemainderByMatrix(rows, data, 255)
+		want := e.Remainder(data, 255)
+		if got != want {
+			t.Fatalf("trial %d: matrix %x != direct %x", trial, got, want)
+		}
+	}
+}
+
+func TestShiftUnshiftInverse(t *testing.T) {
+	e := MustNew(8, 0x1D)
+	f := func(r uint32) bool {
+		r &= 0xFF
+		return e.Unshift(e.Shift(r)) == r && e.Shift(e.Unshift(r)) == r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShiftNUnshiftN(t *testing.T) {
+	e := MustNew(15, 0x003)
+	r := uint32(0x5A5A & 0x7FFF)
+	if got := e.UnshiftN(e.ShiftN(r, 100), 100); got != r {
+		t.Fatalf("UnshiftN(ShiftN(r)) = %x, want %x", got, r)
+	}
+}
+
+func TestPowXAgreesWithIteratedShift(t *testing.T) {
+	e := MustNew(8, 0x1D)
+	r := uint32(1)
+	for j := 0; j < 600; j++ {
+		if got := e.PowX(j); got != r {
+			t.Fatalf("PowX(%d) = %x, want %x", j, got, r)
+		}
+		r = e.Shift(r)
+	}
+}
+
+func TestXNIsOneForHammingGenerators(t *testing.T) {
+	// x^n ≡ 1 (mod g) for a primitive degree-m g with n = 2^m - 1.
+	// This identity is what makes the Figure 2 decoding trick
+	// (parity = CRC(basis · x^m)) work.
+	for _, w := range []struct {
+		m     int
+		param uint32
+	}{{3, 0x3}, {4, 0x3}, {8, 0x1D}, {15, 0x003}} {
+		e := MustNew(w.m, w.param)
+		n := 1<<uint(w.m) - 1
+		if got := e.PowX(n); got != 1 {
+			t.Errorf("m=%d: x^%d mod g = %x, want 1", w.m, n, got)
+		}
+	}
+}
+
+func TestMulModDistributes(t *testing.T) {
+	e := MustNew(8, 0x1D)
+	f := func(a, b, c uint32) bool {
+		a &= 0xFF
+		b &= 0xFF
+		c &= 0xFF
+		left := e.MulMod(a, b^c)
+		right := e.MulMod(a, b) ^ e.MulMod(a, c)
+		return left == right
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemainderOfGeneratorIsZero(t *testing.T) {
+	// g(x) mod g(x) == 0, fed in as a bit string of m+1 bits.
+	e := MustNew(8, 0x1D)
+	g := e.Generator() // 9 bits
+	data := []byte{byte(g >> 1), byte(g << 7)}
+	if got := e.Remainder(data, 9); got != 0 {
+		t.Fatalf("rem(g) = %x, want 0", got)
+	}
+}
+
+func TestEmptyMessage(t *testing.T) {
+	e := MustNew(8, 0x1D)
+	if got := e.Remainder(nil, 0); got != 0 {
+		t.Fatalf("rem(empty) = %x, want 0", got)
+	}
+}
+
+func TestRemainderPanicsOnShortBuffer(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustNew(8, 0x1D).Remainder([]byte{0}, 9)
+}
+
+func BenchmarkRemainder255Bits(b *testing.B) {
+	e := MustNew(8, 0x1D)
+	data := make([]byte, 32)
+	rand.New(rand.NewSource(1)).Read(data)
+	b.SetBytes(32)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Remainder(data, 255)
+	}
+}

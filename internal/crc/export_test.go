@@ -1,0 +1,7 @@
+package crc
+
+// RemainderBitwise exposes the bit-serial reference implementation to
+// tests so the table fast path can be checked against it.
+func (e *Engine) RemainderBitwise(data []byte, nbits int) uint32 {
+	return e.remainderBitwise(data, nbits)
+}

@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestAblationPadding(t *testing.T) {
+	rows, err := AblationPadding()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	aligned, packed := rows[0], rows[1]
+	if aligned.Type2Len != 33 || aligned.Type3Len != 3 {
+		t.Fatalf("aligned sizes = %d/%d", aligned.Type2Len, aligned.Type3Len)
+	}
+	if packed.Type2Len != 32 {
+		t.Fatalf("packed type2 = %d", packed.Type2Len)
+	}
+	// The 1.03 vs 1.00 story.
+	if aligned.NoTableRatio < 1.03 || packed.NoTableRatio != 1.0 {
+		t.Fatalf("ratios = %.4f / %.4f", aligned.NoTableRatio, packed.NoTableRatio)
+	}
+}
+
+func TestAblationMSweep(t *testing.T) {
+	rows, err := AblationMSweep(1<<20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 13 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Type 3 ratio strictly improves with m; m=8 matches the paper's
+	// 3/32.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Type3Ratio >= rows[i-1].Type3Ratio {
+			t.Fatalf("type3 ratio not improving at m=%d", rows[i].M)
+		}
+	}
+	for _, r := range rows {
+		if r.M == 8 {
+			if r.Type3Ratio < 0.09 || r.Type3Ratio > 0.10 {
+				t.Fatalf("m=8 type3 ratio = %.4f", r.Type3Ratio)
+			}
+			if r.ChunksPerBasis != 256 {
+				t.Fatalf("m=8 chunks/basis = %d", r.ChunksPerBasis)
+			}
+		}
+	}
+}
+
+func TestAblationDictSize(t *testing.T) {
+	rows, err := AblationDictSize(60_000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ratio must not degrade as the dictionary grows through the
+	// working-set size, and tiny dictionaries must thrash.
+	if rows[0].IDBits != 4 || rows[0].Evicted == 0 {
+		t.Fatalf("tiny dictionary did not thrash: %+v", rows[0])
+	}
+	var r15, r4 float64
+	for _, r := range rows {
+		switch r.IDBits {
+		case 4:
+			r4 = r.Ratio
+		case 15:
+			r15 = r.Ratio
+		}
+	}
+	if r15 >= r4 {
+		t.Fatalf("15-bit dictionary (%.3f) not better than 4-bit (%.3f)", r15, r4)
+	}
+}
+
+func TestAblationTransforms(t *testing.T) {
+	rows, err := AblationTransforms(40_000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(ds, tf string) A4TransformRow {
+		for _, r := range rows {
+			if r.Dataset == ds && r.Transform == tf {
+				return r
+			}
+		}
+		t.Fatalf("missing row %s/%s", ds, tf)
+		return A4TransformRow{}
+	}
+	// Hamming GD beats exact dedup on 1-bit glitch data.
+	if g, d := get("1-bit glitches", "GD hamming(255,247)"), get("1-bit glitches", "dedup (identity)"); g.Ratio >= d.Ratio {
+		t.Fatalf("hamming %.3f !< dedup %.3f on glitches", g.Ratio, d.Ratio)
+	}
+	// LowBits beats Hamming on low-bit noise.
+	if l, g := get("low-bit noise", "GD lowbits(dev=17)"), get("low-bit noise", "GD hamming(255,247)"); l.Ratio >= g.Ratio {
+		t.Fatalf("lowbits %.3f !< hamming %.3f on noise", l.Ratio, g.Ratio)
+	}
+}
+
+func TestAblationBCH(t *testing.T) {
+	rows, err := AblationBCH(40_000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(ds, tf string) A5BCHRow {
+		for _, r := range rows {
+			if r.Dataset == ds && r.Transform == tf {
+				return r
+			}
+		}
+		t.Fatalf("missing row %s/%s", ds, tf)
+		return A5BCHRow{}
+	}
+	// With 2-bit glitches the Hamming dictionary explodes while BCH
+	// holds one basis per baseline — the §8 claim.
+	ham := get("2-bit glitches", "GD hamming(255,247)")
+	bch := get("2-bit glitches", "GD bch(255,239,t=2)")
+	if bch.Distinct*10 > ham.Distinct {
+		t.Fatalf("bch bases %d not ≪ hamming bases %d", bch.Distinct, ham.Distinct)
+	}
+	if bch.Ratio >= ham.Ratio {
+		t.Fatalf("bch %.3f !< hamming %.3f on 2-bit glitches", bch.Ratio, ham.Ratio)
+	}
+	// And BCH pays the wider deviation: one extra hit byte.
+	if bch.HitBytes <= ham.HitBytes {
+		t.Fatalf("bch hit bytes %d not > hamming %d", bch.HitBytes, ham.HitBytes)
+	}
+}

@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"testing"
+
+	"zipline/internal/netsim"
+	"zipline/internal/trace"
+)
+
+func TestTable1Regeneration(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 15 {
+		t.Fatalf("%d rows, want 15", len(rows))
+	}
+	mismatches := 0
+	for _, r := range rows {
+		if !r.Primitive {
+			t.Errorf("(%d,%d) %s: polynomial not primitive", r.N, r.K, r.Poly)
+		}
+		if r.Param != r.PaperParam {
+			mismatches++
+			if r.PaperParamPrimitive {
+				t.Errorf("(%d,%d): paper param %#x unexpectedly valid", r.N, r.K, r.PaperParam)
+			}
+			if r.N != 511 {
+				t.Errorf("unexpected erratum row (%d,%d)", r.N, r.K)
+			}
+		}
+	}
+	if mismatches != 2 {
+		t.Fatalf("found %d param errata, want the two (511,502) rows", mismatches)
+	}
+}
+
+func TestTable2Regeneration(t *testing.T) {
+	if err := Table2Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFigure3SmallScale(t *testing.T) {
+	// A scaled-down synthetic dataset must show the paper's ordering:
+	// no-table ≈ 1.03, static ≈ 0.094, dynamic between static and
+	// no-table, gzip < 0.5.
+	ds := trace.Sensor(trace.SensorConfig{Records: 60_000, Sensors: 100, Seed: 2})
+	res, err := Figure3(ds, Figure3Config{ReplayPPS: 150_000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cases) != 4 {
+		t.Fatalf("cases = %d", len(res.Cases))
+	}
+	byName := map[string]Figure3Case{}
+	for _, c := range res.Cases {
+		byName[c.Name] = c
+	}
+	noTable := byName["No table"]
+	static := byName["Static table"]
+	dynamic := byName["Dynamic learning"]
+	gz := byName["Gzip"]
+	if noTable.Ratio < 1.025 || noTable.Ratio > 1.04 {
+		t.Errorf("no table ratio = %.4f, want ≈1.03", noTable.Ratio)
+	}
+	if static.NA {
+		t.Fatalf("static n/a: %s", static.Detail)
+	}
+	if static.Ratio < 0.09 || static.Ratio > 0.10 {
+		t.Errorf("static ratio = %.4f, want ≈0.094", static.Ratio)
+	}
+	if dynamic.Ratio <= static.Ratio || dynamic.Ratio >= noTable.Ratio {
+		t.Errorf("dynamic ratio = %.4f not between static %.4f and no-table %.4f",
+			dynamic.Ratio, static.Ratio, noTable.Ratio)
+	}
+	if gz.Ratio > 0.5 {
+		t.Errorf("gzip ratio = %.4f, suspiciously poor", gz.Ratio)
+	}
+}
+
+func TestFigure3StaticNAWhenOverflowing(t *testing.T) {
+	// A tiny dictionary cannot preload a large working set: static
+	// must be n/a, like the paper's DNS dataset.
+	ds := trace.Sensor(trace.SensorConfig{Records: 20_000, Sensors: 100, Seed: 4})
+	res, err := Figure3(ds, Figure3Config{IDBits: 2, ReplayPPS: 500_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Cases {
+		if c.Name == "Static table" && !c.NA {
+			t.Fatalf("static should be n/a with a 4-entry dictionary: %+v", c)
+		}
+	}
+}
+
+func TestFigure4Shapes(t *testing.T) {
+	cells, err := Figure4(Figure4Config{
+		WindowNs: 2 * netsim.Millisecond,
+		Repeats:  3,
+		Seed:     5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 9 {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	get := func(op Op, size int) Figure4Cell {
+		for _, c := range cells {
+			if c.Op == op && c.FrameSize == size {
+				return c
+			}
+		}
+		t.Fatalf("missing cell %v/%d", op, size)
+		return Figure4Cell{}
+	}
+	for _, op := range []Op{OpNoOp, OpEncode, OpDecode} {
+		// Small and medium frames are generator-bound at ≈7 Mpkt/s.
+		for _, size := range []int{64, 1500} {
+			c := get(op, size)
+			if m := c.Mpps.Mean(); m < 6.5 || m > 7.5 {
+				t.Errorf("%v/%dB: %.2f Mpkt/s, want ≈7", op, size, m)
+			}
+		}
+		// Jumbo frames reach line rate.
+		c := get(op, 9000)
+		if g := c.Gbps.Mean(); g < 97 || g > 101 {
+			t.Errorf("%v/9000B: %.1f Gbit/s, want ≈99.7", op, g)
+		}
+	}
+	// The headline claim: encode and decode match no-op within CI.
+	for _, size := range []int{64, 1500, 9000} {
+		base := get(OpNoOp, size).Gbps.Mean()
+		for _, op := range []Op{OpEncode, OpDecode} {
+			if g := get(op, size).Gbps.Mean(); g < base*0.93 || g > base*1.07 {
+				t.Errorf("%v/%dB: %.2f Gbit/s deviates from no-op %.2f", op, size, g, base)
+			}
+		}
+	}
+}
+
+func TestFigure5Shapes(t *testing.T) {
+	cells, err := Figure5(Figure5Config{Probes: 200, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 3 {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	base := cells[0].RTTMicros.Mean()
+	for _, c := range cells {
+		m := c.RTTMicros.Mean()
+		// Single-digit microseconds, like paper Figure 5.
+		if m < 3 || m > 15 {
+			t.Errorf("%v: RTT %.2f µs outside the paper's band", c.Op, m)
+		}
+		// And equal across operations within a few percent.
+		if m < base*0.95 || m > base*1.05 {
+			t.Errorf("%v: RTT %.2f µs deviates from no-op %.2f µs", c.Op, m, base)
+		}
+	}
+}
+
+func TestLearningDelay(t *testing.T) {
+	res, err := Learning(LearningConfig{Repeats: 5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.DelayMs.Mean()
+	if m < 1.6 || m > 1.95 {
+		t.Fatalf("learning delay = %.3f ms, want ≈1.77", m)
+	}
+	if res.DelayMs.N() != 5 {
+		t.Fatalf("n = %d", res.DelayMs.N())
+	}
+}

@@ -1,0 +1,253 @@
+package experiments
+
+import (
+	"fmt"
+
+	"zipline/internal/baseline"
+	"zipline/internal/netsim"
+	"zipline/internal/packet"
+	"zipline/internal/tofino"
+	"zipline/internal/trace"
+	"zipline/internal/zswitch"
+)
+
+// Figure3Case is one bar of paper Figure 3.
+type Figure3Case struct {
+	Name string
+	// Bytes is the total payload size after processing (the bar).
+	Bytes int64
+	// Ratio is Bytes over the original dataset size (the number the
+	// paper prints beside each bar).
+	Ratio float64
+	// NA marks a case that is not applicable (static table for the
+	// DNS dataset in the paper).
+	NA bool
+	// Detail carries per-case diagnostics (packet-type counts etc.).
+	Detail string
+}
+
+// Figure3Result is one dataset's group of bars.
+type Figure3Result struct {
+	Dataset       string
+	OriginalBytes int64
+	Cases         []Figure3Case
+}
+
+// Figure3Config parameterises the compression experiment.
+type Figure3Config struct {
+	// ReplayPPS is the dynamic-learning replay rate (default
+	// 150,000 packets/s — a tcpreplay-style moderate rate; the
+	// paper does not publish theirs).
+	ReplayPPS float64
+	// Seed for the simulated run.
+	Seed int64
+	// IDBits sizes the dictionary (default 15 as deployed).
+	IDBits int
+	// SkipStatic marks the static-table case n/a (the paper does
+	// this for the DNS dataset).
+	SkipStatic bool
+	// GzipLevel for the baseline (0 = default level).
+	GzipLevel int
+}
+
+func (c Figure3Config) withDefaults() Figure3Config {
+	if c.ReplayPPS == 0 {
+		c.ReplayPPS = 150_000
+	}
+	if c.Seed == 0 {
+		c.Seed = 17
+	}
+	if c.IDBits == 0 {
+		c.IDBits = 15
+	}
+	return c
+}
+
+// Figure3 reproduces one dataset group of paper Figure 3: payload
+// size after processing with no table, a statically preloaded table,
+// dynamic learning, and gzip.
+func Figure3(ds *trace.Trace, cfg Figure3Config) (Figure3Result, error) {
+	cfg = cfg.withDefaults()
+	res := Figure3Result{Dataset: ds.Name, OriginalBytes: int64(ds.TotalBytes())}
+
+	noTable, err := fig3NoTable(ds, cfg)
+	if err != nil {
+		return res, fmt.Errorf("no table: %w", err)
+	}
+	res.Cases = append(res.Cases, noTable)
+
+	static, err := fig3Static(ds, cfg)
+	if err != nil {
+		return res, fmt.Errorf("static: %w", err)
+	}
+	res.Cases = append(res.Cases, static)
+
+	dynamic, err := fig3Dynamic(ds, cfg)
+	if err != nil {
+		return res, fmt.Errorf("dynamic: %w", err)
+	}
+	res.Cases = append(res.Cases, dynamic)
+
+	gz, err := baseline.GzipSize(ds, cfg.GzipLevel)
+	if err != nil {
+		return res, fmt.Errorf("gzip: %w", err)
+	}
+	res.Cases = append(res.Cases, Figure3Case{
+		Name:  "Gzip",
+		Bytes: int64(gz),
+		Ratio: float64(gz) / float64(ds.TotalBytes()),
+	})
+	return res, nil
+}
+
+// fig3Pipeline builds an encode-only pipeline for offline (timing-
+// free) replay.
+func fig3Pipeline(cfg Figure3Config) (*zswitch.Program, *tofino.Pipeline, error) {
+	prog, err := zswitch.New(zswitch.Config{
+		IDBits:  cfg.IDBits,
+		Roles:   map[tofino.Port]zswitch.Role{0: zswitch.RoleEncode},
+		PortMap: map[tofino.Port]tofino.Port{0: 1},
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	pl, err := tofino.Load(tofino.Config{}, prog)
+	if err != nil {
+		return nil, nil, err
+	}
+	return prog, pl, nil
+}
+
+// replayOffline pushes every record through the pipeline without a
+// clock (learning timing plays no role) and sums emitted payload
+// bytes.
+func replayOffline(ds *trace.Trace, pl *tofino.Pipeline) (payloadBytes int64, byType [4]uint64, err error) {
+	hdr := packet.Header{Dst: macB, Src: macA, EtherType: packet.EtherTypeRaw}
+	frame := make([]byte, 0, packet.HeaderLen+ds.RecordSize)
+	for i := 0; i < ds.Records(); i++ {
+		frame = packet.AppendHeader(frame[:0], hdr)
+		frame = append(frame, ds.Record(i)...)
+		emits := pl.Process(int64(i), frame, 0)
+		if len(emits) != 1 {
+			return 0, byType, fmt.Errorf("record %d: %d emissions", i, len(emits))
+		}
+		h, payload, perr := packet.ParseHeader(emits[0].Frame)
+		if perr != nil {
+			return 0, byType, perr
+		}
+		payloadBytes += int64(len(payload))
+		byType[h.Type()]++
+		if pl.PendingDigests() > 4096 {
+			pl.DrainDigests()
+		}
+	}
+	pl.DrainDigests()
+	return payloadBytes, byType, nil
+}
+
+// fig3NoTable: the compression table stays empty; every packet
+// becomes type 2. Measures pure transformation overhead (the paper's
+// 1.03 padding cost).
+func fig3NoTable(ds *trace.Trace, cfg Figure3Config) (Figure3Case, error) {
+	_, pl, err := fig3Pipeline(cfg)
+	if err != nil {
+		return Figure3Case{}, err
+	}
+	bytes, byType, err := replayOffline(ds, pl)
+	if err != nil {
+		return Figure3Case{}, err
+	}
+	return Figure3Case{
+		Name:   "No table",
+		Bytes:  bytes,
+		Ratio:  float64(bytes) / float64(ds.TotalBytes()),
+		Detail: fmt.Sprintf("type2=%d", byType[packet.TypeUncompressed]),
+	}, nil
+}
+
+// fig3Static: "we pre-compute the basis of each payload and add a
+// corresponding mapping in the compression table before we start the
+// experiment" — the idealistic case. If the working set exceeds the
+// table, the case is n/a (as the paper marks the DNS dataset).
+func fig3Static(ds *trace.Trace, cfg Figure3Config) (Figure3Case, error) {
+	if cfg.SkipStatic {
+		return Figure3Case{Name: "Static table", NA: true, Detail: "not applicable (paper: n/a)"}, nil
+	}
+	prog, pl, err := fig3Pipeline(cfg)
+	if err != nil {
+		return Figure3Case{}, err
+	}
+	// Preload every basis.
+	codec := prog.Codec()
+	seen := make(map[string]bool)
+	nextID := uint32(0)
+	capacity := uint32(1) << uint(cfg.IDBits)
+	for i := 0; i < ds.Records(); i++ {
+		s, err := codec.SplitChunk(ds.Record(i))
+		if err != nil {
+			return Figure3Case{}, err
+		}
+		key := s.Basis.Key()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		if nextID >= capacity {
+			return Figure3Case{
+				Name: "Static table", NA: true,
+				Detail: fmt.Sprintf("working set %d exceeds %d identifiers", len(seen), capacity),
+			}, nil
+		}
+		if err := zswitch.InstallBasisToID(pl, s.Basis, nextID, 0); err != nil {
+			return Figure3Case{}, err
+		}
+		nextID++
+	}
+	bytes, byType, err := replayOffline(ds, pl)
+	if err != nil {
+		return Figure3Case{}, err
+	}
+	return Figure3Case{
+		Name:   "Static table",
+		Bytes:  bytes,
+		Ratio:  float64(bytes) / float64(ds.TotalBytes()),
+		Detail: fmt.Sprintf("bases=%d type3=%d", nextID, byType[packet.TypeCompressed]),
+	}, nil
+}
+
+// fig3Dynamic: the full system with an empty table filled by the
+// control plane as unknown bases stream past — learning latency and
+// first-packet costs included.
+func fig3Dynamic(ds *trace.Trace, cfg Figure3Config) (Figure3Case, error) {
+	tb, err := NewTestbed(TestbedConfig{
+		Seed:           cfg.Seed,
+		Op:             OpEncode,
+		Switch:         zswitch.Config{IDBits: cfg.IDBits},
+		HostA:          netsim.HostConfig{MaxPPS: cfg.ReplayPPS},
+		WithController: true,
+	})
+	if err != nil {
+		return Figure3Case{}, err
+	}
+	records := ds.Records()
+	tb.A.Stream(0, 0, func(i uint64) []byte {
+		if i >= uint64(records) {
+			return nil
+		}
+		return RawFrame(ds.Record(int(i)))
+	})
+	tb.Sim.Run()
+
+	rx := tb.B.Rx()
+	got := int64(rx.TypePayload[packet.TypeUncompressed] + rx.TypePayload[packet.TypeCompressed] + rx.TypePayload[packet.TypeRaw])
+	if rx.Frames != uint64(records) {
+		return Figure3Case{}, fmt.Errorf("received %d of %d frames", rx.Frames, records)
+	}
+	return Figure3Case{
+		Name:  "Dynamic learning",
+		Bytes: got,
+		Ratio: float64(got) / float64(ds.TotalBytes()),
+		Detail: fmt.Sprintf("type2=%d type3=%d learned=%d",
+			rx.TypeFrames[packet.TypeUncompressed], rx.TypeFrames[packet.TypeCompressed], tb.Ctl.Stats().Learned),
+	}, nil
+}

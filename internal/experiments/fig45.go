@@ -1,0 +1,235 @@
+package experiments
+
+import (
+	"fmt"
+
+	"zipline/internal/gd"
+	"zipline/internal/netsim"
+	"zipline/internal/packet"
+	"zipline/internal/stats"
+)
+
+// Figure4Cell is one bar of paper Figure 4: throughput for one
+// (operation, frame size) pair, across repeats.
+type Figure4Cell struct {
+	Op        Op
+	FrameSize int
+	// Gbps is received goodput in frame bytes (mean ± CI over
+	// repeats), the left plot.
+	Gbps *stats.Sample
+	// Mpps is received packet rate, the right plot.
+	Mpps *stats.Sample
+}
+
+// Figure4Config parameterises the throughput experiment.
+type Figure4Config struct {
+	// FrameSizes to sweep (default 64, 1500, 9000 — the paper's).
+	FrameSizes []int
+	// Ops to sweep (default no-op, encode, decode).
+	Ops []Op
+	// WindowNs is the measured traffic window per run (default
+	// 20 ms; the paper transfers for 10 s, which only narrows the
+	// confidence intervals).
+	WindowNs netsim.Time
+	// Repeats per cell (default 10, as in the paper).
+	Repeats int
+	// GeneratorPPS is the server traffic-generator ceiling (default
+	// 7 Mpkt/s, the paper's observed bottleneck).
+	GeneratorPPS float64
+	// Seed bases the per-repeat seeds.
+	Seed int64
+}
+
+func (c Figure4Config) withDefaults() Figure4Config {
+	if c.FrameSizes == nil {
+		c.FrameSizes = []int{64, 1500, 9000}
+	}
+	if c.Ops == nil {
+		c.Ops = []Op{OpNoOp, OpEncode, OpDecode}
+	}
+	if c.WindowNs == 0 {
+		c.WindowNs = 20 * netsim.Millisecond
+	}
+	if c.Repeats == 0 {
+		c.Repeats = 10
+	}
+	if c.GeneratorPPS == 0 {
+		c.GeneratorPPS = 7_000_000
+	}
+	if c.Seed == 0 {
+		c.Seed = 23
+	}
+	return c
+}
+
+// Figure4 measures raw throughput with the switch performing each
+// operation on each frame size.
+func Figure4(cfg Figure4Config) ([]Figure4Cell, error) {
+	cfg = cfg.withDefaults()
+	var out []Figure4Cell
+	for _, op := range cfg.Ops {
+		for _, size := range cfg.FrameSizes {
+			cell := Figure4Cell{Op: op, FrameSize: size, Gbps: stats.New(), Mpps: stats.New()}
+			for rep := 0; rep < cfg.Repeats; rep++ {
+				gbps, mpps, err := fig4Run(cfg, op, size, cfg.Seed+int64(rep)*1001)
+				if err != nil {
+					return nil, fmt.Errorf("%v/%dB rep %d: %w", op, size, rep, err)
+				}
+				cell.Gbps.Add(gbps)
+				cell.Mpps.Add(mpps)
+			}
+			out = append(out, cell)
+		}
+	}
+	return out, nil
+}
+
+func fig4Run(cfg Figure4Config, op Op, frameSize int, seed int64) (gbps, mpps float64, err error) {
+	tb, err := NewTestbed(TestbedConfig{
+		Seed:  seed,
+		Op:    op,
+		HostA: netsim.HostConfig{MaxPPS: cfg.GeneratorPPS},
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	frame, err := testFrame(tb.Prog.Codec(), op, frameSize)
+	if err != nil {
+		return 0, 0, err
+	}
+	tb.A.Stream(0, cfg.WindowNs, func(i uint64) []byte { return frame })
+	tb.Sim.Run()
+
+	rx := tb.B.Rx()
+	if rx.Frames == 0 {
+		return 0, 0, fmt.Errorf("no traffic received")
+	}
+	// Measure over the actual span the receiver saw traffic; the
+	// paper computes rate over its 10 s transfer the same way.
+	span := rx.LastArrival - rx.FirstFrame
+	if span <= 0 {
+		return 0, 0, fmt.Errorf("degenerate window")
+	}
+	gbps = float64(rx.FrameBytes) * 8 / float64(span)
+	mpps = float64(rx.Frames) * 1e3 / float64(span)
+	return gbps, mpps, nil
+}
+
+// testFrame builds the frame the generator repeats: raw traffic for
+// no-op and encode, a ZipLine type 2 frame for decode (decodable
+// without dictionary state).
+func testFrame(codec *gd.Codec, op Op, frameSize int) ([]byte, error) {
+	payloadLen := frameSize - packet.HeaderLen
+	if payloadLen < 0 {
+		return nil, fmt.Errorf("frame size %d below header", frameSize)
+	}
+	switch op {
+	case OpDecode:
+		f := packet.MustFormat(codec, 15, true)
+		if payloadLen < f.Type2Len() {
+			return nil, fmt.Errorf("frame size %d cannot carry a type 2 payload", frameSize)
+		}
+		chunk := make([]byte, codec.ChunkBytes())
+		for i := range chunk {
+			chunk[i] = byte(i*37 + 11)
+		}
+		s, err := codec.SplitChunk(chunk)
+		if err != nil {
+			return nil, err
+		}
+		out := packet.AppendHeader(nil, packet.Header{
+			Dst: macB, Src: macA, EtherType: packet.EtherTypeUncompressed,
+		})
+		out = f.AppendType2(out, s)
+		for len(out) < frameSize {
+			out = append(out, 0x5A)
+		}
+		return out, nil
+	default:
+		payload := make([]byte, payloadLen)
+		for i := range payload {
+			payload[i] = byte(i*29 + 3)
+		}
+		return RawFrame(payload), nil
+	}
+}
+
+// Figure5Cell is one bar of paper Figure 5: end-to-end RTT for one
+// operation.
+type Figure5Cell struct {
+	Op Op
+	// RTTMicros collects per-probe round-trip times in microseconds.
+	RTTMicros *stats.Sample
+}
+
+// Figure5Config parameterises the latency experiment.
+type Figure5Config struct {
+	// Ops to sweep (default all three).
+	Ops []Op
+	// Probes per operation (default 1000).
+	Probes int
+	// GapNs between probes (default 10 µs: one in flight at a time).
+	GapNs netsim.Time
+	// FrameSize of the probe frames (default 64 B).
+	FrameSize int
+	// Seed bases the run's jitter.
+	Seed int64
+}
+
+func (c Figure5Config) withDefaults() Figure5Config {
+	if c.Ops == nil {
+		c.Ops = []Op{OpNoOp, OpEncode, OpDecode}
+	}
+	if c.Probes == 0 {
+		c.Probes = 1000
+	}
+	if c.GapNs == 0 {
+		c.GapNs = 10 * netsim.Microsecond
+	}
+	if c.FrameSize == 0 {
+		c.FrameSize = 64
+	}
+	if c.Seed == 0 {
+		c.Seed = 31
+	}
+	return c
+}
+
+// Figure5 measures the RTT of the paper's self-loop setup: host A
+// sends to itself through the switch, which applies each operation.
+func Figure5(cfg Figure5Config) ([]Figure5Cell, error) {
+	cfg = cfg.withDefaults()
+	var out []Figure5Cell
+	for _, op := range cfg.Ops {
+		tb, err := NewTestbed(TestbedConfig{Seed: cfg.Seed, Op: op, Loopback: true})
+		if err != nil {
+			return nil, err
+		}
+		frame, err := testFrame(tb.Prog.Codec(), op, cfg.FrameSize)
+		if err != nil {
+			return nil, err
+		}
+		cell := Figure5Cell{Op: op, RTTMicros: stats.New()}
+		// Self-clocking probes: each reply triggers the next send
+		// after a quiet gap, so exactly one probe is in flight.
+		var sentAt netsim.Time
+		var probe func()
+		probe = func() {
+			sentAt = tb.Sim.Now()
+			tb.A.Send(frame)
+		}
+		tb.A.OnReceive = func(f []byte, at netsim.Time) {
+			cell.RTTMicros.Add(float64(at-sentAt) / 1e3)
+			if cell.RTTMicros.N() < cfg.Probes {
+				tb.Sim.After(cfg.GapNs, probe)
+			}
+		}
+		tb.Sim.At(0, probe)
+		tb.Sim.Run()
+		if cell.RTTMicros.N() != cfg.Probes {
+			return nil, fmt.Errorf("%v: %d of %d probes returned", op, cell.RTTMicros.N(), cfg.Probes)
+		}
+		out = append(out, cell)
+	}
+	return out, nil
+}

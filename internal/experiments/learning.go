@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"zipline/internal/netsim"
+	"zipline/internal/packet"
+	"zipline/internal/stats"
+)
+
+// LearningResult is the §7 "Dynamic learning" measurement: the time
+// between the arrival of the first type 2 packet and the arrival of
+// the first type 3 packet for a previously unknown basis. The paper
+// reports (1.77 ± 0.08) ms.
+type LearningResult struct {
+	// DelayMs collects one measurement per repeat, in milliseconds.
+	DelayMs *stats.Sample
+}
+
+// LearningConfig parameterises the experiment.
+type LearningConfig struct {
+	// Repeats (default 10, as in the paper).
+	Repeats int
+	// GeneratorPPS: "we repeatedly send the same data packet as fast
+	// as possible" (default 7 Mpkt/s).
+	GeneratorPPS float64
+	// WindowNs bounds each run (default 20 ms, comfortably past the
+	// expected delay).
+	WindowNs netsim.Time
+	// Seed bases per-repeat seeds.
+	Seed int64
+}
+
+func (c LearningConfig) withDefaults() LearningConfig {
+	if c.Repeats == 0 {
+		c.Repeats = 10
+	}
+	if c.GeneratorPPS == 0 {
+		c.GeneratorPPS = 7_000_000
+	}
+	if c.WindowNs == 0 {
+		c.WindowNs = 20 * netsim.Millisecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 41
+	}
+	return c
+}
+
+// Learning measures the dynamic-learning delay.
+func Learning(cfg LearningConfig) (LearningResult, error) {
+	cfg = cfg.withDefaults()
+	res := LearningResult{DelayMs: stats.New()}
+	for rep := 0; rep < cfg.Repeats; rep++ {
+		seed := cfg.Seed + int64(rep)*7919
+		tb, err := NewTestbed(TestbedConfig{
+			Seed:           seed,
+			Op:             OpEncode,
+			HostA:          netsim.HostConfig{MaxPPS: cfg.GeneratorPPS},
+			WithController: true,
+		})
+		if err != nil {
+			return res, err
+		}
+		payload := make([]byte, tb.Prog.Codec().ChunkBytes())
+		rand.New(rand.NewSource(seed)).Read(payload)
+		frame := RawFrame(payload)
+		tb.A.Stream(0, cfg.WindowNs, func(i uint64) []byte { return frame })
+		tb.Sim.Run()
+
+		rx := tb.B.Rx()
+		t2 := rx.FirstArrival[packet.TypeUncompressed]
+		t3 := rx.FirstArrival[packet.TypeCompressed]
+		if t2 < 0 || t3 < 0 {
+			return res, fmt.Errorf("rep %d: learning did not complete (t2=%d t3=%d)", rep, t2, t3)
+		}
+		res.DelayMs.Add(float64(t3-t2) / 1e6)
+	}
+	return res, nil
+}

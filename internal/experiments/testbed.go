@@ -1,0 +1,146 @@
+// Package experiments reproduces every table and figure of the
+// paper's evaluation (§7) on the simulated testbed, plus the ablation
+// studies DESIGN.md calls out. Each experiment is a pure function
+// returning structured results; cmd/zipline-bench renders them in
+// paper layout and bench_test.go wraps them as Go benchmarks.
+package experiments
+
+import (
+	"fmt"
+
+	"zipline/internal/controlplane"
+	"zipline/internal/netsim"
+	"zipline/internal/packet"
+	"zipline/internal/tofino"
+	"zipline/internal/zswitch"
+)
+
+// MACs of the two testbed servers.
+var (
+	macA = packet.MAC{0x02, 0x5A, 0x00, 0x00, 0x00, 0x01}
+	macB = packet.MAC{0x02, 0x5A, 0x00, 0x00, 0x00, 0x02}
+)
+
+// Op selects what the switch does in the raw-performance experiments
+// (paper Figure 4/5: "no op", "encode", "decode").
+type Op int
+
+// The three measured operations.
+const (
+	OpNoOp Op = iota
+	OpEncode
+	OpDecode
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case OpNoOp:
+		return "No op"
+	case OpEncode:
+		return "Encode"
+	case OpDecode:
+		return "Decode"
+	default:
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+}
+
+func (o Op) role() zswitch.Role {
+	switch o {
+	case OpEncode:
+		return zswitch.RoleEncode
+	case OpDecode:
+		return zswitch.RoleDecode
+	default:
+		return zswitch.RoleForward
+	}
+}
+
+// Testbed is the §7 setup: two servers connected through one
+// programmable switch (ports 0 and 1).
+type Testbed struct {
+	Sim    *netsim.Sim
+	Prog   *zswitch.Program
+	Switch *netsim.Switch
+	A, B   *netsim.Host
+	Ctl    *controlplane.Controller // nil unless WithController
+}
+
+// TestbedConfig assembles a testbed.
+type TestbedConfig struct {
+	Seed int64
+	// Op is applied to traffic arriving on port 0 (A→B direction).
+	Op Op
+	// Switch overrides the default ZipLine program configuration
+	// (roles/portmap are filled in from Op).
+	Switch zswitch.Config
+	// HostA/HostB override host parameters.
+	HostA, HostB netsim.HostConfig
+	// WithController binds a simulated control plane.
+	WithController bool
+	// Controller overrides control-plane timing.
+	Controller controlplane.Config
+	// Loopback wires the switch to send port-0 traffic back to host
+	// A (the paper's RTT setup: "one server sending packets to
+	// itself via the programmable switch").
+	Loopback bool
+}
+
+// NewTestbed wires hosts, links, switch and (optionally) the control
+// plane.
+func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
+	sim := netsim.NewSim(cfg.Seed)
+
+	swCfg := cfg.Switch
+	if swCfg.Roles == nil {
+		swCfg.Roles = map[tofino.Port]zswitch.Role{0: cfg.Op.role()}
+	}
+	if swCfg.PortMap == nil {
+		if cfg.Loopback {
+			swCfg.PortMap = map[tofino.Port]tofino.Port{0: 0}
+		} else {
+			swCfg.PortMap = map[tofino.Port]tofino.Port{0: 1, 1: 0}
+		}
+	}
+	prog, err := zswitch.New(swCfg)
+	if err != nil {
+		return nil, err
+	}
+	pl, err := tofino.Load(tofino.Config{Name: "wedge100bf"}, prog)
+	if err != nil {
+		return nil, err
+	}
+	sw := netsim.NewSwitch(sim, netsim.SwitchConfig{Name: "sw"}, pl)
+
+	aNIC, swA := netsim.NewLink(sim, netsim.LinkConfig{}, "hostA", "sw:0")
+	bNIC, swB := netsim.NewLink(sim, netsim.LinkConfig{}, "hostB", "sw:1")
+	hostACfg := cfg.HostA
+	hostACfg.Name, hostACfg.MAC = "A", macA
+	hostBCfg := cfg.HostB
+	hostBCfg.Name, hostBCfg.MAC = "B", macB
+	a := netsim.NewHost(sim, hostACfg, aNIC)
+	b := netsim.NewHost(sim, hostBCfg, bNIC)
+	sw.AttachPort(0, swA)
+	sw.AttachPort(1, swB)
+
+	tb := &Testbed{Sim: sim, Prog: prog, Switch: sw, A: a, B: b}
+	if cfg.WithController {
+		if cfg.Controller.IDBits == 0 {
+			// The identifier pool must match the switch dictionary.
+			cfg.Controller.IDBits = prog.Config().IDBits
+		}
+		ctl, err := controlplane.New(sim, cfg.Controller, pl, pl, prog.Codec().BasisBits())
+		if err != nil {
+			return nil, err
+		}
+		ctl.Bind(sw)
+		tb.Ctl = ctl
+	}
+	return tb, nil
+}
+
+// RawFrame builds an A→B type-1 frame with the given payload.
+func RawFrame(payload []byte) []byte {
+	return packet.Frame(packet.Header{Dst: macB, Src: macA, EtherType: packet.EtherTypeRaw}, payload)
+}

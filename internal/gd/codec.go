@@ -1,0 +1,114 @@
+package gd
+
+import (
+	"fmt"
+
+	"zipline/internal/bitvec"
+)
+
+// Codec packages a Transform for byte-aligned chunks. Transform word
+// lengths are generally not byte multiples (Hamming: n = 2^m − 1), so
+// a chunk is the word plus the minimal number of extra bits that
+// reaches a byte boundary; the extra bits ride along verbatim, placed
+// at the most significant end of the chunk.
+//
+// For the paper's m = 8 configuration this reproduces §7 exactly: the
+// chunk is 256 bits (32 bytes) and the single extra bit is "the MSB
+// of the raw data packet" that ZipLine stores next to the basis.
+type Codec struct {
+	t         Transform
+	extraBits int // 0..7, at the MSB end of the chunk
+	chunkBits int
+}
+
+// Split is the result of encoding one chunk: the dictionary-keyed
+// basis plus the per-chunk residue (deviation and extra bits) that a
+// packet must carry either way.
+type Split struct {
+	// Basis is the transform basis — the dictionary key.
+	Basis *bitvec.Vector
+	// Deviation is the transform deviation (a Hamming syndrome for
+	// the paper's transform).
+	Deviation uint32
+	// Extra holds the chunk's extra MSBs, right-aligned. For the
+	// m = 8 configuration this is the single carried MSB.
+	Extra uint8
+}
+
+// NewCodec wraps a transform. The chunk size is WordBits rounded up
+// to the next byte boundary.
+func NewCodec(t Transform) *Codec {
+	extra := (8 - t.WordBits()&7) & 7
+	return &Codec{t: t, extraBits: extra, chunkBits: t.WordBits() + extra}
+}
+
+// Transform returns the wrapped transform.
+func (c *Codec) Transform() Transform { return c.t }
+
+// ChunkBytes returns the chunk size in bytes.
+func (c *Codec) ChunkBytes() int { return c.chunkBits / 8 }
+
+// ChunkBits returns the chunk size in bits (always a byte multiple).
+func (c *Codec) ChunkBits() int { return c.chunkBits }
+
+// ExtraBits returns how many chunk MSBs bypass the transform (the
+// paper's carried MSB; 1 for every Hamming configuration).
+func (c *Codec) ExtraBits() int { return c.extraBits }
+
+// BasisBits returns the dictionary key width in bits.
+func (c *Codec) BasisBits() int { return c.t.BasisBits() }
+
+// DeviationBits returns the deviation width in bits.
+func (c *Codec) DeviationBits() int { return c.t.DeviationBits() }
+
+// EncodedBits returns the total bits of a Split when serialised
+// without padding: extra + deviation + basis. One plus the paper's
+// "syndrome + basis" type-2 payload content.
+func (c *Codec) EncodedBits() int {
+	return c.extraBits + c.t.DeviationBits() + c.t.BasisBits()
+}
+
+// SplitChunk encodes one chunk of exactly ChunkBytes bytes.
+func (c *Codec) SplitChunk(chunk []byte) (Split, error) {
+	if h, ok := c.t.(*Hamming); ok {
+		return c.splitHamming(h, chunk)
+	}
+	if len(chunk) != c.ChunkBytes() {
+		return Split{}, fmt.Errorf("gd: chunk is %d bytes, codec expects %d", len(chunk), c.ChunkBytes())
+	}
+	var extra uint8
+	word := bitvec.FromBytes(chunk, c.chunkBits)
+	if c.extraBits > 0 {
+		extra = uint8(word.Slice(0, c.extraBits).Uint())
+		word = word.Slice(c.extraBits, c.t.WordBits())
+	}
+	basis, dev := c.t.Split(word)
+	return Split{Basis: basis, Deviation: dev, Extra: extra}, nil
+}
+
+// MergeChunk reconstructs the original chunk, appending it to dst and
+// returning the extended slice.
+func (c *Codec) MergeChunk(s Split, dst []byte) ([]byte, error) {
+	if h, ok := c.t.(*Hamming); ok {
+		return c.mergeHamming(h, s, dst)
+	}
+	word, err := c.t.Merge(s.Basis, s.Deviation)
+	if err != nil {
+		return dst, err
+	}
+	if c.extraBits == 0 {
+		return word.AppendBytes(dst), nil
+	}
+	if s.Extra>>uint(c.extraBits) != 0 {
+		return dst, fmt.Errorf("gd: extra %#x wider than %d bits", s.Extra, c.extraBits)
+	}
+	w := bitvec.NewWriter(c.ChunkBytes())
+	w.WriteUint(uint64(s.Extra), c.extraBits)
+	w.WriteVector(word)
+	return append(dst, w.Bytes()...), nil
+}
+
+// String implements fmt.Stringer.
+func (c *Codec) String() string {
+	return fmt.Sprintf("codec{%s, chunk=%dB}", c.t, c.ChunkBytes())
+}

@@ -1,0 +1,120 @@
+package gd
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// The Hamming transform takes the codec's fast path; these tests pin
+// the generic path using the other transforms.
+
+func TestCodecGenericPathIdentity(t *testing.T) {
+	// Identity over a 256-bit word: no extra bits at all.
+	c := NewCodec(Identity{Bits: 256})
+	if c.ExtraBits() != 0 || c.ChunkBytes() != 32 {
+		t.Fatalf("geometry: extra=%d chunk=%d", c.ExtraBits(), c.ChunkBytes())
+	}
+	if c.DeviationBits() != 0 {
+		t.Fatalf("deviation = %d", c.DeviationBits())
+	}
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 30; trial++ {
+		chunk := make([]byte, 32)
+		rng.Read(chunk)
+		s, err := c.SplitChunk(chunk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := c.MergeChunk(s, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out, chunk) {
+			t.Fatal("identity codec round trip failed")
+		}
+	}
+	// Errors on the generic path.
+	if _, err := c.SplitChunk(make([]byte, 31)); err == nil {
+		t.Error("short chunk accepted")
+	}
+}
+
+func TestCodecGenericPathLowBits(t *testing.T) {
+	// LowBits over a 253-bit word: 3 extra bits ride along.
+	c := NewCodec(LowBits{Bits: 253, Dev: 13})
+	if c.ExtraBits() != 3 || c.ChunkBytes() != 32 {
+		t.Fatalf("geometry: extra=%d chunk=%d", c.ExtraBits(), c.ChunkBytes())
+	}
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		chunk := make([]byte, 32)
+		rng.Read(chunk)
+		s, err := c.SplitChunk(chunk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Basis.Len() != 240 {
+			t.Fatalf("basis = %d bits", s.Basis.Len())
+		}
+		out, err := c.MergeChunk(s, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out, chunk) {
+			t.Fatalf("trial %d: lowbits codec round trip failed", trial)
+		}
+	}
+	// Extra wider than 3 bits must be rejected by the generic merge.
+	s, _ := c.SplitChunk(make([]byte, 32))
+	s.Extra = 0x09
+	if _, err := c.MergeChunk(s, nil); err == nil {
+		t.Error("oversized extra accepted on generic path")
+	}
+}
+
+func TestTransformAccessors(t *testing.T) {
+	h, err := NewHammingM(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Code() == nil || h.Code().N() != 255 {
+		t.Fatal("Code accessor broken")
+	}
+	if h.String() == "" || (Identity{Bits: 8}).String() == "" || (LowBits{Bits: 8, Dev: 2}).String() == "" {
+		t.Fatal("Stringers broken")
+	}
+	id := Identity{Bits: 8}
+	if id.WordBits() != 8 || id.BasisBits() != 8 || id.DeviationBits() != 0 {
+		t.Fatal("identity geometry broken")
+	}
+	lb := LowBits{Bits: 16, Dev: 5}
+	if lb.WordBits() != 16 || lb.BasisBits() != 11 || lb.DeviationBits() != 5 {
+		t.Fatal("lowbits geometry broken")
+	}
+	c := NewCodec(h)
+	if c.Transform() != h || c.String() == "" || c.ChunkBits() != 256 || c.DeviationBits() != 8 {
+		t.Fatal("codec accessors broken")
+	}
+	if _, err := NewHammingM(99); err == nil {
+		t.Fatal("NewHammingM(99) accepted")
+	}
+}
+
+func TestIdentitySplitPanicsOnWrongLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Identity{Bits: 8}.Split(randomVector(rand.New(rand.NewSource(1)), 9))
+}
+
+func TestLowBitsSplitPanicsOnWrongLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	LowBits{Bits: 8, Dev: 2}.Split(randomVector(rand.New(rand.NewSource(1)), 9))
+}

@@ -1,0 +1,129 @@
+package gd
+
+import (
+	"container/list"
+	"fmt"
+
+	"zipline/internal/bitvec"
+)
+
+// Dictionary maps bases to short identifiers with LRU replacement,
+// mirroring the basis↔ID tables that ZipLine's control plane manages
+// in the switches (paper §5): a fixed pool of 2^t identifiers, the
+// least recently used one recycled when a new basis arrives and the
+// pool is exhausted.
+//
+// Dictionary is the in-process (single-node) variant used by the
+// stream compressor and by workload analysis; the switch tables in
+// zipline/internal/zswitch enforce the same policy through the
+// simulated control plane. Not safe for concurrent use.
+type Dictionary struct {
+	idBits   int
+	capacity int
+	byKey    map[string]*list.Element // basis key -> entry
+	byID     []*list.Element          // id -> entry (nil if free)
+	order    *list.List               // front = most recently used
+	free     []uint32                 // unallocated ids, LIFO
+}
+
+type dictEntry struct {
+	key   string
+	basis *bitvec.Vector
+	id    uint32
+}
+
+// NewDictionary creates a dictionary with 2^idBits identifier slots.
+func NewDictionary(idBits int) *Dictionary {
+	if idBits < 1 || idBits > 24 {
+		panic(fmt.Sprintf("gd: idBits %d out of range [1,24]", idBits))
+	}
+	capacity := 1 << uint(idBits)
+	d := &Dictionary{
+		idBits:   idBits,
+		capacity: capacity,
+		byKey:    make(map[string]*list.Element, capacity),
+		byID:     make([]*list.Element, capacity),
+		order:    list.New(),
+		free:     make([]uint32, 0, capacity),
+	}
+	// Hand out identifiers in increasing order for determinism.
+	for id := capacity - 1; id >= 0; id-- {
+		d.free = append(d.free, uint32(id))
+	}
+	return d
+}
+
+// IDBits returns the identifier width in bits.
+func (d *Dictionary) IDBits() int { return d.idBits }
+
+// Capacity returns the number of identifier slots, 2^IDBits.
+func (d *Dictionary) Capacity() int { return d.capacity }
+
+// Len returns the number of bases currently mapped.
+func (d *Dictionary) Len() int { return d.order.Len() }
+
+// Lookup returns the identifier for a basis if present, refreshing
+// its recency (a data-plane hit resets the TNA idle timer).
+func (d *Dictionary) Lookup(basis *bitvec.Vector) (uint32, bool) {
+	el, ok := d.byKey[basis.Key()]
+	if !ok {
+		return 0, false
+	}
+	d.order.MoveToFront(el)
+	return el.Value.(*dictEntry).id, true
+}
+
+// LookupID returns the basis for an identifier if one is mapped. It
+// does not refresh recency: decoders follow the encoder's mapping
+// rather than maintaining their own.
+func (d *Dictionary) LookupID(id uint32) (*bitvec.Vector, bool) {
+	if id >= uint32(d.capacity) || d.byID[id] == nil {
+		return nil, false
+	}
+	return d.byID[id].Value.(*dictEntry).basis, true
+}
+
+// Insert maps a new basis, allocating the least recently used
+// identifier. It returns the assigned id and, when an existing
+// mapping had to be recycled, the evicted basis. Inserting a basis
+// that is already present just refreshes it.
+func (d *Dictionary) Insert(basis *bitvec.Vector) (id uint32, evicted *bitvec.Vector) {
+	key := basis.Key()
+	if el, ok := d.byKey[key]; ok {
+		d.order.MoveToFront(el)
+		return el.Value.(*dictEntry).id, nil
+	}
+	if len(d.free) > 0 {
+		id = d.free[len(d.free)-1]
+		d.free = d.free[:len(d.free)-1]
+	} else {
+		// Recycle the least recently used mapping (paper §5: "an LRU
+		// policy is applied to evict and recycle an identifier").
+		back := d.order.Back()
+		ent := back.Value.(*dictEntry)
+		id = ent.id
+		evicted = ent.basis
+		delete(d.byKey, ent.key)
+		d.byID[id] = nil
+		d.order.Remove(back)
+	}
+	el := d.order.PushFront(&dictEntry{key: key, basis: basis.Clone(), id: id})
+	d.byKey[key] = el
+	d.byID[id] = el
+	return id, evicted
+}
+
+// Remove drops the mapping for a basis, returning its id to the free
+// pool. It reports whether the basis was present.
+func (d *Dictionary) Remove(basis *bitvec.Vector) bool {
+	el, ok := d.byKey[basis.Key()]
+	if !ok {
+		return false
+	}
+	ent := el.Value.(*dictEntry)
+	delete(d.byKey, ent.key)
+	d.byID[ent.id] = nil
+	d.order.Remove(el)
+	d.free = append(d.free, ent.id)
+	return true
+}

@@ -1,0 +1,176 @@
+package gd
+
+import (
+	"math/rand"
+	"testing"
+
+	"zipline/internal/bitvec"
+)
+
+func bv(t *testing.T, s string) *bitvec.Vector {
+	t.Helper()
+	return bitvec.MustParse(s)
+}
+
+func TestDictionaryBasic(t *testing.T) {
+	d := NewDictionary(2) // 4 slots
+	if d.Capacity() != 4 || d.IDBits() != 2 {
+		t.Fatalf("capacity %d idbits %d", d.Capacity(), d.IDBits())
+	}
+	a := bv(t, "0001")
+	if _, ok := d.Lookup(a); ok {
+		t.Fatal("lookup hit on empty dictionary")
+	}
+	id, evicted := d.Insert(a)
+	if evicted != nil {
+		t.Fatal("eviction from empty dictionary")
+	}
+	got, ok := d.Lookup(a)
+	if !ok || got != id {
+		t.Fatalf("lookup = %d,%v want %d,true", got, ok, id)
+	}
+	basis, ok := d.LookupID(id)
+	if !ok || !basis.Equal(a) {
+		t.Fatal("reverse lookup failed")
+	}
+}
+
+func TestDictionaryIDsAreDense(t *testing.T) {
+	d := NewDictionary(2)
+	ids := make(map[uint32]bool)
+	for i := 0; i < 4; i++ {
+		v := bitvec.FromUint(uint64(i), 4)
+		id, evicted := d.Insert(v)
+		if evicted != nil {
+			t.Fatalf("unexpected eviction at %d", i)
+		}
+		ids[id] = true
+	}
+	for id := uint32(0); id < 4; id++ {
+		if !ids[id] {
+			t.Fatalf("id %d never allocated", id)
+		}
+	}
+}
+
+func TestDictionaryLRUEviction(t *testing.T) {
+	d := NewDictionary(1) // 2 slots
+	a, b, c := bv(t, "0001"), bv(t, "0010"), bv(t, "0011")
+	d.Insert(a)
+	d.Insert(b)
+	// Touch a so b becomes least recently used.
+	d.Lookup(a)
+	id, evicted := d.Insert(c)
+	if evicted == nil || !evicted.Equal(b) {
+		t.Fatalf("evicted %v, want b", evicted)
+	}
+	if _, ok := d.Lookup(b); ok {
+		t.Fatal("b still mapped after eviction")
+	}
+	if got, ok := d.LookupID(id); !ok || !got.Equal(c) {
+		t.Fatal("recycled id does not map to c")
+	}
+	if _, ok := d.Lookup(a); !ok {
+		t.Fatal("a lost")
+	}
+}
+
+func TestDictionaryInsertExistingRefreshes(t *testing.T) {
+	d := NewDictionary(1)
+	a, b, c := bv(t, "0001"), bv(t, "0010"), bv(t, "0011")
+	idA, _ := d.Insert(a)
+	d.Insert(b)
+	// Re-insert a: same id, and a becomes most recent.
+	idA2, evicted := d.Insert(a)
+	if idA2 != idA || evicted != nil {
+		t.Fatalf("re-insert changed id %d->%d or evicted", idA, idA2)
+	}
+	_, evicted = d.Insert(c)
+	if evicted == nil || !evicted.Equal(b) {
+		t.Fatal("LRU order not refreshed by re-insert")
+	}
+}
+
+func TestDictionaryRemove(t *testing.T) {
+	d := NewDictionary(1)
+	a, b := bv(t, "0001"), bv(t, "0010")
+	idA, _ := d.Insert(a)
+	d.Insert(b)
+	if !d.Remove(a) {
+		t.Fatal("remove failed")
+	}
+	if d.Remove(a) {
+		t.Fatal("double remove succeeded")
+	}
+	if d.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", d.Len())
+	}
+	// The freed id must be reusable without evicting b.
+	idC, evicted := d.Insert(bv(t, "0011"))
+	if evicted != nil {
+		t.Fatal("eviction despite free slot")
+	}
+	if idC != idA {
+		t.Fatalf("freed id %d not reused (got %d)", idA, idC)
+	}
+}
+
+func TestDictionaryLookupIDMisses(t *testing.T) {
+	d := NewDictionary(2)
+	if _, ok := d.LookupID(0); ok {
+		t.Fatal("unmapped id hit")
+	}
+	if _, ok := d.LookupID(99); ok {
+		t.Fatal("out-of-range id hit")
+	}
+}
+
+func TestDictionaryInsertedBasisIsCopied(t *testing.T) {
+	d := NewDictionary(2)
+	v := bv(t, "1010")
+	id, _ := d.Insert(v)
+	v.Flip(0) // mutate caller's copy
+	stored, _ := d.LookupID(id)
+	if stored.String() != "1010" {
+		t.Fatalf("dictionary aliases caller memory: %s", stored)
+	}
+}
+
+func TestDictionaryChurnProperty(t *testing.T) {
+	// Under arbitrary churn the forward and reverse maps stay
+	// mutually consistent and size never exceeds capacity.
+	d := NewDictionary(3) // 8 slots
+	rng := rand.New(rand.NewSource(77))
+	for i := 0; i < 5000; i++ {
+		v := bitvec.FromUint(uint64(rng.Intn(64)), 6)
+		switch rng.Intn(3) {
+		case 0, 1:
+			d.Insert(v)
+		case 2:
+			d.Remove(v)
+		}
+		if d.Len() > d.Capacity() {
+			t.Fatalf("size %d exceeds capacity", d.Len())
+		}
+	}
+	// Consistency sweep.
+	for id := uint32(0); id < uint32(d.Capacity()); id++ {
+		basis, ok := d.LookupID(id)
+		if !ok {
+			continue
+		}
+		got, ok2 := d.Lookup(basis)
+		if !ok2 || got != id {
+			t.Fatalf("id %d: reverse %s does not map back (got %d, %v)", id, basis, got, ok2)
+		}
+	}
+}
+
+func TestNewDictionaryPanicsOnBadWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewDictionary(0)
+}

@@ -1,0 +1,84 @@
+package gd
+
+import (
+	"fmt"
+
+	"zipline/internal/bitvec"
+)
+
+// Fast paths for the Hamming transform operating directly on chunk
+// bytes. These avoid per-bit vector surgery on the hot encode and
+// decode paths; correctness is pinned to the generic implementation
+// by property tests in codec_fast_test.go.
+//
+// The key identity: a chunk is extra·x^n ⊕ B(x) as a 2^m-bit
+// polynomial, and x^n ≡ 1 (mod g), so
+//
+//	CRC(chunk, 2^m bits) = CRC(B) ⊕ extra
+//
+// letting the syndrome be computed over the whole byte-aligned chunk
+// in one table-driven pass — exactly what ZipLine's P4 program does
+// with the Tofino CRC extern over the full payload container.
+
+// splitHamming encodes one chunk for a Hamming transform without
+// intermediate bit vectors.
+func (c *Codec) splitHamming(h *Hamming, chunk []byte) (Split, error) {
+	if len(chunk) != c.ChunkBytes() {
+		return Split{}, fmt.Errorf("gd: chunk is %d bytes, codec expects %d", len(chunk), c.ChunkBytes())
+	}
+	code := h.code
+	extra := chunk[0] >> 7
+	s := code.Engine().Remainder(chunk, c.chunkBits) ^ uint32(extra)
+
+	// Extract the basis (word positions m..n-1, i.e. chunk bit
+	// offset 1+m), then flip the syndrome-indicated bit if it landed
+	// inside the basis range; flips in the parity range vanish with
+	// the truncation.
+	basisBuf := make([]byte, (code.K()+7)/8)
+	bitvec.CopyBits(basisBuf, 0, chunk, 1+code.M(), code.K())
+	if pos := code.ErrorPosition(s); pos >= 0 {
+		if rel := pos - code.M(); rel >= 0 {
+			basisBuf[rel>>3] ^= 1 << (7 - uint(rel&7))
+		}
+	}
+	return Split{
+		Basis:     bitvec.Wrap(basisBuf, code.K()),
+		Deviation: s,
+		Extra:     extra,
+	}, nil
+}
+
+// mergeHamming reconstructs one chunk for a Hamming transform without
+// intermediate bit vectors, appending to dst.
+func (c *Codec) mergeHamming(h *Hamming, s Split, dst []byte) ([]byte, error) {
+	code := h.code
+	if s.Basis.Len() != code.K() {
+		return dst, fmt.Errorf("gd: basis length %d != k=%d", s.Basis.Len(), code.K())
+	}
+	if s.Deviation >= 1<<uint(code.M()) {
+		return dst, fmt.Errorf("gd: deviation %#x wider than m=%d bits", s.Deviation, code.M())
+	}
+	if s.Extra > 1 {
+		return dst, fmt.Errorf("gd: extra %#x wider than 1 bit", s.Extra)
+	}
+	p := code.ParityBytes(s.Basis.Bytes())
+
+	chunk := make([]byte, c.ChunkBytes())
+	if s.Extra == 1 {
+		chunk[0] = 0x80
+	}
+	// Deposit the m parity bits at chunk bit offset 1.
+	var ptmp [4]byte
+	v := p << uint(32-code.M())
+	ptmp[0] = byte(v >> 24)
+	ptmp[1] = byte(v >> 16)
+	bitvec.CopyBits(chunk, 1, ptmp[:], 0, code.M())
+	// Deposit the basis at offset 1+m.
+	bitvec.CopyBits(chunk, 1+code.M(), s.Basis.Bytes(), 0, code.K())
+	// Re-introduce the deviation bit.
+	if pos := code.ErrorPosition(s.Deviation); pos >= 0 {
+		cp := pos + 1
+		chunk[cp>>3] ^= 1 << (7 - uint(cp&7))
+	}
+	return append(dst, chunk...), nil
+}

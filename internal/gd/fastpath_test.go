@@ -1,0 +1,86 @@
+package gd
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"zipline/internal/bitvec"
+)
+
+// genericSplit mirrors what Codec.SplitChunk does without the Hamming
+// fast path, using only the Transform interface.
+func genericSplit(c *Codec, chunk []byte) Split {
+	word := bitvec.FromBytes(chunk, c.ChunkBits())
+	var extra uint8
+	if c.ExtraBits() > 0 {
+		extra = uint8(word.Slice(0, c.ExtraBits()).Uint())
+		word = word.Slice(c.ExtraBits(), c.Transform().WordBits())
+	}
+	basis, dev := c.Transform().Split(word)
+	return Split{Basis: basis, Deviation: dev, Extra: extra}
+}
+
+func genericMerge(c *Codec, s Split) []byte {
+	word, err := c.Transform().Merge(s.Basis, s.Deviation)
+	if err != nil {
+		panic(err)
+	}
+	w := bitvec.NewWriter(c.ChunkBytes())
+	w.WriteUint(uint64(s.Extra), c.ExtraBits())
+	w.WriteVector(word)
+	return w.Bytes()
+}
+
+func TestFastPathMatchesGeneric(t *testing.T) {
+	for _, m := range []int{3, 4, 5, 8, 11} {
+		tr, err := NewHammingM(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := NewCodec(tr)
+		rng := rand.New(rand.NewSource(int64(m) * 31))
+		for trial := 0; trial < 200; trial++ {
+			chunk := make([]byte, c.ChunkBytes())
+			rng.Read(chunk)
+
+			fast, err := c.SplitChunk(chunk)
+			if err != nil {
+				t.Fatal(err)
+			}
+			slow := genericSplit(c, chunk)
+			if !fast.Basis.Equal(slow.Basis) || fast.Deviation != slow.Deviation || fast.Extra != slow.Extra {
+				t.Fatalf("m=%d trial %d: fast split diverged\nfast: %s dev=%x extra=%d\nslow: %s dev=%x extra=%d",
+					m, trial, fast.Basis, fast.Deviation, fast.Extra, slow.Basis, slow.Deviation, slow.Extra)
+			}
+
+			out, err := c.MergeChunk(fast, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(out, chunk) {
+				t.Fatalf("m=%d trial %d: fast merge did not round trip", m, trial)
+			}
+			if slowOut := genericMerge(c, slow); !bytes.Equal(slowOut, chunk) {
+				t.Fatalf("m=%d trial %d: generic merge did not round trip", m, trial)
+			}
+		}
+	}
+}
+
+func TestFastMergeValidation(t *testing.T) {
+	tr, _ := NewHammingM(8)
+	c := NewCodec(tr)
+	if _, err := c.MergeChunk(Split{Basis: bitvec.New(10)}, nil); err == nil {
+		t.Error("bad basis length accepted")
+	}
+	if _, err := c.MergeChunk(Split{Basis: bitvec.New(247), Deviation: 1 << 8}, nil); err == nil {
+		t.Error("bad deviation accepted")
+	}
+	if _, err := c.MergeChunk(Split{Basis: bitvec.New(247), Extra: 2}, nil); err == nil {
+		t.Error("bad extra accepted")
+	}
+	if _, err := c.SplitChunk(make([]byte, 3)); err == nil {
+		t.Error("bad chunk length accepted")
+	}
+}

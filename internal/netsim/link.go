@@ -1,0 +1,113 @@
+package netsim
+
+import "fmt"
+
+// Ethernet wire overhead per frame beyond the frame bytes themselves:
+// 7 B preamble + 1 B SFD + 12 B inter-frame gap + 4 B FCS.
+const WireOverheadBytes = 24
+
+// LinkConfig sizes one full-duplex link.
+type LinkConfig struct {
+	// RateBps is the line rate in bits per second (default 100 Gbit/s,
+	// the testbed's links).
+	RateBps int64
+	// PropagationNs is the one-way propagation delay (default 5 ns,
+	// about a metre of fibre).
+	PropagationNs Time
+}
+
+// Default link parameters (the paper's testbed).
+const (
+	DefaultRateBps       = 100_000_000_000 // 100 Gbit/s
+	DefaultPropagationNs = 5
+)
+
+func (c LinkConfig) withDefaults() LinkConfig {
+	if c.RateBps == 0 {
+		c.RateBps = DefaultRateBps
+	}
+	if c.PropagationNs == 0 {
+		c.PropagationNs = DefaultPropagationNs
+	}
+	return c
+}
+
+// Endpoint is one side of a link: frames sent here appear at the
+// other side's receiver after serialization and propagation. An
+// Endpoint models the egress queue of a port: back-to-back sends
+// queue behind one another at line rate (drop-free, as the testbed's
+// flow control keeps the paper's measurements loss-free).
+type Endpoint struct {
+	sim  *Sim
+	cfg  LinkConfig
+	name string
+
+	peer *Endpoint
+	recv func(frame []byte, at Time)
+
+	busyUntil Time
+
+	// TxFrames and TxBytes count transmitted traffic (frame bytes,
+	// excluding wire overhead — the quantity Figure 4 reports).
+	TxFrames uint64
+	TxBytes  uint64
+}
+
+// NewLink wires two endpoints together and returns them. Receivers
+// are attached afterwards with SetReceiver.
+func NewLink(sim *Sim, cfg LinkConfig, nameA, nameB string) (*Endpoint, *Endpoint) {
+	cfg = cfg.withDefaults()
+	a := &Endpoint{sim: sim, cfg: cfg, name: nameA}
+	b := &Endpoint{sim: sim, cfg: cfg, name: nameB}
+	a.peer, b.peer = b, a
+	return a, b
+}
+
+// SetReceiver registers the delivery callback invoked when a frame
+// fully arrives at this endpoint.
+func (e *Endpoint) SetReceiver(fn func(frame []byte, at Time)) { e.recv = fn }
+
+// Rate returns the link rate in bits per second.
+func (e *Endpoint) Rate() int64 { return e.cfg.RateBps }
+
+// SerializationDelay returns how long a frame of n bytes occupies the
+// wire, including overhead.
+func (e *Endpoint) SerializationDelay(n int) Time {
+	bits := int64(n+WireOverheadBytes) * 8
+	return Time(bits * Second / e.cfg.RateBps)
+}
+
+// Send queues a frame for transmission towards the peer endpoint. The
+// frame is owned by the simulator after the call. It returns the time
+// transmission will finish (serialization complete at the sender).
+func (e *Endpoint) Send(frame []byte) Time {
+	if e.peer == nil {
+		panic(fmt.Sprintf("netsim: endpoint %s is not wired", e.name))
+	}
+	start := e.sim.Now()
+	if e.busyUntil > start {
+		start = e.busyUntil // queue behind the frame on the wire
+	}
+	done := start + e.SerializationDelay(len(frame))
+	e.busyUntil = done
+	e.TxFrames++
+	e.TxBytes += uint64(len(frame))
+
+	arrive := done + e.cfg.PropagationNs
+	peer := e.peer
+	e.sim.At(arrive, func() {
+		if peer.recv != nil {
+			peer.recv(frame, arrive)
+		}
+	})
+	return done
+}
+
+// QueueDelay reports how long a frame sent now would wait before its
+// first bit hits the wire.
+func (e *Endpoint) QueueDelay() Time {
+	if e.busyUntil > e.sim.Now() {
+		return e.busyUntil - e.sim.Now()
+	}
+	return 0
+}

@@ -1,0 +1,138 @@
+// Package netsim is a deterministic discrete-event network simulator:
+// the stand-in for the paper's evaluation testbed (an Edgecore
+// Wedge100BF-32X switch and two PowerEdge R7515 servers linked at
+// 100 Gbit/s through Mellanox ConnectX-5 NICs, §7).
+//
+// Everything runs on a virtual nanosecond clock with seeded jitter,
+// so every experiment is reproducible bit for bit. The components
+// model exactly the quantities the paper's figures depend on:
+//
+//   - links with configurable rate, propagation delay and per-frame
+//     wire overhead (preamble + IFG + FCS), giving serialization
+//     delays and line-rate ceilings (Figure 4);
+//   - hosts with a packet-per-second generator ceiling — the ≈7 Mpkt/s
+//     server bottleneck the paper observes — and fixed TX/RX stack
+//     latencies (Figures 4 and 5);
+//   - a switch device that runs a tofino.Pipeline with a constant
+//     traversal latency independent of the loaded program, the
+//     architectural contract behind "encode and decode run at line
+//     rate" (Figures 4 and 5);
+//   - hooks that hand digests to a control-plane agent after a
+//     modelled delivery delay (the learning-delay experiment).
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Time is a point in virtual time, in nanoseconds since simulation
+// start.
+type Time = int64
+
+// Common durations in nanoseconds.
+const (
+	Microsecond Time = 1_000
+	Millisecond Time = 1_000_000
+	Second      Time = 1_000_000_000
+)
+
+type event struct {
+	at  Time
+	seq uint64 // tie-break: FIFO among simultaneous events
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is the event loop. Not safe for concurrent use: the simulation
+// is single-threaded by design (determinism).
+type Sim struct {
+	now  Time
+	heap eventHeap
+	seq  uint64
+	rng  *rand.Rand
+}
+
+// NewSim creates a simulator whose jitter sources derive from seed.
+func NewSim(seed int64) *Sim {
+	return &Sim{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() Time { return s.now }
+
+// Rand exposes the simulation's seeded random source.
+func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// At schedules fn at absolute time t (not before now).
+func (s *Sim) At(t Time, fn func()) {
+	if t < s.now {
+		panic(fmt.Sprintf("netsim: scheduling into the past (%d < %d)", t, s.now))
+	}
+	s.seq++
+	heap.Push(&s.heap, event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn d nanoseconds from now.
+func (s *Sim) After(d Time, fn func()) {
+	if d < 0 {
+		panic("netsim: negative delay")
+	}
+	s.At(s.now+d, fn)
+}
+
+// Jitter returns a duration drawn uniformly from
+// [d·(1−frac), d·(1+frac)], the simulator's model of measurement
+// noise.
+func (s *Sim) Jitter(d Time, frac float64) Time {
+	if d == 0 || frac == 0 {
+		return d
+	}
+	lo := float64(d) * (1 - frac)
+	hi := float64(d) * (1 + frac)
+	return Time(lo + s.rng.Float64()*(hi-lo))
+}
+
+// Run executes events until the queue drains.
+func (s *Sim) Run() {
+	for len(s.heap) > 0 {
+		e := heap.Pop(&s.heap).(event)
+		s.now = e.at
+		e.fn()
+	}
+}
+
+// RunUntil executes events with timestamps ≤ deadline, then advances
+// the clock to the deadline. Later events stay queued.
+func (s *Sim) RunUntil(deadline Time) {
+	for len(s.heap) > 0 && s.heap[0].at <= deadline {
+		e := heap.Pop(&s.heap).(event)
+		s.now = e.at
+		e.fn()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// Pending reports the number of queued events.
+func (s *Sim) Pending() int { return len(s.heap) }

@@ -1,0 +1,89 @@
+package netsim
+
+import (
+	"fmt"
+
+	"zipline/internal/tofino"
+)
+
+// SwitchConfig models the programmable switch's timing.
+type SwitchConfig struct {
+	// Name for diagnostics.
+	Name string
+	// PipelineLatencyNs is the constant port-to-port traversal time.
+	// On Tofino this is fixed by the stage count regardless of the
+	// loaded program — the property that makes encode and decode
+	// indistinguishable from no-op in Figures 4 and 5. Default
+	// 600 ns (typical published Tofino cut-through figure).
+	PipelineLatencyNs Time
+	// LatencyJitterFrac adds uniform noise to the traversal time.
+	// Default 0.02.
+	LatencyJitterFrac float64
+}
+
+// DefaultPipelineLatencyNs is the default switch traversal latency.
+const DefaultPipelineLatencyNs = 600
+
+func (c SwitchConfig) withDefaults() SwitchConfig {
+	if c.PipelineLatencyNs == 0 {
+		c.PipelineLatencyNs = DefaultPipelineLatencyNs
+	}
+	if c.LatencyJitterFrac == 0 {
+		c.LatencyJitterFrac = 0.02
+	}
+	return c
+}
+
+// Switch is a simulated programmable switch: front-panel ports wired
+// to link endpoints, a loaded tofino pipeline, and a digest tap for
+// the control plane.
+type Switch struct {
+	sim   *Sim
+	cfg   SwitchConfig
+	pl    *tofino.Pipeline
+	ports map[tofino.Port]*Endpoint
+
+	// OnDigest, when set, receives digests drained after each
+	// processed packet. The control plane applies its own delivery
+	// latency; the tap itself is immediate.
+	OnDigest func(ds []tofino.Digest)
+}
+
+// NewSwitch wraps a loaded pipeline.
+func NewSwitch(sim *Sim, cfg SwitchConfig, pl *tofino.Pipeline) *Switch {
+	return &Switch{sim: sim, cfg: cfg.withDefaults(), pl: pl, ports: make(map[tofino.Port]*Endpoint)}
+}
+
+// Pipeline exposes the loaded pipeline (control-plane access).
+func (sw *Switch) Pipeline() *tofino.Pipeline { return sw.pl }
+
+// AttachPort wires a link endpoint to a front-panel port.
+func (sw *Switch) AttachPort(p tofino.Port, e *Endpoint) {
+	if int(p) < 0 || int(p) >= sw.pl.Config().Ports {
+		panic(fmt.Sprintf("netsim: switch %s has no port %d", sw.cfg.Name, p))
+	}
+	if _, dup := sw.ports[p]; dup {
+		panic(fmt.Sprintf("netsim: switch %s port %d already attached", sw.cfg.Name, p))
+	}
+	sw.ports[p] = e
+	e.SetReceiver(func(frame []byte, at Time) { sw.ingress(p, frame) })
+}
+
+func (sw *Switch) ingress(p tofino.Port, frame []byte) {
+	// Constant traversal latency, independent of what the program
+	// does with the packet.
+	d := sw.sim.Jitter(sw.cfg.PipelineLatencyNs, sw.cfg.LatencyJitterFrac)
+	sw.sim.After(d, func() {
+		emits := sw.pl.Process(sw.sim.Now(), frame, p)
+		for _, e := range emits {
+			out, ok := sw.ports[e.Port]
+			if !ok {
+				continue // unattached port: black hole
+			}
+			out.Send(e.Frame)
+		}
+		if sw.OnDigest != nil && sw.pl.PendingDigests() > 0 {
+			sw.OnDigest(sw.pl.DrainDigests())
+		}
+	})
+}

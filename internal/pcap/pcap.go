@@ -1,0 +1,133 @@
+// Package pcap reads and writes classic libpcap capture files
+// (the .pcap format, version 2.4). The paper's datasets are "converted
+// to a pcap trace of Ethernet packets" and replayed at the switch;
+// this package lets the workload generators produce the same artifact
+// and the harness replay it.
+//
+// Both microsecond (0xa1b2c3d4) and nanosecond (0xa1b23c4d) timestamp
+// flavours are supported, in either byte order.
+package pcap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// LinkTypeEthernet is the only link type ZipLine traces use.
+const LinkTypeEthernet = 1
+
+const (
+	magicMicros = 0xA1B2C3D4
+	magicNanos  = 0xA1B23C4D
+)
+
+// Writer emits a pcap file with nanosecond timestamps.
+type Writer struct {
+	w       io.Writer
+	snaplen uint32
+}
+
+// NewWriter writes the global header and returns a packet writer.
+func NewWriter(w io.Writer, snaplen int) (*Writer, error) {
+	if snaplen <= 0 {
+		snaplen = 262144
+	}
+	var hdr [24]byte
+	binary.LittleEndian.PutUint32(hdr[0:], magicNanos)
+	binary.LittleEndian.PutUint16(hdr[4:], 2) // version major
+	binary.LittleEndian.PutUint16(hdr[6:], 4) // version minor
+	// thiszone, sigfigs: zero.
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(snaplen))
+	binary.LittleEndian.PutUint32(hdr[20:], LinkTypeEthernet)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return nil, fmt.Errorf("pcap: writing header: %w", err)
+	}
+	return &Writer{w: w, snaplen: uint32(snaplen)}, nil
+}
+
+// WritePacket appends one captured frame with the given timestamp in
+// nanoseconds since the epoch.
+func (w *Writer) WritePacket(tsNs int64, frame []byte) error {
+	capLen := uint32(len(frame))
+	if capLen > w.snaplen {
+		capLen = w.snaplen
+	}
+	var rec [16]byte
+	binary.LittleEndian.PutUint32(rec[0:], uint32(tsNs/1_000_000_000))
+	binary.LittleEndian.PutUint32(rec[4:], uint32(tsNs%1_000_000_000))
+	binary.LittleEndian.PutUint32(rec[8:], capLen)
+	binary.LittleEndian.PutUint32(rec[12:], uint32(len(frame)))
+	if _, err := w.w.Write(rec[:]); err != nil {
+		return fmt.Errorf("pcap: writing record header: %w", err)
+	}
+	if _, err := w.w.Write(frame[:capLen]); err != nil {
+		return fmt.Errorf("pcap: writing record body: %w", err)
+	}
+	return nil
+}
+
+// Reader iterates packets of a pcap file.
+type Reader struct {
+	r        io.Reader
+	order    binary.ByteOrder
+	nanos    bool
+	snaplen  uint32
+	linkType uint32
+}
+
+// NewReader parses the global header.
+func NewReader(r io.Reader) (*Reader, error) {
+	var hdr [24]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("pcap: reading header: %w", err)
+	}
+	rd := &Reader{r: r}
+	magicLE := binary.LittleEndian.Uint32(hdr[0:])
+	magicBE := binary.BigEndian.Uint32(hdr[0:])
+	switch {
+	case magicLE == magicMicros:
+		rd.order = binary.LittleEndian
+	case magicLE == magicNanos:
+		rd.order, rd.nanos = binary.LittleEndian, true
+	case magicBE == magicMicros:
+		rd.order = binary.BigEndian
+	case magicBE == magicNanos:
+		rd.order, rd.nanos = binary.BigEndian, true
+	default:
+		return nil, fmt.Errorf("pcap: bad magic %#x", magicLE)
+	}
+	rd.snaplen = rd.order.Uint32(hdr[16:])
+	rd.linkType = rd.order.Uint32(hdr[20:])
+	return rd, nil
+}
+
+// LinkType returns the file's link type (1 = Ethernet).
+func (r *Reader) LinkType() int { return int(r.linkType) }
+
+// Next returns the next frame and its timestamp in nanoseconds. It
+// returns io.EOF cleanly at the end of the file.
+func (r *Reader) Next() (tsNs int64, frame []byte, err error) {
+	var rec [16]byte
+	if _, err := io.ReadFull(r.r, rec[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, fmt.Errorf("pcap: reading record header: %w", err)
+	}
+	sec := int64(r.order.Uint32(rec[0:]))
+	sub := int64(r.order.Uint32(rec[4:]))
+	capLen := r.order.Uint32(rec[8:])
+	if capLen > r.snaplen && r.snaplen > 0 {
+		return 0, nil, fmt.Errorf("pcap: record length %d exceeds snaplen %d", capLen, r.snaplen)
+	}
+	frame = make([]byte, capLen)
+	if _, err := io.ReadFull(r.r, frame); err != nil {
+		return 0, nil, fmt.Errorf("pcap: reading record body: %w", err)
+	}
+	if r.nanos {
+		return sec*1_000_000_000 + sub, frame, nil
+	}
+	return sec*1_000_000_000 + sub*1_000, frame, nil
+}

@@ -1,0 +1,126 @@
+package pcap
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := [][]byte{
+		{1, 2, 3},
+		bytes.Repeat([]byte{0xAB}, 1500),
+		{},
+	}
+	times := []int64{0, 1_500_000_000, 86_400_000_000_123}
+	for i := range frames {
+		if err := w.WritePacket(times[i], frames[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LinkType() != LinkTypeEthernet {
+		t.Fatalf("link type = %d", r.LinkType())
+	}
+	for i := range frames {
+		ts, frame, err := r.Next()
+		if err != nil {
+			t.Fatalf("packet %d: %v", i, err)
+		}
+		if ts != times[i] {
+			t.Fatalf("packet %d: ts = %d, want %d", i, ts, times[i])
+		}
+		if !bytes.Equal(frame, frames[i]) {
+			t.Fatalf("packet %d: frame mismatch", i)
+		}
+	}
+	if _, _, err := r.Next(); err != io.EOF {
+		t.Fatalf("err = %v, want EOF", err)
+	}
+}
+
+func TestSnaplenTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WritePacket(0, bytes.Repeat([]byte{1}, 100)); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := NewReader(&buf)
+	_, frame, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frame) != 10 {
+		t.Fatalf("captured %d bytes, want 10", len(frame))
+	}
+}
+
+func TestReaderMicrosecondAndBigEndian(t *testing.T) {
+	// Hand-build a big-endian microsecond file with one packet.
+	var buf bytes.Buffer
+	var hdr [24]byte
+	binary.BigEndian.PutUint32(hdr[0:], 0xA1B2C3D4)
+	binary.BigEndian.PutUint16(hdr[4:], 2)
+	binary.BigEndian.PutUint16(hdr[6:], 4)
+	binary.BigEndian.PutUint32(hdr[16:], 65535)
+	binary.BigEndian.PutUint32(hdr[20:], 1)
+	buf.Write(hdr[:])
+	var rec [16]byte
+	binary.BigEndian.PutUint32(rec[0:], 1)   // 1 s
+	binary.BigEndian.PutUint32(rec[4:], 250) // 250 µs
+	binary.BigEndian.PutUint32(rec[8:], 4)
+	binary.BigEndian.PutUint32(rec[12:], 4)
+	buf.Write(rec[:])
+	buf.Write([]byte{9, 8, 7, 6})
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, frame, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts != 1_000_250_000 {
+		t.Fatalf("ts = %d", ts)
+	}
+	if !bytes.Equal(frame, []byte{9, 8, 7, 6}) {
+		t.Fatalf("frame = %v", frame)
+	}
+}
+
+func TestReaderBadMagic(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader(make([]byte, 24))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestReaderTruncatedFile(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader(make([]byte, 5))); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, 0)
+	w.WritePacket(0, []byte{1, 2, 3})
+	trunc := buf.Bytes()[:buf.Len()-2]
+	r, err := NewReader(bytes.NewReader(trunc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Next(); err == nil || err == io.EOF {
+		t.Fatalf("err = %v, want mid-record failure", err)
+	}
+}

@@ -1,0 +1,257 @@
+package tofino
+
+import (
+	"fmt"
+)
+
+// Port identifies a front-panel port of the modelled switch.
+type Port int
+
+// Emit is one output packet produced by a program pass: a frame to
+// transmit on a port. A pass returning no emissions drops the packet.
+type Emit struct {
+	Port  Port
+	Frame []byte
+}
+
+// Digest is a data-plane→control-plane message (TNA digests). ZipLine
+// uses them to report unknown bases (paper §5: "unknown bases are
+// sent up by means of digests").
+type Digest struct {
+	Name      string
+	Data      []byte
+	EmittedAt int64 // virtual ns
+}
+
+// Program is the P4 program loaded into a pipeline. Declare runs once
+// at load time and must allocate every table, register and counter
+// the program will touch; Process runs per packet and may only reach
+// state through the Ctx. This mirrors how P4 fixes all resources at
+// compile time.
+type Program interface {
+	// Name identifies the program in diagnostics.
+	Name() string
+	// Declare allocates the program's pipeline resources.
+	Declare(a *Alloc) error
+	// Process handles one packet arriving on ingress and returns the
+	// frames to emit. It must do bounded work: the Ctx enforces at
+	// most one apply per table per pass and forbids recirculation.
+	Process(ctx *Ctx, frame []byte, ingress Port) []Emit
+}
+
+// Config sizes a pipeline.
+type Config struct {
+	// Name identifies the pipeline (diagnostics only).
+	Name string
+	// Ports is the number of front-panel ports (Wedge100BF-32X: 32).
+	Ports int
+	// SRAMBudgetBits bounds the total table SRAM a program may
+	// declare. The default (64 Mbit) approximates the share of a
+	// Tofino pipe available for MAU table data and is what makes the
+	// paper's 15-bit identifier the largest feasible aligned choice.
+	SRAMBudgetBits int64
+}
+
+// Defaults for Config fields left zero.
+const (
+	DefaultPorts          = 32
+	DefaultSRAMBudgetBits = 64 << 20 // 64 Mbit
+)
+
+// Pipeline is a loaded program plus its resources. It has no clock of
+// its own: callers pass virtual timestamps in, which keeps the model
+// deterministic under the discrete-event simulator.
+type Pipeline struct {
+	cfg      Config
+	prog     Program
+	tables   map[string]*Table
+	regs     map[string][]uint32
+	counters map[string]uint64
+	digests  []Digest
+	sram     int64
+}
+
+// Load builds a pipeline: it runs the program's Declare phase and
+// verifies the resource budget, the moral equivalent of a successful
+// Tofino compile.
+func Load(cfg Config, prog Program) (*Pipeline, error) {
+	if cfg.Ports == 0 {
+		cfg.Ports = DefaultPorts
+	}
+	if cfg.SRAMBudgetBits == 0 {
+		cfg.SRAMBudgetBits = DefaultSRAMBudgetBits
+	}
+	if cfg.Ports < 1 {
+		return nil, fmt.Errorf("tofino: %d ports", cfg.Ports)
+	}
+	p := &Pipeline{
+		cfg:      cfg,
+		prog:     prog,
+		tables:   make(map[string]*Table),
+		regs:     make(map[string][]uint32),
+		counters: make(map[string]uint64),
+	}
+	if err := prog.Declare(&Alloc{p: p}); err != nil {
+		return nil, fmt.Errorf("tofino: declaring %s: %w", prog.Name(), err)
+	}
+	if p.sram > cfg.SRAMBudgetBits {
+		return nil, fmt.Errorf("tofino: program %s needs %d SRAM bits, budget is %d",
+			prog.Name(), p.sram, cfg.SRAMBudgetBits)
+	}
+	return p, nil
+}
+
+// Config returns the pipeline's configuration.
+func (p *Pipeline) Config() Config { return p.cfg }
+
+// SRAMBits reports the SRAM the loaded program consumes under the
+// resource model.
+func (p *Pipeline) SRAMBits() int64 { return p.sram }
+
+// Process runs one packet through the program at virtual time now.
+func (p *Pipeline) Process(now int64, frame []byte, ingress Port) []Emit {
+	ctx := Ctx{p: p, now: now}
+	out := p.prog.Process(&ctx, frame, ingress)
+	for _, e := range out {
+		if int(e.Port) < 0 || int(e.Port) >= p.cfg.Ports {
+			panic(fmt.Sprintf("tofino: program %s emitted on invalid port %d", p.prog.Name(), e.Port))
+		}
+	}
+	return out
+}
+
+// Table exposes a table to the control plane by name.
+func (p *Pipeline) Table(name string) (*Table, bool) {
+	t, ok := p.tables[name]
+	return t, ok
+}
+
+// Counter returns a counter's current value.
+func (p *Pipeline) Counter(name string) uint64 { return p.counters[name] }
+
+// Counters returns a copy of all counters.
+func (p *Pipeline) Counters() map[string]uint64 {
+	out := make(map[string]uint64, len(p.counters))
+	for k, v := range p.counters {
+		out[k] = v
+	}
+	return out
+}
+
+// DrainDigests removes and returns all queued digests. The control
+// plane (or the simulator acting for it) calls this; delivery latency
+// is the caller's concern.
+func (p *Pipeline) DrainDigests() []Digest {
+	d := p.digests
+	p.digests = nil
+	return d
+}
+
+// PendingDigests reports how many digests are queued.
+func (p *Pipeline) PendingDigests() int { return len(p.digests) }
+
+// Alloc is handed to Program.Declare to allocate resources.
+type Alloc struct {
+	p *Pipeline
+}
+
+// Table allocates an exact-match table and returns its handle.
+func (a *Alloc) Table(spec TableSpec) (TableHandle, error) {
+	if _, dup := a.p.tables[spec.Name]; dup {
+		return TableHandle{}, fmt.Errorf("tofino: duplicate table %q", spec.Name)
+	}
+	t, err := newTable(spec)
+	if err != nil {
+		return TableHandle{}, err
+	}
+	a.p.tables[spec.Name] = t
+	a.p.sram += t.sramBits()
+	return TableHandle{name: spec.Name}, nil
+}
+
+// Register allocates an array of 32-bit registers.
+func (a *Alloc) Register(name string, size int) (RegisterHandle, error) {
+	if size <= 0 {
+		return RegisterHandle{}, fmt.Errorf("tofino: register %s size %d", name, size)
+	}
+	if _, dup := a.p.regs[name]; dup {
+		return RegisterHandle{}, fmt.Errorf("tofino: duplicate register %q", name)
+	}
+	a.p.regs[name] = make([]uint32, size)
+	a.p.sram += int64(size) * 32
+	return RegisterHandle{name: name}, nil
+}
+
+// Counter allocates a named 64-bit counter. Counters are free in the
+// resource model (they live in dedicated stats SRAM on hardware).
+func (a *Alloc) Counter(name string) (CounterHandle, error) {
+	if _, dup := a.p.counters[name]; dup {
+		return CounterHandle{}, fmt.Errorf("tofino: duplicate counter %q", name)
+	}
+	a.p.counters[name] = 0
+	return CounterHandle{name: name}, nil
+}
+
+// TableHandle is a program's reference to a declared table.
+type TableHandle struct{ name string }
+
+// RegisterHandle is a program's reference to a declared register.
+type RegisterHandle struct{ name string }
+
+// CounterHandle is a program's reference to a declared counter.
+type CounterHandle struct{ name string }
+
+// Ctx is the per-packet view of the pipeline given to Process. It
+// enforces the architectural restrictions: each table applies at most
+// once per pass (P4 pipelines are feed-forward) and the data plane
+// cannot write tables.
+type Ctx struct {
+	p       *Pipeline
+	now     int64
+	applied map[string]bool
+}
+
+// Now returns the packet's virtual arrival timestamp in nanoseconds.
+func (c *Ctx) Now() int64 { return c.now }
+
+// Apply looks the key up in a table, at most once per pass.
+func (c *Ctx) Apply(h TableHandle, key string) (any, bool) {
+	if c.applied == nil {
+		c.applied = make(map[string]bool, 4)
+	}
+	if c.applied[h.name] {
+		panic(fmt.Sprintf("tofino: table %q applied twice in one pass (pipelines are feed-forward)", h.name))
+	}
+	c.applied[h.name] = true
+	t, ok := c.p.tables[h.name]
+	if !ok {
+		panic(fmt.Sprintf("tofino: apply of undeclared table %q", h.name))
+	}
+	return t.lookup(key, c.now)
+}
+
+// Count increments a counter by n.
+func (c *Ctx) Count(h CounterHandle, n uint64) {
+	if _, ok := c.p.counters[h.name]; !ok {
+		panic(fmt.Sprintf("tofino: undeclared counter %q", h.name))
+	}
+	c.p.counters[h.name] += n
+}
+
+// ReadReg reads a register cell.
+func (c *Ctx) ReadReg(h RegisterHandle, idx int) uint32 {
+	return c.p.regs[h.name][idx]
+}
+
+// WriteReg writes a register cell (registers, unlike tables, are
+// data-plane writable on Tofino).
+func (c *Ctx) WriteReg(h RegisterHandle, idx int, v uint32) {
+	c.p.regs[h.name][idx] = v
+}
+
+// Digest queues a digest for the control plane.
+func (c *Ctx) Digest(name string, data []byte) {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	c.p.digests = append(c.p.digests, Digest{Name: name, Data: cp, EmittedAt: c.now})
+}

@@ -1,0 +1,369 @@
+package tofino
+
+import (
+	"strings"
+	"testing"
+)
+
+// echoProg is a minimal test program: counts packets, looks keys up
+// in one table, reports misses via digests, and reflects frames.
+type echoProg struct {
+	tbl    TableHandle
+	hits   CounterHandle
+	misses CounterHandle
+	reg    RegisterHandle
+
+	applyTwice bool // fault injection: violate the one-apply rule
+}
+
+func (p *echoProg) Name() string { return "echo" }
+
+func (p *echoProg) Declare(a *Alloc) error {
+	var err error
+	if p.tbl, err = a.Table(TableSpec{
+		Name: "map", KeyBits: 32, ActionBits: 16, Capacity: 4, IdleTimeoutNs: 1000,
+	}); err != nil {
+		return err
+	}
+	if p.hits, err = a.Counter("hits"); err != nil {
+		return err
+	}
+	if p.misses, err = a.Counter("misses"); err != nil {
+		return err
+	}
+	p.reg, err = a.Register("seen", 8)
+	return err
+}
+
+func (p *echoProg) Process(ctx *Ctx, frame []byte, ingress Port) []Emit {
+	key := string(frame[:4])
+	if _, ok := ctx.Apply(p.tbl, key); ok {
+		ctx.Count(p.hits, 1)
+	} else {
+		ctx.Count(p.misses, 1)
+		ctx.Digest("unknown", frame[:4])
+	}
+	if p.applyTwice {
+		ctx.Apply(p.tbl, key)
+	}
+	ctx.WriteReg(p.reg, 0, ctx.ReadReg(p.reg, 0)+1)
+	return []Emit{{Port: ingress ^ 1, Frame: frame}}
+}
+
+func load(t *testing.T, prog Program) *Pipeline {
+	t.Helper()
+	p, err := Load(Config{Name: "test"}, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPipelineBasicFlow(t *testing.T) {
+	prog := &echoProg{}
+	p := load(t, prog)
+
+	frame := []byte{1, 2, 3, 4, 5, 6}
+	out := p.Process(100, frame, 3)
+	if len(out) != 1 || out[0].Port != 2 {
+		t.Fatalf("emit = %+v", out)
+	}
+	if p.Counter("misses") != 1 || p.Counter("hits") != 0 {
+		t.Fatalf("counters = %v", p.Counters())
+	}
+	if p.PendingDigests() != 1 {
+		t.Fatalf("digests = %d", p.PendingDigests())
+	}
+
+	// Control plane learns the key; next packet hits.
+	tbl, ok := p.Table("map")
+	if !ok {
+		t.Fatal("table not found")
+	}
+	if err := tbl.Install(string(frame[:4]), uint16(7), 150); err != nil {
+		t.Fatal(err)
+	}
+	p.Process(200, frame, 3)
+	if p.Counter("hits") != 1 {
+		t.Fatalf("counters = %v", p.Counters())
+	}
+
+	ds := p.DrainDigests()
+	if len(ds) != 1 || ds[0].Name != "unknown" || ds[0].EmittedAt != 100 {
+		t.Fatalf("digests = %+v", ds)
+	}
+	if p.PendingDigests() != 0 {
+		t.Fatal("drain did not clear")
+	}
+}
+
+func TestDigestDataIsCopied(t *testing.T) {
+	prog := &echoProg{}
+	p := load(t, prog)
+	frame := []byte{9, 9, 9, 9}
+	p.Process(0, frame, 0)
+	frame[0] = 1 // mutate after emission
+	d := p.DrainDigests()
+	if d[0].Data[0] != 9 {
+		t.Fatal("digest aliases caller memory")
+	}
+}
+
+func TestTableCapacityAndDelete(t *testing.T) {
+	tbl, err := newTable(TableSpec{Name: "t", KeyBits: 8, Capacity: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Install("a", 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Install("b", 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Install("c", 3, 0); err == nil {
+		t.Fatal("over-capacity install accepted")
+	}
+	// Replacing an existing key is fine at capacity.
+	if err := tbl.Install("a", 9, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !tbl.Delete("a") || tbl.Delete("a") {
+		t.Fatal("delete semantics broken")
+	}
+	if err := tbl.Install("c", 3, 0); err != nil {
+		t.Fatalf("install after delete: %v", err)
+	}
+	if tbl.Len() != 2 {
+		t.Fatalf("Len = %d", tbl.Len())
+	}
+}
+
+func TestTableIdleTimeout(t *testing.T) {
+	tbl, err := newTable(TableSpec{Name: "t", KeyBits: 8, Capacity: 4, IdleTimeoutNs: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl.Install("a", 1, 0)
+	tbl.Install("b", 2, 0)
+	// Data-plane hit on a at t=50 refreshes its timer.
+	if _, ok := tbl.lookup("a", 50); !ok {
+		t.Fatal("lookup miss")
+	}
+	exp := tbl.ExpiredKeys(120)
+	if len(exp) != 1 || exp[0] != "b" {
+		t.Fatalf("expired = %v, want [b]", exp)
+	}
+	// Control-plane Get must not refresh.
+	tbl.Get("b")
+	if got := tbl.ExpiredKeys(120); len(got) != 1 {
+		t.Fatalf("Get refreshed idle timer: %v", got)
+	}
+	if idle, ok := tbl.IdleTime("a", 120); !ok || idle != 70 {
+		t.Fatalf("IdleTime = %d,%v", idle, ok)
+	}
+}
+
+func TestTableNoAgingWhenDisabled(t *testing.T) {
+	tbl, _ := newTable(TableSpec{Name: "t", KeyBits: 8, Capacity: 4})
+	tbl.Install("a", 1, 0)
+	if exp := tbl.ExpiredKeys(1 << 60); exp != nil {
+		t.Fatalf("expired = %v with aging disabled", exp)
+	}
+}
+
+func TestSRAMBudgetEnforced(t *testing.T) {
+	// 32k entries of 247-bit keys fit the default budget...
+	big := &tableProg{spec: TableSpec{Name: "bases", KeyBits: 247, ActionBits: 16, Capacity: 1 << 15}}
+	if _, err := Load(Config{}, big); err != nil {
+		t.Fatalf("paper-sized table rejected: %v", err)
+	}
+	// ...but the next byte-aligned identifier width (23 bits → 8M
+	// entries) does not: the resource-model justification for t=15.
+	huge := &tableProg{spec: TableSpec{Name: "bases", KeyBits: 247, ActionBits: 24, Capacity: 1 << 23}}
+	if _, err := Load(Config{}, huge); err == nil {
+		t.Fatal("8M-entry table fit the SRAM budget")
+	} else if !strings.Contains(err.Error(), "SRAM") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+type tableProg struct {
+	spec TableSpec
+	h    TableHandle
+}
+
+func (p *tableProg) Name() string { return "tableProg" }
+func (p *tableProg) Declare(a *Alloc) error {
+	var err error
+	p.h, err = a.Table(p.spec)
+	return err
+}
+func (p *tableProg) Process(ctx *Ctx, frame []byte, ingress Port) []Emit { return nil }
+
+func TestDoubleApplyPanics(t *testing.T) {
+	prog := &echoProg{applyTwice: true}
+	p := load(t, prog)
+	defer func() {
+		if r := recover(); r == nil || !strings.Contains(r.(string), "applied twice") {
+			t.Fatalf("recover = %v", r)
+		}
+	}()
+	p.Process(0, []byte{1, 2, 3, 4}, 0)
+}
+
+func TestInvalidEmitPortPanics(t *testing.T) {
+	p := load(t, &badPortProg{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p.Process(0, []byte{1}, 0)
+}
+
+type badPortProg struct{}
+
+func (badPortProg) Name() string           { return "badport" }
+func (badPortProg) Declare(a *Alloc) error { return nil }
+func (badPortProg) Process(ctx *Ctx, frame []byte, ingress Port) []Emit {
+	return []Emit{{Port: 99, Frame: frame}}
+}
+
+func TestDeclareValidation(t *testing.T) {
+	cases := []TableSpec{
+		{Name: "", KeyBits: 8, Capacity: 1},
+		{Name: "x", KeyBits: 0, Capacity: 1},
+		{Name: "x", KeyBits: 8, Capacity: 0},
+		{Name: "x", KeyBits: 8, Capacity: 1, ActionBits: -1},
+		{Name: "x", KeyBits: 8, Capacity: 1, IdleTimeoutNs: -5},
+	}
+	for i, spec := range cases {
+		if _, err := Load(Config{}, &tableProg{spec: spec}); err == nil {
+			t.Errorf("case %d: invalid spec accepted", i)
+		}
+	}
+	// Duplicate declarations.
+	if _, err := Load(Config{}, &dupProg{}); err == nil {
+		t.Error("duplicate table accepted")
+	}
+}
+
+type dupProg struct{}
+
+func (dupProg) Name() string { return "dup" }
+func (dupProg) Declare(a *Alloc) error {
+	if _, err := a.Table(TableSpec{Name: "t", KeyBits: 8, Capacity: 1}); err != nil {
+		return err
+	}
+	_, err := a.Table(TableSpec{Name: "t", KeyBits: 8, Capacity: 1})
+	return err
+}
+func (dupProg) Process(ctx *Ctx, frame []byte, ingress Port) []Emit { return nil }
+
+func TestRegisterStatePersists(t *testing.T) {
+	prog := &echoProg{}
+	p := load(t, prog)
+	for i := 0; i < 5; i++ {
+		p.Process(int64(i), []byte{0, 0, 0, 0}, 0)
+	}
+	// Register cell 0 should have counted the packets.
+	ctx := Ctx{p: p, now: 99}
+	if got := ctx.ReadReg(prog.reg, 0); got != 5 {
+		t.Fatalf("register = %d, want 5", got)
+	}
+}
+
+func TestPipelineAccessors(t *testing.T) {
+	prog := &echoProg{}
+	p := load(t, prog)
+	if p.Config().Ports != DefaultPorts {
+		t.Fatalf("Config = %+v", p.Config())
+	}
+	if p.SRAMBits() <= 0 {
+		t.Fatal("SRAM accounting missing")
+	}
+	p.Process(0, []byte{1, 2, 3, 4}, 0)
+	all := p.Counters()
+	if all["misses"] != 1 {
+		t.Fatalf("Counters() = %v", all)
+	}
+	// Counters() returns a copy.
+	all["misses"] = 99
+	if p.Counter("misses") != 1 {
+		t.Fatal("Counters() aliases internal state")
+	}
+	tbl, _ := p.Table("map")
+	if tbl.Name() != "map" || tbl.Capacity() != 4 {
+		t.Fatalf("table accessors: %s/%d", tbl.Name(), tbl.Capacity())
+	}
+	if _, ok := tbl.Get("nope"); ok {
+		t.Fatal("Get hit on missing key")
+	}
+	if _, _, ok := tbl.LeastRecentlyHit(); ok {
+		t.Fatal("LRU hit on empty table")
+	}
+	tbl.Install("aaaa", 1, 10)
+	tbl.Install("bbbb", 2, 20)
+	if k, at, ok := tbl.LeastRecentlyHit(); !ok || k != "aaaa" || at != 10 {
+		t.Fatalf("LRU = %q@%d,%v", k, at, ok)
+	}
+	if _, ok := tbl.IdleTime("nope", 30); ok {
+		t.Fatal("IdleTime hit on missing key")
+	}
+}
+
+func TestCtxNowAndUndeclaredPanics(t *testing.T) {
+	prog := &echoProg{}
+	p := load(t, prog)
+	ctx := Ctx{p: p, now: 77}
+	if ctx.Now() != 77 {
+		t.Fatal("Now broken")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("undeclared counter accepted")
+			}
+		}()
+		ctx.Count(CounterHandle{name: "ghost"}, 1)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("undeclared table accepted")
+			}
+		}()
+		(&Ctx{p: p}).Apply(TableHandle{name: "ghost"}, "k")
+	}()
+}
+
+func TestRegisterValidation(t *testing.T) {
+	if _, err := Load(Config{}, &badRegProg{size: 0}); err == nil {
+		t.Error("zero-size register accepted")
+	}
+	if _, err := Load(Config{}, &badRegProg{size: 4, dup: true}); err == nil {
+		t.Error("duplicate register accepted")
+	}
+	if _, err := Load(Config{Ports: -1}, &echoProg{}); err == nil {
+		t.Error("negative port count accepted")
+	}
+}
+
+type badRegProg struct {
+	size int
+	dup  bool
+}
+
+func (p *badRegProg) Name() string { return "badreg" }
+func (p *badRegProg) Declare(a *Alloc) error {
+	if _, err := a.Register("r", p.size); err != nil {
+		return err
+	}
+	if p.dup {
+		if _, err := a.Register("r", p.size); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+func (p *badRegProg) Process(ctx *Ctx, frame []byte, ingress Port) []Emit { return nil }

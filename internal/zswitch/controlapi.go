@@ -1,0 +1,97 @@
+package zswitch
+
+import (
+	"fmt"
+
+	"zipline/internal/bitvec"
+	"zipline/internal/tofino"
+)
+
+// basisAction is the decoder table's action data: the basis to
+// substitute for the matched identifier.
+type basisAction struct {
+	v *bitvec.Vector
+}
+
+// InstallBasisToID adds an encoder dictionary entry (basis → id) to a
+// loaded pipeline. Control-plane API; now stamps the entry's idle
+// timer.
+func InstallBasisToID(pl *tofino.Pipeline, basis *bitvec.Vector, id uint32, now int64) error {
+	t, ok := pl.Table(TableBasisToID)
+	if !ok {
+		return fmt.Errorf("zswitch: pipeline has no %s table", TableBasisToID)
+	}
+	return t.Install(basis.Key(), id, now)
+}
+
+// DeleteBasisToID removes an encoder dictionary entry.
+func DeleteBasisToID(pl *tofino.Pipeline, basis *bitvec.Vector) bool {
+	t, ok := pl.Table(TableBasisToID)
+	if !ok {
+		return false
+	}
+	return t.Delete(basis.Key())
+}
+
+// InstallIDToBasis adds a decoder dictionary entry (id → basis).
+// Control-plane API. Per the paper's protocol this must complete
+// before the corresponding InstallBasisToID so that compressed
+// packets can always be uncompressed.
+func InstallIDToBasis(pl *tofino.Pipeline, id uint32, basis *bitvec.Vector, now int64) error {
+	t, ok := pl.Table(TableIDToBasis)
+	if !ok {
+		return fmt.Errorf("zswitch: pipeline has no %s table", TableIDToBasis)
+	}
+	return t.Install(IDKey(id), basisAction{v: basis.Clone()}, now)
+}
+
+// DeleteIDToBasis removes a decoder dictionary entry.
+func DeleteIDToBasis(pl *tofino.Pipeline, id uint32) bool {
+	t, ok := pl.Table(TableIDToBasis)
+	if !ok {
+		return false
+	}
+	return t.Delete(IDKey(id))
+}
+
+// ExpiredBases returns the basis keys whose encoder-table idle
+// timeout has lapsed (the TNA aging notification feed).
+func ExpiredBases(pl *tofino.Pipeline, now int64) []string {
+	t, ok := pl.Table(TableBasisToID)
+	if !ok {
+		return nil
+	}
+	return t.ExpiredKeys(now)
+}
+
+// Stats is a snapshot of the program's classification counters.
+type Stats struct {
+	RawToType2 uint64
+	RawToType3 uint64
+	Type2ToRaw uint64
+	Type3ToRaw uint64
+	Forwarded  uint64
+	TooShort   uint64
+	DecodeMiss uint64
+	Digests    uint64
+}
+
+// ReadStats snapshots the counters of a loaded pipeline.
+func ReadStats(pl *tofino.Pipeline) Stats {
+	return Stats{
+		RawToType2: pl.Counter(CounterRawToType2),
+		RawToType3: pl.Counter(CounterRawToType3),
+		Type2ToRaw: pl.Counter(CounterType2ToRaw),
+		Type3ToRaw: pl.Counter(CounterType3ToRaw),
+		Forwarded:  pl.Counter(CounterForwarded),
+		TooShort:   pl.Counter(CounterTooShort),
+		DecodeMiss: pl.Counter(CounterDecodeMiss),
+		Digests:    pl.Counter(CounterDigests),
+	}
+}
+
+// Encoded reports the total packets the encoder path transformed.
+func (s Stats) Encoded() uint64 { return s.RawToType2 + s.RawToType3 }
+
+// Decoded reports the total packets the decoder path restored.
+func (s Stats) Decoded() uint64 { return s.Type2ToRaw + s.Type3ToRaw }

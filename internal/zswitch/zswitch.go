@@ -1,0 +1,339 @@
+// Package zswitch is the ZipLine switch program: the P4₁₆/TNA data
+// plane of the paper (§4, §5) expressed against the tofino model.
+//
+// Per ingress port the program acts in one of three roles:
+//
+//   - Encode (paper Figure 1): compute the chunk's syndrome with the
+//     CRC engine, flip the indicated bit, truncate to the basis; if
+//     the basis→ID table knows the basis, emit a compressed type 3
+//     packet, otherwise emit a type 2 packet and digest the unknown
+//     basis up to the control plane.
+//   - Decode (paper Figure 2): recover the basis (for type 3 via the
+//     ID→basis table), restore the parity bits by running the
+//     zero-padded basis through the same CRC, and flip the
+//     syndrome-indicated bit to reconstruct the original chunk.
+//   - Forward: plain switching, the "no op" baseline of §7.
+//
+// The program never writes its own tables: unknown bases travel to
+// the control plane as digests and mappings come back through the
+// control-plane API, with the latency consequences §7 measures
+// (the 1.77 ms learning delay).
+package zswitch
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"zipline/internal/bch"
+	"zipline/internal/gd"
+	"zipline/internal/packet"
+	"zipline/internal/tofino"
+)
+
+// Role is the per-port behaviour of the program.
+type Role int
+
+// Port roles.
+const (
+	RoleForward Role = iota // no op: plain Ethernet switching
+	RoleEncode              // compress arriving raw packets
+	RoleDecode              // decompress arriving type 2/3 packets
+)
+
+// String implements fmt.Stringer.
+func (r Role) String() string {
+	switch r {
+	case RoleForward:
+		return "forward"
+	case RoleEncode:
+		return "encode"
+	case RoleDecode:
+		return "decode"
+	default:
+		return fmt.Sprintf("role(%d)", int(r))
+	}
+}
+
+// Table and digest names, part of the control-plane contract.
+const (
+	// TableBasisToID is the encoder dictionary (basis → identifier).
+	TableBasisToID = "basis_to_id"
+	// TableIDToBasis is the decoder dictionary (identifier → basis).
+	TableIDToBasis = "id_to_basis"
+	// DigestNewBasis reports a basis missing from the encoder
+	// dictionary.
+	DigestNewBasis = "new_basis"
+)
+
+// Counter names. Packets are classified by how they are transformed
+// (paper §5: "we add counters to our program to provide
+// easily-accessible statistics").
+const (
+	CounterRawToType2 = "raw_to_type2" // encoded, basis unknown
+	CounterRawToType3 = "raw_to_type3" // encoded and compressed
+	CounterType2ToRaw = "type2_to_raw" // decoded from full basis
+	CounterType3ToRaw = "type3_to_raw" // decoded via dictionary
+	CounterForwarded  = "forwarded"    // no-op role or non-ZipLine
+	CounterTooShort   = "too_short"    // payload smaller than a chunk
+	CounterDecodeMiss = "decode_miss"  // type 3 with unknown ID (dropped)
+	CounterDigests    = "digests"      // new-basis reports emitted
+)
+
+// Config parameterises the program; zero values take the paper's
+// operating point.
+type Config struct {
+	// M selects the code size (default 8 → 32-byte chunks).
+	M int
+	// T is the transform's error radius: 1 (default) is the paper's
+	// Hamming transform, 2..3 the future-work BCH transforms. Wider
+	// radii need correspondingly wider syndrome fields on the wire.
+	T int
+	// IDBits sizes the dictionary identifiers (default 15 → 32,768
+	// bases, the largest aligned value that fits the resource
+	// budget).
+	IDBits int
+	// Packed selects the bit-packed wire layout instead of the
+	// Tofino byte-aligned one (default false = aligned, as deployed).
+	Packed bool
+	// TTLNs is the basis-table idle timeout; zero disables aging.
+	TTLNs int64
+	// Roles assigns a role to each ingress port; unlisted ports
+	// forward.
+	Roles map[tofino.Port]Role
+	// PortMap is static forwarding: ingress port → egress port.
+	// Packets arriving on unmapped ports are dropped.
+	PortMap map[tofino.Port]tofino.Port
+}
+
+func (c Config) withDefaults() Config {
+	if c.M == 0 {
+		c.M = 8
+	}
+	if c.IDBits == 0 {
+		c.IDBits = 15
+	}
+	if c.T == 0 {
+		c.T = 1
+	}
+	return c
+}
+
+// Program is the ZipLine data plane program. Load it into a
+// tofino.Pipeline; it is not usable before that.
+type Program struct {
+	cfg   Config
+	codec *gd.Codec
+	fmt   packet.Format
+
+	basisToID tofino.TableHandle
+	idToBasis tofino.TableHandle
+	counters  map[string]tofino.CounterHandle
+}
+
+// New builds the program (the compile-time half; resources are bound
+// at pipeline Load).
+func New(cfg Config) (*Program, error) {
+	cfg = cfg.withDefaults()
+	var tr gd.Transform
+	if cfg.T == 1 {
+		h, err := gd.NewHammingM(cfg.M)
+		if err != nil {
+			return nil, fmt.Errorf("zswitch: %w", err)
+		}
+		tr = h
+	} else {
+		b, err := bch.NewTransform(cfg.M, cfg.T)
+		if err != nil {
+			return nil, fmt.Errorf("zswitch: %w", err)
+		}
+		tr = b
+	}
+	codec := gd.NewCodec(tr)
+	f, err := packet.NewFormat(codec, cfg.IDBits, !cfg.Packed)
+	if err != nil {
+		return nil, fmt.Errorf("zswitch: %w", err)
+	}
+	return &Program{cfg: cfg, codec: codec, fmt: f}, nil
+}
+
+// Name implements tofino.Program.
+func (p *Program) Name() string { return "zipline" }
+
+// Codec exposes the chunk codec (shared with the control plane and
+// test harnesses).
+func (p *Program) Codec() *gd.Codec { return p.codec }
+
+// Format exposes the wire format.
+func (p *Program) Format() packet.Format { return p.fmt }
+
+// Config returns the program's configuration with defaults applied.
+func (p *Program) Config() Config { return p.cfg }
+
+// Declare implements tofino.Program: the encoder and decoder
+// dictionaries plus classification counters.
+func (p *Program) Declare(a *tofino.Alloc) error {
+	capacity := 1 << uint(p.cfg.IDBits)
+	var err error
+	if p.basisToID, err = a.Table(tofino.TableSpec{
+		Name:          TableBasisToID,
+		KeyBits:       p.codec.BasisBits(),
+		ActionBits:    p.cfg.IDBits,
+		Capacity:      capacity,
+		IdleTimeoutNs: p.cfg.TTLNs,
+	}); err != nil {
+		return err
+	}
+	if p.idToBasis, err = a.Table(tofino.TableSpec{
+		Name:       TableIDToBasis,
+		KeyBits:    p.cfg.IDBits,
+		ActionBits: p.codec.BasisBits(),
+		Capacity:   capacity,
+	}); err != nil {
+		return err
+	}
+	p.counters = make(map[string]tofino.CounterHandle)
+	for _, name := range []string{
+		CounterRawToType2, CounterRawToType3, CounterType2ToRaw,
+		CounterType3ToRaw, CounterForwarded, CounterTooShort,
+		CounterDecodeMiss, CounterDigests,
+	} {
+		h, err := a.Counter(name)
+		if err != nil {
+			return err
+		}
+		p.counters[name] = h
+	}
+	return nil
+}
+
+// Process implements tofino.Program.
+func (p *Program) Process(ctx *tofino.Ctx, frame []byte, ingress tofino.Port) []tofino.Emit {
+	egress, ok := p.cfg.PortMap[ingress]
+	if !ok {
+		return nil // unmapped port: drop
+	}
+	switch p.cfg.Roles[ingress] {
+	case RoleEncode:
+		return p.encode(ctx, frame, egress)
+	case RoleDecode:
+		return p.decode(ctx, frame, egress)
+	default:
+		ctx.Count(p.counters[CounterForwarded], 1)
+		return []tofino.Emit{{Port: egress, Frame: frame}}
+	}
+}
+
+// encode is the Figure 1 path. Only frames tagged EtherTypeRaw are
+// compressed: the paper transforms "any Ethernet packet" but does not
+// specify how the original EtherType would be restored on decode, so
+// this implementation makes the conservative choice of compressing
+// exactly the traffic the decoder can reconstruct losslessly
+// (documented in DESIGN.md).
+func (p *Program) encode(ctx *tofino.Ctx, frame []byte, egress tofino.Port) []tofino.Emit {
+	hdr, payload, err := packet.ParseHeader(frame)
+	if err != nil || hdr.EtherType != packet.EtherTypeRaw || len(payload) < p.codec.ChunkBytes() {
+		// Not compressible: forward unchanged.
+		if err == nil && hdr.EtherType == packet.EtherTypeRaw && len(payload) < p.codec.ChunkBytes() {
+			ctx.Count(p.counters[CounterTooShort], 1)
+		} else {
+			ctx.Count(p.counters[CounterForwarded], 1)
+		}
+		return []tofino.Emit{{Port: egress, Frame: frame}}
+	}
+
+	chunk := payload[:p.codec.ChunkBytes()]
+	tail := payload[p.codec.ChunkBytes():]
+	s, err := p.codec.SplitChunk(chunk)
+	if err != nil {
+		// Unreachable by construction (chunk length checked above);
+		// treat as forward to stay total.
+		ctx.Count(p.counters[CounterForwarded], 1)
+		return []tofino.Emit{{Port: egress, Frame: frame}}
+	}
+
+	if act, hit := ctx.Apply(p.basisToID, s.Basis.Key()); hit {
+		id := act.(uint32)
+		out := make([]byte, 0, packet.HeaderLen+p.fmt.Type3Len()+len(tail))
+		out = packet.AppendHeader(out, packet.Header{
+			Dst: hdr.Dst, Src: hdr.Src, EtherType: packet.EtherTypeCompressed,
+		})
+		out = p.fmt.AppendType3(out, packet.Compressed{
+			Deviation: s.Deviation, Extra: s.Extra, ID: id,
+		})
+		out = append(out, tail...)
+		ctx.Count(p.counters[CounterRawToType3], 1)
+		return []tofino.Emit{{Port: egress, Frame: out}}
+	}
+
+	// Unknown basis: report to the control plane and emit type 2.
+	ctx.Digest(DigestNewBasis, s.Basis.Bytes())
+	ctx.Count(p.counters[CounterDigests], 1)
+	out := make([]byte, 0, packet.HeaderLen+p.fmt.Type2Len()+len(tail))
+	out = packet.AppendHeader(out, packet.Header{
+		Dst: hdr.Dst, Src: hdr.Src, EtherType: packet.EtherTypeUncompressed,
+	})
+	out = p.fmt.AppendType2(out, s)
+	out = append(out, tail...)
+	ctx.Count(p.counters[CounterRawToType2], 1)
+	return []tofino.Emit{{Port: egress, Frame: out}}
+}
+
+// decode is the Figure 2 path.
+func (p *Program) decode(ctx *tofino.Ctx, frame []byte, egress tofino.Port) []tofino.Emit {
+	hdr, payload, err := packet.ParseHeader(frame)
+	if err != nil {
+		return nil
+	}
+	var (
+		s    gd.Split
+		tail []byte
+		cnt  string
+	)
+	switch hdr.Type() {
+	case packet.TypeUncompressed:
+		s, tail, err = p.fmt.ParseType2(payload)
+		if err != nil {
+			return nil
+		}
+		cnt = CounterType2ToRaw
+	case packet.TypeCompressed:
+		var c packet.Compressed
+		c, tail, err = p.fmt.ParseType3(payload)
+		if err != nil {
+			return nil
+		}
+		act, hit := ctx.Apply(p.idToBasis, IDKey(c.ID))
+		if !hit {
+			// The two-phase install protocol makes this impossible
+			// in steady state; count and drop if it ever happens.
+			ctx.Count(p.counters[CounterDecodeMiss], 1)
+			return nil
+		}
+		basis := act.(basisAction)
+		s = gd.Split{Basis: basis.v, Deviation: c.Deviation, Extra: c.Extra}
+		cnt = CounterType3ToRaw
+	default:
+		ctx.Count(p.counters[CounterForwarded], 1)
+		return []tofino.Emit{{Port: egress, Frame: frame}}
+	}
+
+	out := make([]byte, 0, packet.HeaderLen+p.codec.ChunkBytes()+len(tail))
+	out = packet.AppendHeader(out, packet.Header{
+		Dst: hdr.Dst, Src: hdr.Src, EtherType: packet.EtherTypeRaw,
+	})
+	out, err = p.codec.MergeChunk(s, out)
+	if err != nil {
+		return nil
+	}
+	out = append(out, tail...)
+	ctx.Count(p.counters[cnt], 1)
+	return []tofino.Emit{{Port: egress, Frame: out}}
+}
+
+// IDKey renders a dictionary identifier as the table key string used
+// by TableIDToBasis.
+func IDKey(id uint32) string {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], id)
+	return string(b[:])
+}

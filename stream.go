@@ -1,0 +1,412 @@
+package zipline
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"zipline/internal/bitvec"
+	"zipline/internal/gd"
+)
+
+// Stream container format (see DESIGN.md):
+//
+//	header:  "ZLGD" | version u8 | m u8 | idBits u8 | t u8
+//	blocks:  u32le byteLen | u32le bitLen | payload
+//	trailer: a block with byteLen == 0
+//
+// Each block carries bit-packed records that never straddle blocks:
+//
+//	tag 0 (1 bit)  miss: deviation(m) | extra(1) | basis(k)
+//	tag 1 (1 bit)  hit:  deviation(m) | extra(1) | id(idBits)
+//
+// plus, only as the final record of the final data block,
+//
+//	tail marker: a miss/hit record cannot start with bitLen < 2, so a
+//	block whose first byte is 0xFF after records end encodes the tail:
+//	0xFF | u16le length | raw bytes.
+//
+// Misses insert the basis into an LRU dictionary; the decoder applies
+// identical insertions and lookups, so identifier assignment evolves
+// in lockstep on both sides without any side channel — the streaming
+// analogue of the control-plane protocol.
+const (
+	streamMagic   = "ZLGD"
+	streamVersion = 1
+)
+
+// ErrCorrupt reports an undecodable stream.
+var ErrCorrupt = errors.New("zipline: corrupt stream")
+
+const defaultBlockBytes = 64 << 10
+
+// Writer compresses a byte stream with GD. It buffers at most one
+// chunk of input plus one output block. Close flushes the tail and
+// the trailer; the stream is unreadable without it.
+type Writer struct {
+	w     io.Writer
+	codec *Codec
+	dict  *gd.Dictionary
+
+	pending     []byte // partial input chunk
+	block       *bitvec.Writer
+	wroteHeader bool
+	closed      bool
+
+	// Stats accumulate over the writer's lifetime.
+	Stats StreamStats
+}
+
+// StreamStats counts records and bytes through a Writer or Reader.
+type StreamStats struct {
+	Chunks    uint64
+	Hits      uint64
+	Misses    uint64
+	TailBytes uint64
+}
+
+// NewWriter builds a compressing writer with the given configuration.
+func NewWriter(w io.Writer, cfg Config) (*Writer, error) {
+	codec, err := NewCodec(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Writer{
+		w:     w,
+		codec: codec,
+		dict:  gd.NewDictionary(codec.cfg.IDBits),
+		block: bitvec.NewWriter(defaultBlockBytes + 256),
+	}, nil
+}
+
+// Write implements io.Writer.
+func (zw *Writer) Write(p []byte) (int, error) {
+	if zw.closed {
+		return 0, fmt.Errorf("zipline: write after Close")
+	}
+	if err := zw.writeHeader(); err != nil {
+		return 0, err
+	}
+	n := len(p)
+	cs := zw.codec.ChunkSize()
+	// Drain the pending partial chunk first.
+	if len(zw.pending) > 0 {
+		need := cs - len(zw.pending)
+		if need > len(p) {
+			zw.pending = append(zw.pending, p...)
+			return n, nil
+		}
+		zw.pending = append(zw.pending, p[:need]...)
+		p = p[need:]
+		if err := zw.encodeChunk(zw.pending); err != nil {
+			return 0, err
+		}
+		zw.pending = zw.pending[:0]
+	}
+	for len(p) >= cs {
+		if err := zw.encodeChunk(p[:cs]); err != nil {
+			return 0, err
+		}
+		p = p[cs:]
+	}
+	zw.pending = append(zw.pending, p...)
+	return n, nil
+}
+
+func (zw *Writer) writeHeader() error {
+	if zw.wroteHeader {
+		return nil
+	}
+	zw.wroteHeader = true
+	hdr := []byte{streamMagic[0], streamMagic[1], streamMagic[2], streamMagic[3],
+		streamVersion, byte(zw.codec.cfg.M), byte(zw.codec.cfg.IDBits), byte(zw.codec.cfg.T)}
+	_, err := zw.w.Write(hdr)
+	return err
+}
+
+func (zw *Writer) encodeChunk(chunk []byte) error {
+	s, err := zw.codec.inner.SplitChunk(chunk)
+	if err != nil {
+		return err
+	}
+	m := zw.codec.DeviationBits()
+	zw.Stats.Chunks++
+	if id, ok := zw.dict.Lookup(s.Basis); ok {
+		zw.block.WriteBit(true)
+		zw.block.WriteUint(uint64(s.Deviation), m)
+		zw.block.WriteUint(uint64(s.Extra), 1)
+		zw.block.WriteUint(uint64(id), zw.codec.cfg.IDBits)
+		zw.Stats.Hits++
+	} else {
+		zw.dict.Insert(s.Basis)
+		zw.block.WriteBit(false)
+		zw.block.WriteUint(uint64(s.Deviation), m)
+		zw.block.WriteUint(uint64(s.Extra), 1)
+		zw.block.WriteVector(s.Basis)
+		zw.Stats.Misses++
+	}
+	if len(zw.block.Bytes()) >= defaultBlockBytes {
+		return zw.flushBlock()
+	}
+	return nil
+}
+
+func (zw *Writer) flushBlock() error {
+	if zw.block.Len() == 0 {
+		return nil
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(zw.block.Bytes())))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(zw.block.Len()))
+	if _, err := zw.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := zw.w.Write(zw.block.Bytes()); err != nil {
+		return err
+	}
+	zw.block.Reset()
+	return nil
+}
+
+// Close flushes buffered records, the input tail and the stream
+// trailer. It does not close the underlying writer.
+func (zw *Writer) Close() error {
+	if zw.closed {
+		return nil
+	}
+	zw.closed = true
+	if err := zw.writeHeader(); err != nil {
+		return err
+	}
+	if err := zw.flushBlock(); err != nil {
+		return err
+	}
+	// Tail block: raw trailing bytes that did not fill a chunk.
+	if len(zw.pending) > 0 {
+		if len(zw.pending) > 0xFFFF {
+			return fmt.Errorf("zipline: tail of %d bytes exceeds format limit", len(zw.pending))
+		}
+		zw.Stats.TailBytes = uint64(len(zw.pending))
+		body := make([]byte, 0, 3+len(zw.pending))
+		body = append(body, 0xFF)
+		body = binary.LittleEndian.AppendUint16(body, uint16(len(zw.pending)))
+		body = append(body, zw.pending...)
+		var hdr [8]byte
+		binary.LittleEndian.PutUint32(hdr[0:], uint32(len(body)))
+		binary.LittleEndian.PutUint32(hdr[4:], uint32(len(body)*8)|tailBlockFlag)
+		if _, err := zw.w.Write(hdr[:]); err != nil {
+			return err
+		}
+		if _, err := zw.w.Write(body); err != nil {
+			return err
+		}
+	}
+	var trailer [8]byte
+	_, err := zw.w.Write(trailer[:])
+	return err
+}
+
+// tailBlockFlag marks the bitLen word of a raw tail block.
+const tailBlockFlag = 1 << 31
+
+// Reader decompresses a stream produced by Writer. It implements
+// io.Reader.
+type Reader struct {
+	r     io.Reader
+	codec *Codec
+	dict  *gd.Dictionary
+
+	out     []byte // decoded bytes not yet read
+	done    bool
+	started bool
+
+	// Stats accumulate over the reader's lifetime.
+	Stats StreamStats
+}
+
+// NewReader opens a compressed stream, reading and validating its
+// header lazily on first Read.
+func NewReader(r io.Reader) (*Reader, error) {
+	return &Reader{r: r}, nil
+}
+
+func (zr *Reader) start() error {
+	if zr.started {
+		return nil
+	}
+	zr.started = true
+	var hdr [8]byte
+	if _, err := io.ReadFull(zr.r, hdr[:]); err != nil {
+		return fmt.Errorf("%w: header: %v", ErrCorrupt, err)
+	}
+	if string(hdr[:4]) != streamMagic {
+		return fmt.Errorf("%w: bad magic %q", ErrCorrupt, hdr[:4])
+	}
+	if hdr[4] != streamVersion {
+		return fmt.Errorf("%w: unsupported version %d", ErrCorrupt, hdr[4])
+	}
+	codec, err := NewCodec(Config{M: int(hdr[5]), IDBits: int(hdr[6]), T: int(hdr[7])})
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	zr.codec = codec
+	zr.dict = gd.NewDictionary(codec.cfg.IDBits)
+	return nil
+}
+
+// Read implements io.Reader.
+func (zr *Reader) Read(p []byte) (int, error) {
+	if err := zr.start(); err != nil {
+		return 0, err
+	}
+	for len(zr.out) == 0 {
+		if zr.done {
+			return 0, io.EOF
+		}
+		if err := zr.readBlock(); err != nil {
+			return 0, err
+		}
+	}
+	n := copy(p, zr.out)
+	zr.out = zr.out[n:]
+	return n, nil
+}
+
+func (zr *Reader) readBlock() error {
+	var hdr [8]byte
+	if _, err := io.ReadFull(zr.r, hdr[:]); err != nil {
+		return fmt.Errorf("%w: block header: %v", ErrCorrupt, err)
+	}
+	byteLen := binary.LittleEndian.Uint32(hdr[0:])
+	bitWord := binary.LittleEndian.Uint32(hdr[4:])
+	if byteLen == 0 {
+		zr.done = true
+		return nil
+	}
+	if byteLen > 1<<24 {
+		return fmt.Errorf("%w: block of %d bytes", ErrCorrupt, byteLen)
+	}
+	body := make([]byte, byteLen)
+	if _, err := io.ReadFull(zr.r, body); err != nil {
+		return fmt.Errorf("%w: block body: %v", ErrCorrupt, err)
+	}
+	if bitWord&tailBlockFlag != 0 {
+		// Raw tail block.
+		if len(body) < 3 || body[0] != 0xFF {
+			return fmt.Errorf("%w: malformed tail block", ErrCorrupt)
+		}
+		n := int(binary.LittleEndian.Uint16(body[1:3]))
+		if len(body) != 3+n {
+			return fmt.Errorf("%w: tail length mismatch", ErrCorrupt)
+		}
+		zr.out = append(zr.out, body[3:]...)
+		zr.Stats.TailBytes += uint64(n)
+		return nil
+	}
+	bitLen := int(bitWord)
+	if bitLen > len(body)*8 {
+		return fmt.Errorf("%w: bit length exceeds block", ErrCorrupt)
+	}
+	return zr.decodeRecords(body, bitLen)
+}
+
+func (zr *Reader) decodeRecords(body []byte, bitLen int) error {
+	br := bitvec.NewReaderBits(body, bitLen)
+	m := zr.codec.DeviationBits()
+	k := zr.codec.BasisBits()
+	idBits := zr.codec.cfg.IDBits
+	for br.Remaining() > 0 {
+		hit, err := br.ReadBit()
+		if err != nil {
+			return fmt.Errorf("%w: truncated record", ErrCorrupt)
+		}
+		dev, err := br.ReadUint(m)
+		if err != nil {
+			return fmt.Errorf("%w: truncated deviation", ErrCorrupt)
+		}
+		extra, err := br.ReadUint(1)
+		if err != nil {
+			return fmt.Errorf("%w: truncated extra bit", ErrCorrupt)
+		}
+		var basis *bitvec.Vector
+		if hit {
+			id, err := br.ReadUint(idBits)
+			if err != nil {
+				return fmt.Errorf("%w: truncated identifier", ErrCorrupt)
+			}
+			b, ok := zr.dict.LookupID(uint32(id))
+			if !ok {
+				return fmt.Errorf("%w: unknown identifier %d", ErrCorrupt, id)
+			}
+			basis = b
+			// Mirror the encoder's recency refresh.
+			zr.dict.Lookup(basis)
+			zr.Stats.Hits++
+		} else {
+			b, err := br.ReadVector(k)
+			if err != nil {
+				return fmt.Errorf("%w: truncated basis", ErrCorrupt)
+			}
+			zr.dict.Insert(b)
+			basis = b
+			zr.Stats.Misses++
+		}
+		zr.Stats.Chunks++
+		out, err := zr.codec.inner.MergeChunk(gd.Split{
+			Basis:     basis,
+			Deviation: uint32(dev),
+			Extra:     uint8(extra),
+		}, zr.out)
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		zr.out = out
+	}
+	return nil
+}
+
+// CompressBytes compresses data in one call.
+func CompressBytes(data []byte, cfg Config) ([]byte, error) {
+	var buf appendWriter
+	zw, err := NewWriter(&buf, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := zw.Write(data); err != nil {
+		return nil, err
+	}
+	if err := zw.Close(); err != nil {
+		return nil, err
+	}
+	return buf.b, nil
+}
+
+// DecompressBytes decompresses a stream produced by CompressBytes or
+// Writer in one call.
+func DecompressBytes(data []byte) ([]byte, error) {
+	zr, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	var out []byte
+	buf := make([]byte, 64<<10)
+	for {
+		n, err := zr.Read(buf)
+		out = append(out, buf[:n]...)
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+}
+
+type appendWriter struct{ b []byte }
+
+func (w *appendWriter) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}

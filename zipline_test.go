@@ -1,0 +1,192 @@
+package zipline
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestCodecPaperGeometry(t *testing.T) {
+	c := MustCodec(Config{})
+	if c.ChunkSize() != 32 {
+		t.Fatalf("ChunkSize = %d", c.ChunkSize())
+	}
+	if c.BasisBits() != 247 || c.DeviationBits() != 8 {
+		t.Fatalf("geometry = %d/%d", c.BasisBits(), c.DeviationBits())
+	}
+	if got := c.Config(); got.M != 8 || got.IDBits != 15 {
+		t.Fatalf("defaults = %+v", got)
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	for _, m := range []int{3, 8, 12} {
+		c, err := NewCodec(Config{M: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(m)))
+		for trial := 0; trial < 50; trial++ {
+			chunk := make([]byte, c.ChunkSize())
+			rng.Read(chunk)
+			s, err := c.Split(chunk)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(s.Basis) != (c.BasisBits()+7)/8 {
+				t.Fatalf("basis bytes = %d", len(s.Basis))
+			}
+			out, err := c.Merge(s, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(out, chunk) {
+				t.Fatalf("m=%d: round trip failed", m)
+			}
+		}
+	}
+}
+
+func TestCodecValidation(t *testing.T) {
+	if _, err := NewCodec(Config{M: 2}); err == nil {
+		t.Error("M=2 accepted")
+	}
+	if _, err := NewCodec(Config{M: 16}); err == nil {
+		t.Error("M=16 accepted")
+	}
+	if _, err := NewCodec(Config{IDBits: 25}); err == nil {
+		t.Error("IDBits=25 accepted")
+	}
+	c := MustCodec(Config{})
+	if _, err := c.Split(make([]byte, 31)); err == nil {
+		t.Error("short chunk accepted")
+	}
+	if _, err := c.Merge(Split{Basis: make([]byte, 5)}, nil); err == nil {
+		t.Error("short basis accepted")
+	}
+}
+
+func TestMustCodecPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustCodec(Config{M: 99})
+}
+
+func TestSimulateLinkCompresses(t *testing.T) {
+	payload := make([]byte, 32)
+	rand.New(rand.NewSource(1)).Read(payload)
+	res, err := SimulateLink(LinkSimConfig{
+		ReplayPPS: 1_000_000,
+		Payloads: func(i int) []byte {
+			if i >= 5000 {
+				return nil
+			}
+			return payload
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent != 5000 || res.Received != 5000 {
+		t.Fatalf("sent/received = %d/%d", res.Sent, res.Received)
+	}
+	if res.BasesLearned != 1 {
+		t.Fatalf("learned = %d", res.BasesLearned)
+	}
+	if res.CompressedFrames == 0 || res.UncompressedFrames == 0 {
+		t.Fatalf("frame mix = %+v", res)
+	}
+	if res.Ratio() >= 1 {
+		t.Fatalf("ratio = %.3f, no compression", res.Ratio())
+	}
+	// Learning delay visible through the facade.
+	gap := res.FirstCompressedNs - res.FirstUncompressedNs
+	if gap < 1_500_000 || gap > 2_100_000 {
+		t.Fatalf("learning gap = %d ns", gap)
+	}
+}
+
+func TestSimulateLinkShortPayloadsPassThrough(t *testing.T) {
+	res, err := SimulateLink(LinkSimConfig{
+		Payloads: func(i int) []byte {
+			if i >= 100 {
+				return nil
+			}
+			return []byte{1, 2, 3}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RawFrames != 100 || res.CompressedFrames != 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	if res.Ratio() != 1 {
+		t.Fatalf("ratio = %.3f", res.Ratio())
+	}
+}
+
+func TestSimulateLinkValidation(t *testing.T) {
+	if _, err := SimulateLink(LinkSimConfig{}); err == nil {
+		t.Error("missing payload source accepted")
+	}
+	if _, err := SimulateLink(LinkSimConfig{
+		Codec:    Config{M: 99},
+		Payloads: func(int) []byte { return nil },
+	}); err == nil {
+		t.Error("bad codec config accepted")
+	}
+}
+
+func TestBCHCodecPublicAPI(t *testing.T) {
+	// T=2 selects the future-work BCH transform: same 32-byte chunks,
+	// wider deviation, and losslessness for arbitrary input.
+	c, err := NewCodec(Config{T: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ChunkSize() != 32 || c.BasisBits() != 239 || c.DeviationBits() != 16 {
+		t.Fatalf("geometry: %d/%d/%d", c.ChunkSize(), c.BasisBits(), c.DeviationBits())
+	}
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 30; trial++ {
+		chunk := make([]byte, 32)
+		rng.Read(chunk)
+		s, err := c.Split(chunk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := c.Merge(s, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out, chunk) {
+			t.Fatal("BCH codec round trip failed")
+		}
+	}
+	if _, err := NewCodec(Config{T: 4}); err == nil {
+		t.Error("T=4 accepted")
+	}
+}
+
+func TestBCHStreamRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	data := make([]byte, 20_000)
+	rng.Read(data)
+	comp, err := CompressBytes(data, Config{T: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecompressBytes(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, data) {
+		t.Fatal("BCH stream round trip failed")
+	}
+}
+
+func newTestRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
