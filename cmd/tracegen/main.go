@@ -10,6 +10,7 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"zipline/internal/packet"
@@ -18,17 +19,30 @@ import (
 )
 
 func main() {
-	dataset := flag.String("dataset", "sensor", "sensor or dns")
-	out := flag.String("out", "", "output pcap path (required)")
-	records := flag.Int("records", 0, "record count override (0 = paper scale)")
-	seed := flag.Int64("seed", 1, "generator seed")
-	pps := flag.Int64("pps", 150_000, "timestamp pacing, packets per second")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
+// run is the testable entry point: errors propagate to this single
+// exit point so deferred cleanup always executes.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dataset := fs.String("dataset", "sensor", "sensor or dns")
+	out := fs.String("out", "", "output pcap path (required)")
+	records := fs.Int("records", 0, "record count override (0 = paper scale)")
+	seed := fs.Int64("seed", 1, "generator seed")
+	pps := fs.Int64("pps", 150_000, "timestamp pacing, packets per second")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 	if *out == "" {
-		fmt.Fprintln(os.Stderr, "tracegen: -out is required")
-		flag.Usage()
-		os.Exit(2)
+		fmt.Fprintln(stderr, "tracegen: -out is required")
+		fs.Usage()
+		return 2
+	}
+	if *pps <= 0 {
+		fmt.Fprintf(stderr, "tracegen: -pps must be positive, got %d\n", *pps)
+		return 2
 	}
 
 	var tr *trace.Trace
@@ -38,27 +52,40 @@ func main() {
 	case "dns":
 		tr = trace.DNS(trace.DNSConfig{Queries: *records, Seed: *seed})
 	default:
-		fmt.Fprintf(os.Stderr, "tracegen: unknown dataset %q\n", *dataset)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "tracegen: unknown dataset %q\n", *dataset)
+		return 2
 	}
 
-	f, err := os.Create(*out)
-	fatal(err)
-	defer f.Close()
-	bw := bufio.NewWriterSize(f, 1<<20)
-	w, err := pcap.NewWriter(bw, 0)
-	fatal(err)
-	src := packet.MAC{0x02, 0x5A, 0, 0, 0, 0x01}
-	dst := packet.MAC{0x02, 0x5A, 0, 0, 0, 0x02}
-	nsPerPacket := int64(1_000_000_000) / *pps
-	fatal(tr.WritePcap(w, src, dst, nsPerPacket))
-	fatal(bw.Flush())
-	fmt.Printf("%s: %d records x %d B -> %s\n", tr.Name, tr.Records(), tr.RecordSize, *out)
+	if err := writeTrace(tr, *out, *pps); err != nil {
+		fmt.Fprintln(stderr, "tracegen:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "%s: %d records x %d B -> %s\n", tr.Name, tr.Records(), tr.RecordSize, *out)
+	return 0
 }
 
-func fatal(err error) {
+func writeTrace(tr *trace.Trace, path string, pps int64) (err error) {
+	f, err := os.Create(path)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "tracegen:", err)
-		os.Exit(1)
+		return err
 	}
+	// The close error matters (buffered data reaches disk here), but
+	// an earlier write error takes precedence.
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	bw := bufio.NewWriterSize(f, 1<<20)
+	w, err := pcap.NewWriter(bw, 0)
+	if err != nil {
+		return err
+	}
+	src := packet.MAC{0x02, 0x5A, 0, 0, 0, 0x01}
+	dst := packet.MAC{0x02, 0x5A, 0, 0, 0, 0x02}
+	nsPerPacket := int64(1_000_000_000) / pps
+	if err := tr.WritePcap(w, src, dst, nsPerPacket); err != nil {
+		return err
+	}
+	return bw.Flush()
 }

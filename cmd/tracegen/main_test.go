@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestGenerateSensorPcap(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "sensor.pcap")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-dataset", "sensor", "-records", "500", "-out", out}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	info, err := os.Stat(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 500 records of 32 B plus per-packet framing: well above 16 KiB.
+	if info.Size() < 16<<10 {
+		t.Fatalf("pcap only %d bytes", info.Size())
+	}
+	if !strings.Contains(stdout.String(), "500 records") {
+		t.Fatalf("summary missing: %q", stdout.String())
+	}
+}
+
+func TestGenerateDNSPcap(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "dns.pcap")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-dataset", "dns", "-records", "200", "-out", out}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	if info, err := os.Stat(out); err != nil || info.Size() == 0 {
+		t.Fatalf("stat %s: %v", out, err)
+	}
+}
+
+func TestFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{},                                     // missing -out
+		{"-dataset", "nope", "-out", "x.pcap"}, // unknown dataset
+		{"-pps", "0", "-out", "x.pcap"},        // would divide by zero
+		{"-pps", "-5", "-out", "x.pcap"},       // negative pacing
+	} {
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code != 2 {
+			t.Errorf("args %v: exit = %d, want 2", args, code)
+		}
+	}
+}
+
+func TestUnwritablePathExitsNonzero(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	out := filepath.Join(t.TempDir(), "no", "such", "dir", "x.pcap")
+	if code := run([]string{"-records", "10", "-out", out}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+}

@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -26,79 +27,91 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "experiment to run: all, table1, table2, fig3, fig4, fig5, learning, ablations")
-	quick := flag.Bool("quick", false, "scaled-down datasets and windows")
-	seed := flag.Int64("seed", 1, "base seed for synthetic data and simulation jitter")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	want := func(name string) bool { return *run == "all" || *run == name }
+// run is the testable entry point: every experiment propagates its
+// error here, the single exit point, instead of calling os.Exit from
+// deep inside a report (which would skip deferred cleanup).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("zipline-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	which := fs.String("run", "all", "experiment to run: all, table1, table2, fig3, fig4, fig5, learning, ablations")
+	quick := fs.Bool("quick", false, "scaled-down datasets and windows")
+	seed := fs.Int64("seed", 1, "base seed for synthetic data and simulation jitter")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	want := func(name string) bool { return *which == "all" || *which == name }
 	start := time.Now()
 	ran := 0
 
-	if want("table1") {
-		runTable1()
-		ran++
+	steps := []struct {
+		name string
+		fn   func() error
+	}{
+		{"table1", func() error { return runTable1(stdout) }},
+		{"table2", func() error { return runTable2(stdout) }},
+		{"fig3", func() error { return runFig3(stdout, *quick, *seed) }},
+		{"fig4", func() error { return runFig4(stdout, *quick, *seed) }},
+		{"fig5", func() error { return runFig5(stdout, *quick, *seed) }},
+		{"learning", func() error { return runLearning(stdout, *quick, *seed) }},
+		{"ablations", func() error { return runAblations(stdout, *quick, *seed) }},
 	}
-	if want("table2") {
-		runTable2()
-		ran++
-	}
-	if want("fig3") {
-		runFig3(*quick, *seed)
-		ran++
-	}
-	if want("fig4") {
-		runFig4(*quick, *seed)
-		ran++
-	}
-	if want("fig5") {
-		runFig5(*quick, *seed)
-		ran++
-	}
-	if want("learning") {
-		runLearning(*quick, *seed)
-		ran++
-	}
-	if want("ablations") {
-		runAblations(*quick, *seed)
+	for _, step := range steps {
+		if !want(step.name) {
+			continue
+		}
+		if err := step.fn(); err != nil {
+			fmt.Fprintf(stderr, "zipline-bench: %s: %v\n", step.name, err)
+			return 1
+		}
 		ran++
 	}
 	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *run)
-		flag.Usage()
-		os.Exit(2)
+		fmt.Fprintf(stderr, "unknown experiment %q\n", *which)
+		fs.Usage()
+		return 2
 	}
-	fmt.Printf("\ncompleted in %s\n", time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(stdout, "\ncompleted in %s\n", time.Since(start).Round(time.Millisecond))
+	return 0
 }
 
-func header(title string) {
-	fmt.Printf("\n%s\n%s\n", title, strings.Repeat("=", len(title)))
+func header(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n%s\n%s\n", title, strings.Repeat("=", len(title)))
 }
 
-func runTable1() {
-	header("Table 1: Generator polynomials for Hamming codes and parameters for a CRC-m")
-	fmt.Printf("%-14s %-28s %-10s %-10s %s\n", "Code", "Generator polynomial", "CRC param", "Paper", "Validity")
+func runTable1(w io.Writer) error {
+	header(w, "Table 1: Generator polynomials for Hamming codes and parameters for a CRC-m")
+	fmt.Fprintf(w, "%-14s %-28s %-10s %-10s %s\n", "Code", "Generator polynomial", "CRC param", "Paper", "Validity")
 	for _, r := range experiments.Table1() {
 		note := "primitive ✓"
 		if r.Param != r.PaperParam {
 			note = fmt.Sprintf("primitive ✓ (paper prints %#x, which is NOT primitive — erratum)", r.PaperParam)
 		}
-		fmt.Printf("(%d, %d)%s %-28s %#-10x %#-10x %s\n",
+		fmt.Fprintf(w, "(%d, %d)%s %-28s %#-10x %#-10x %s\n",
 			r.N, r.K, strings.Repeat(" ", max(0, 13-len(fmt.Sprintf("(%d, %d)", r.N, r.K)))),
 			r.Poly, r.Param, r.PaperParam, note)
 	}
+	return nil
 }
 
-func runTable2() {
-	header("Table 2: Hamming code (7,4) and CRC-3 equivalence")
+func runTable2(w io.Writer) error {
+	header(w, "Table 2: Hamming code (7,4) and CRC-3 equivalence")
 	rows, err := experiments.Table2()
-	fatal(err)
-	fatal(experiments.Table2Verify())
-	fmt.Printf("%-8s %-14s %-10s %s\n", "Error", "Bit sequence", "Syndrome", "CRC-3")
-	for _, r := range rows {
-		fmt.Printf("%-8d (%s)      (%03b)      (%03b)\n", r.Error, r.Sequence, r.Syndrome, r.CRC3)
+	if err != nil {
+		return err
 	}
-	fmt.Println("verified: syndrome == CRC-3 for every single-bit error ✓")
+	if err := experiments.Table2Verify(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-8s %-14s %-10s %s\n", "Error", "Bit sequence", "Syndrome", "CRC-3")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8d (%s)      (%03b)      (%03b)\n", r.Error, r.Sequence, r.Syndrome, r.CRC3)
+	}
+	fmt.Fprintln(w, "verified: syndrome == CRC-3 for every single-bit error ✓")
+	return nil
 }
 
 // paperFig3 holds the published ratios for the comparison column.
@@ -113,10 +126,14 @@ var paperFig3 = map[string]map[string]string{
 	},
 }
 
-func runFig3(quick bool, seed int64) {
-	header("Figure 3: Resulting payload size after processing (ZipLine vs gzip)")
+func runFig3(w io.Writer, quick bool, seed int64) error {
+	header(w, "Figure 3: Resulting payload size after processing (ZipLine vs gzip)")
 	sensorCfg := trace.SensorConfig{Seed: seed}
-	sensorCfg.SnapCodec, sensorCfg.GlitchProb = fig3SensorNoise()
+	snap, glitch, err := fig3SensorNoise()
+	if err != nil {
+		return err
+	}
+	sensorCfg.SnapCodec, sensorCfg.GlitchProb = snap, glitch
 	dnsCfg := trace.DNSConfig{Seed: seed + 1}
 	replay := 150_000.0
 	if quick {
@@ -139,22 +156,25 @@ func runFig3(quick bool, seed int64) {
 			Seed:       seed + 2,
 			SkipStatic: ds.skipStatic,
 		})
-		fatal(err)
-		fmt.Printf("\n%s (%s, %.1f MB original, %d chunks)\n",
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\n%s (%s, %.1f MB original, %d chunks)\n",
 			ds.label, ds.tr.Name, float64(res.OriginalBytes)/1e6, ds.tr.Records())
-		fmt.Printf("  %-18s %12s %-8s %-8s %s\n", "Case", "Size [MB]", "Ratio", "Paper", "Detail")
-		fmt.Printf("  %-18s %12.1f %-8s %-8s\n", "Original data",
+		fmt.Fprintf(w, "  %-18s %12s %-8s %-8s %s\n", "Case", "Size [MB]", "Ratio", "Paper", "Detail")
+		fmt.Fprintf(w, "  %-18s %12.1f %-8s %-8s\n", "Original data",
 			float64(res.OriginalBytes)/1e6, "1.00", paperFig3[ds.tr.Name]["Original data"])
 		for _, c := range res.Cases {
 			paper := paperFig3[ds.tr.Name][c.Name]
 			if c.NA {
-				fmt.Printf("  %-18s %12s %-8s %-8s %s\n", c.Name, "n/a", "n/a", paper, c.Detail)
+				fmt.Fprintf(w, "  %-18s %12s %-8s %-8s %s\n", c.Name, "n/a", "n/a", paper, c.Detail)
 				continue
 			}
-			fmt.Printf("  %-18s %12.1f %-8.2f %-8s %s\n",
+			fmt.Fprintf(w, "  %-18s %12.1f %-8.2f %-8s %s\n",
 				c.Name, float64(c.Bytes)/1e6, c.Ratio, paper, c.Detail)
 		}
 	}
+	return nil
 }
 
 // fig3SensorNoise returns the noise model of the synthetic dataset:
@@ -163,130 +183,145 @@ func runFig3(quick bool, seed int64) {
 // syndrome (same basis, same 3 B output); gzip pays for it — which is
 // what places both tools at the paper's operating point
 // (see EXPERIMENTS.md, workload construction).
-func fig3SensorNoise() (*gd.Codec, float64) {
+func fig3SensorNoise() (*gd.Codec, float64, error) {
 	tr, err := gd.NewHammingM(8)
-	fatal(err)
-	return gd.NewCodec(tr), 0.6
+	if err != nil {
+		return nil, 0, err
+	}
+	return gd.NewCodec(tr), 0.6, nil
 }
 
 // paperFig4 gives the approximate published operating points for the
 // comparison column: generator-bound ≈7 Mpkt/s for 64/1500 B, line
 // rate ≈99.7 Gbit/s for 9 kB, identical across operations.
-func runFig4(quick bool, seed int64) {
-	header("Figure 4: Observed network throughput (Gbit/s and Mpkt/s)")
+func runFig4(w io.Writer, quick bool, seed int64) error {
+	header(w, "Figure 4: Observed network throughput (Gbit/s and Mpkt/s)")
 	cfg := experiments.Figure4Config{Seed: seed}
 	if quick {
 		cfg.WindowNs = 2 * netsim.Millisecond
 		cfg.Repeats = 3
 	}
 	cells, err := experiments.Figure4(cfg)
-	fatal(err)
-	fmt.Printf("%-8s %-8s %16s %16s   %s\n", "Op", "Frame", "Gbit/s (±CI95)", "Mpkt/s (±CI95)", "Paper (approx.)")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-8s %-8s %16s %16s   %s\n", "Op", "Frame", "Gbit/s (±CI95)", "Mpkt/s (±CI95)", "Paper (approx.)")
 	for _, c := range cells {
 		paper := "≈7 Mpkt/s (generator-bound)"
 		if c.FrameSize == 9000 {
 			paper = "≈line rate 100 Gbit/s"
 		}
-		fmt.Printf("%-8s %-8d %9.2f ±%.2f %10.3f ±%.3f   %s\n",
+		fmt.Fprintf(w, "%-8s %-8d %9.2f ±%.2f %10.3f ±%.3f   %s\n",
 			c.Op, c.FrameSize, c.Gbps.Mean(), c.Gbps.CI95(), c.Mpps.Mean(), c.Mpps.CI95(), paper)
 	}
-	fmt.Println("claim check: encode ≈ decode ≈ no-op for every frame size ✓ (program-independent pipeline)")
+	fmt.Fprintln(w, "claim check: encode ≈ decode ≈ no-op for every frame size ✓ (program-independent pipeline)")
+	return nil
 }
 
-func runFig5(quick bool, seed int64) {
-	header("Figure 5: Observed end-to-end latency (RTT, µs)")
+func runFig5(w io.Writer, quick bool, seed int64) error {
+	header(w, "Figure 5: Observed end-to-end latency (RTT, µs)")
 	cfg := experiments.Figure5Config{Seed: seed}
 	if quick {
 		cfg.Probes = 200
 	}
 	cells, err := experiments.Figure5(cfg)
-	fatal(err)
-	fmt.Printf("%-8s %14s %10s %10s   %s\n", "Op", "mean ±CI95", "p5", "p95", "Paper")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-8s %14s %10s %10s   %s\n", "Op", "mean ±CI95", "p5", "p95", "Paper")
 	for _, c := range cells {
-		fmt.Printf("%-8s %8.2f ±%.2f %10.2f %10.2f   single-digit µs, equal across ops\n",
+		fmt.Fprintf(w, "%-8s %8.2f ±%.2f %10.2f %10.2f   single-digit µs, equal across ops\n",
 			c.Op, c.RTTMicros.Mean(), c.RTTMicros.CI95(), c.RTTMicros.Percentile(5), c.RTTMicros.Percentile(95))
 	}
+	return nil
 }
 
-func runLearning(quick bool, seed int64) {
-	header("§7 Dynamic learning: time from first type-2 to first type-3 packet")
+func runLearning(w io.Writer, quick bool, seed int64) error {
+	header(w, "§7 Dynamic learning: time from first type-2 to first type-3 packet")
 	cfg := experiments.LearningConfig{Seed: seed}
 	if quick {
 		cfg.Repeats = 5
 	}
 	res, err := experiments.Learning(cfg)
-	fatal(err)
-	fmt.Printf("measured: (%.2f ± %.2f) ms over %d repeats\n",
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "measured: (%.2f ± %.2f) ms over %d repeats\n",
 		res.DelayMs.Mean(), res.DelayMs.CI95(), res.DelayMs.N())
-	fmt.Printf("paper:    (1.77 ± 0.08) ms\n")
+	fmt.Fprintf(w, "paper:    (1.77 ± 0.08) ms\n")
+	return nil
 }
 
-func runAblations(quick bool, seed int64) {
-	header("Ablation A1: Tofino byte-alignment padding")
+func runAblations(w io.Writer, quick bool, seed int64) error {
+	header(w, "Ablation A1: Tofino byte-alignment padding")
 	a1, err := experiments.AblationPadding()
-	fatal(err)
-	fmt.Printf("%-28s %-10s %-10s %-16s %s\n", "Layout", "type2 [B]", "type3 [B]", "no-table ratio", "static ratio")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-28s %-10s %-10s %-16s %s\n", "Layout", "type2 [B]", "type3 [B]", "no-table ratio", "static ratio")
 	for _, r := range a1 {
-		fmt.Printf("%-28s %-10d %-10d %-16.4f %.4f\n", r.Layout, r.Type2Len, r.Type3Len, r.NoTableRatio, r.StaticRatio)
+		fmt.Fprintf(w, "%-28s %-10d %-10d %-16.4f %.4f\n", r.Layout, r.Type2Len, r.Type3Len, r.NoTableRatio, r.StaticRatio)
 	}
 
-	header("Ablation A2: Hamming parameter sweep (m = 3..15)")
+	header(w, "Ablation A2: Hamming parameter sweep (m = 3..15)")
 	streamBytes := 8 << 20
 	if quick {
 		streamBytes = 1 << 20
 	}
 	a2, err := experiments.AblationMSweep(streamBytes, seed)
-	fatal(err)
-	fmt.Printf("%-4s %-8s %-12s %-12s %-14s %-10s %s\n", "m", "chunk", "type2/chunk", "type3/chunk", "chunks/basis", "bases", "static fits 2^15?")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-4s %-8s %-12s %-12s %-14s %-10s %s\n", "m", "chunk", "type2/chunk", "type3/chunk", "chunks/basis", "bases", "static fits 2^15?")
 	for _, r := range a2 {
-		fmt.Printf("%-4d %-8d %-12.4f %-12.4f %-14d %-10d %v\n",
+		fmt.Fprintf(w, "%-4d %-8d %-12.4f %-12.4f %-14d %-10d %v\n",
 			r.M, r.ChunkBytes, r.Type2Ratio, r.Type3Ratio, r.ChunksPerBasis, r.Bases, r.StaticOK)
 	}
 
-	header("Ablation A3: dictionary size vs compression (LRU pressure)")
+	header(w, "Ablation A3: dictionary size vs compression (LRU pressure)")
 	records := 400_000
 	if quick {
 		records = 100_000
 	}
 	a3, err := experiments.AblationDictSize(records, seed)
-	fatal(err)
-	fmt.Printf("%-8s %-10s %-8s %-10s %s\n", "IDBits", "capacity", "ratio", "evicted", "distinct bases")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-8s %-10s %-8s %-10s %s\n", "IDBits", "capacity", "ratio", "evicted", "distinct bases")
 	for _, r := range a3 {
-		fmt.Printf("%-8d %-10d %-8.3f %-10d %d\n", r.IDBits, r.Capacity, r.Ratio, r.Evicted, r.Distinct)
+		fmt.Fprintf(w, "%-8d %-10d %-8.3f %-10d %d\n", r.IDBits, r.Capacity, r.Ratio, r.Evicted, r.Distinct)
 	}
 
-	header("Ablation A4: transform comparison (dedup vs GD variants)")
+	header(w, "Ablation A4: transform comparison (dedup vs GD variants)")
 	if quick {
 		records = 60_000
 	} else {
 		records = 200_000
 	}
 	a4, err := experiments.AblationTransforms(records, seed)
-	fatal(err)
-	fmt.Printf("%-16s %-22s %-8s %-12s %s\n", "Dataset", "Transform", "ratio", "dict keys", "evicted")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-16s %-22s %-8s %-12s %s\n", "Dataset", "Transform", "ratio", "dict keys", "evicted")
 	for _, r := range a4 {
-		fmt.Printf("%-16s %-22s %-8.3f %-12d %d\n", r.Dataset, r.Transform, r.Ratio, r.Distinct, r.Evicted)
+		fmt.Fprintf(w, "%-16s %-22s %-8.3f %-12d %d\n", r.Dataset, r.Transform, r.Ratio, r.Distinct, r.Evicted)
 	}
 
-	header("Ablation A5: future-work BCH transform (paper §8)")
+	header(w, "Ablation A5: future-work BCH transform (paper §8)")
 	if quick {
 		records = 40_000
 	} else {
 		records = 120_000
 	}
 	a5, err := experiments.AblationBCH(records, seed)
-	fatal(err)
-	fmt.Printf("%-16s %-22s %-8s %-12s %s\n", "Dataset", "Transform", "ratio", "dict keys", "hit bytes")
-	for _, r := range a5 {
-		fmt.Printf("%-16s %-22s %-8.3f %-12d %d\n", r.Dataset, r.Transform, r.Ratio, r.Distinct, r.HitBytes)
-	}
-}
-
-func fatal(err error) {
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "zipline-bench:", err)
-		os.Exit(1)
+		return err
 	}
+	fmt.Fprintf(w, "%-16s %-22s %-8s %-12s %s\n", "Dataset", "Transform", "ratio", "dict keys", "hit bytes")
+	for _, r := range a5 {
+		fmt.Fprintf(w, "%-16s %-22s %-8.3f %-12d %d\n", r.Dataset, r.Transform, r.Ratio, r.Distinct, r.HitBytes)
+	}
+	return nil
 }
 
 func max(a, b int) int {

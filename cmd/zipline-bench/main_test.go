@@ -1,0 +1,44 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunTable1(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-run", "table1"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "Table 1") || !strings.Contains(stdout.String(), "completed in") {
+		t.Fatalf("output missing sections: %q", stdout.String())
+	}
+}
+
+func TestRunTable2(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-run", "table2"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "verified: syndrome == CRC-3") {
+		t.Fatalf("verification line missing: %q", stdout.String())
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-run", "nope"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "unknown experiment") {
+		t.Fatalf("stderr = %q", stderr.String())
+	}
+}
+
+func TestBadFlagExits2(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-definitely-not-a-flag"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}

@@ -2,6 +2,7 @@
 // deduplication.
 //
 //	zipline -c [-m 8] [-idbits 15] < input > output.zl
+//	zipline -c -p 8 < input > output.zl   # parallel (v2 container)
 //	zipline -d < output.zl > input
 //	zipline -stats -c < input > /dev/null
 package main
@@ -17,51 +18,88 @@ import (
 )
 
 func main() {
-	compress := flag.Bool("c", false, "compress stdin to stdout")
-	decompress := flag.Bool("d", false, "decompress stdin to stdout")
-	m := flag.Int("m", 8, "Hamming parameter (3..15): chunks are 2^m bits")
-	idBits := flag.Int("idbits", 15, "dictionary identifier width in bits (1..24)")
-	showStats := flag.Bool("stats", false, "print chunk statistics to stderr")
-	flag.Parse()
-
-	if *compress == *decompress {
-		fmt.Fprintln(os.Stderr, "zipline: exactly one of -c or -d is required")
-		flag.Usage()
-		os.Exit(2)
-	}
-
-	in := bufio.NewReaderSize(os.Stdin, 1<<20)
-	out := bufio.NewWriterSize(os.Stdout, 1<<20)
-	defer out.Flush()
-
-	if *compress {
-		zw, err := zipline.NewWriter(out, zipline.Config{M: *m, IDBits: *idBits})
-		fatal(err)
-		n, err := io.Copy(zw, in)
-		fatal(err)
-		fatal(zw.Close())
-		fatal(out.Flush())
-		if *showStats {
-			fmt.Fprintf(os.Stderr, "in=%d chunks=%d hits=%d misses=%d tail=%d\n",
-				n, zw.Stats.Chunks, zw.Stats.Hits, zw.Stats.Misses, zw.Stats.TailBytes)
-		}
-		return
-	}
-
-	zr, err := zipline.NewReader(in)
-	fatal(err)
-	n, err := io.Copy(out, zr)
-	fatal(err)
-	fatal(out.Flush())
-	if *showStats {
-		fmt.Fprintf(os.Stderr, "out=%d chunks=%d hits=%d misses=%d tail=%d\n",
-			n, zr.Stats.Chunks, zr.Stats.Hits, zr.Stats.Misses, zr.Stats.TailBytes)
-	}
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
 }
 
-func fatal(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "zipline:", err)
-		os.Exit(1)
+// run is the testable entry point: all errors propagate here, the
+// single exit point, so deferred cleanup always executes and a failed
+// output flush cannot be silently swallowed.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("zipline", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	compress := fs.Bool("c", false, "compress stdin to stdout")
+	decompress := fs.Bool("d", false, "decompress stdin to stdout")
+	m := fs.Int("m", 8, "Hamming parameter (3..15): chunks are 2^m bits")
+	idBits := fs.Int("idbits", 15, "dictionary identifier width in bits (1..24)")
+	workers := fs.Int("p", 1, "parallel workers for -c: >1 compresses with the sharded v2 container, 0 = all CPUs (decompression always follows the stream's shard count)")
+	showStats := fs.Bool("stats", false, "print chunk statistics to stderr")
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
+	if *compress == *decompress {
+		fmt.Fprintln(stderr, "zipline: exactly one of -c or -d is required")
+		fs.Usage()
+		return 2
+	}
+	if *workers < 0 {
+		fmt.Fprintf(stderr, "zipline: -p must be >= 0, got %d\n", *workers)
+		return 2
+	}
+	cfg := zipline.Config{M: *m, IDBits: *idBits}
+	if err := pipe(stdin, stdout, stderr, *compress, cfg, *workers, *showStats); err != nil {
+		fmt.Fprintln(stderr, "zipline:", err)
+		return 1
+	}
+	return 0
+}
+
+func pipe(stdin io.Reader, stdout, stderr io.Writer, compress bool, cfg zipline.Config, workers int, showStats bool) error {
+	in := bufio.NewReaderSize(stdin, 1<<20)
+	out := bufio.NewWriterSize(stdout, 1<<20)
+
+	var n int64
+	var stats *zipline.StreamStats
+	if compress {
+		var zw io.WriteCloser
+		if workers == 1 {
+			sw, err := zipline.NewWriter(out, cfg)
+			if err != nil {
+				return err
+			}
+			zw, stats = sw, &sw.Stats
+		} else {
+			pw, err := zipline.NewParallelWriter(out, cfg, workers)
+			if err != nil {
+				return err
+			}
+			zw, stats = pw, &pw.Stats
+		}
+		var err error
+		if n, err = io.Copy(zw, in); err != nil {
+			zw.Close() // release parallel workers; the copy error wins
+			return err
+		}
+		if err := zw.Close(); err != nil {
+			return err
+		}
+	} else {
+		zr, err := zipline.NewParallelReader(in)
+		if err != nil {
+			return err
+		}
+		if n, err = io.Copy(out, zr); err != nil {
+			return err
+		}
+		stats = &zr.Stats
+	}
+	// A full disk surfaces here: the flush error must reach the exit
+	// code, not vanish in a defer.
+	if err := out.Flush(); err != nil {
+		return err
+	}
+	if showStats {
+		fmt.Fprintf(stderr, "bytes=%d chunks=%d hits=%d misses=%d tail=%d\n",
+			n, stats.Chunks, stats.Hits, stats.Misses, stats.TailBytes)
+	}
+	return nil
 }

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestRoundTripSerial(t *testing.T) {
+	data := make([]byte, 100_000)
+	rand.New(rand.NewSource(1)).Read(data)
+
+	var comp, back, errw bytes.Buffer
+	if code := run([]string{"-c"}, bytes.NewReader(data), &comp, &errw); code != 0 {
+		t.Fatalf("compress exit %d: %s", code, errw.String())
+	}
+	if code := run([]string{"-d"}, bytes.NewReader(comp.Bytes()), &back, &errw); code != 0 {
+		t.Fatalf("decompress exit %d: %s", code, errw.String())
+	}
+	if !bytes.Equal(back.Bytes(), data) {
+		t.Fatal("round trip failed")
+	}
+}
+
+func TestRoundTripParallel(t *testing.T) {
+	chunk := make([]byte, 32)
+	rand.New(rand.NewSource(2)).Read(chunk)
+	data := append(bytes.Repeat(chunk, 20_000), 0xEE) // compressible + tail byte
+
+	var comp, back, errw bytes.Buffer
+	if code := run([]string{"-c", "-p", "4", "-stats"}, bytes.NewReader(data), &comp, &errw); code != 0 {
+		t.Fatalf("compress exit %d: %s", code, errw.String())
+	}
+	if comp.Len() >= len(data) {
+		t.Fatalf("no compression: %d -> %d", len(data), comp.Len())
+	}
+	if !strings.Contains(errw.String(), "chunks=20000") {
+		t.Fatalf("stats missing: %q", errw.String())
+	}
+	errw.Reset()
+	if code := run([]string{"-d"}, bytes.NewReader(comp.Bytes()), &back, &errw); code != 0 {
+		t.Fatalf("decompress exit %d: %s", code, errw.String())
+	}
+	if !bytes.Equal(back.Bytes(), data) {
+		t.Fatal("parallel round trip failed")
+	}
+}
+
+func TestFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{},                 // neither -c nor -d
+		{"-c", "-d"},       // both
+		{"-c", "-m", "99"}, // out-of-range m caught at pipe setup
+	} {
+		var out, errw bytes.Buffer
+		if code := run(args, strings.NewReader(""), &out, &errw); code == 0 {
+			t.Errorf("args %v: expected nonzero exit", args)
+		}
+	}
+}
+
+// errWriter fails after n bytes, modelling a full disk.
+type errWriter struct{ n int }
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, bytes.ErrTooLarge
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+func TestOutputErrorExitsNonzero(t *testing.T) {
+	data := make([]byte, 1<<20)
+	rand.New(rand.NewSource(3)).Read(data)
+	var errw bytes.Buffer
+	if code := run([]string{"-c"}, bytes.NewReader(data), &errWriter{n: 100}, &errw); code == 0 {
+		t.Fatal("failing output writer exited 0")
+	}
+}
+
+func TestDecompressGarbageFails(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-d"}, strings.NewReader("this is not a zipline stream"), &out, &errw); code == 0 {
+		t.Fatal("garbage decoded successfully")
+	}
+}

@@ -22,6 +22,17 @@ func FuzzDecompressBytes(f *testing.F) {
 	if comp, err := CompressBytes([]byte("tail-only"), Config{M: 5}); err == nil {
 		f.Add(comp)
 	}
+	// Sharded v2 containers: several shard counts, a multi-segment
+	// stream (groups on more than one shard) and a tail-bearing one.
+	if comp, err := CompressBytesParallel(bytes.Repeat([]byte{9, 8, 7, 6}, 100), Config{}, 3); err == nil {
+		f.Add(comp)
+	}
+	if comp, err := CompressBytesParallel(bytes.Repeat([]byte{0xAB}, 2*defaultSegmentBytes+5), Config{}, 2); err == nil {
+		f.Add(comp)
+	}
+	if comp, err := CompressBytesParallel([]byte("v2 tail-only"), Config{M: 5}, 4); err == nil {
+		f.Add(comp)
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		out, err := DecompressBytes(data)
 		if err == nil && len(out) > 1<<26 {
@@ -31,13 +42,14 @@ func FuzzDecompressBytes(f *testing.F) {
 }
 
 // FuzzStreamRoundTrip: every input must compress and decompress back
-// to itself under several configurations.
+// to itself under several configurations, through both the serial
+// (v1) and sharded parallel (v2) containers.
 func FuzzStreamRoundTrip(f *testing.F) {
-	f.Add([]byte(nil), uint8(8), uint8(1))
-	f.Add([]byte("hello zipline"), uint8(3), uint8(1))
-	f.Add(bytes.Repeat([]byte{0xFF}, 300), uint8(8), uint8(2))
-	f.Add(bytes.Repeat([]byte("abcdefgh"), 64), uint8(5), uint8(1))
-	f.Fuzz(func(t *testing.T, data []byte, m, tt uint8) {
+	f.Add([]byte(nil), uint8(8), uint8(1), uint8(1))
+	f.Add([]byte("hello zipline"), uint8(3), uint8(1), uint8(2))
+	f.Add(bytes.Repeat([]byte{0xFF}, 300), uint8(8), uint8(2), uint8(3))
+	f.Add(bytes.Repeat([]byte("abcdefgh"), 64), uint8(5), uint8(1), uint8(8))
+	f.Fuzz(func(t *testing.T, data []byte, m, tt, workers uint8) {
 		cfg := Config{M: int(m%13) + 3, T: int(tt%2) + 1}
 		comp, err := CompressBytes(data, cfg)
 		if err != nil {
@@ -49,6 +61,17 @@ func FuzzStreamRoundTrip(f *testing.F) {
 		}
 		if !bytes.Equal(back, data) {
 			t.Fatalf("round trip failed for cfg %+v", cfg)
+		}
+		pcomp, err := CompressBytesParallel(data, cfg, int(workers%8)+1)
+		if err != nil {
+			t.Fatalf("parallel compress: %v", err)
+		}
+		back, err = DecompressBytes(pcomp)
+		if err != nil {
+			t.Fatalf("serial decode of v2: %v", err)
+		}
+		if !bytes.Equal(back, data) {
+			t.Fatalf("v2 round trip failed for cfg %+v", cfg)
 		}
 	})
 }

@@ -1,0 +1,3 @@
+module zipline
+
+go 1.24

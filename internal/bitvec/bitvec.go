@@ -163,6 +163,23 @@ func (v *Vector) Clone() *Vector {
 	return c
 }
 
+// Reset reinitialises v to a zeroed n-bit vector, reusing the backing
+// array when it has capacity. It exists for hot loops that refill the
+// same scratch vector instead of allocating a fresh one per item.
+func (v *Vector) Reset(n int) {
+	if n < 0 {
+		panic("bitvec: negative length")
+	}
+	nb := (n + 7) / 8
+	if cap(v.data) >= nb {
+		v.data = v.data[:nb]
+		clear(v.data)
+	} else {
+		v.data = make([]byte, nb)
+	}
+	v.n = n
+}
+
 // Zero reports whether every bit is clear.
 func (v *Vector) Zero() bool {
 	for _, b := range v.data {

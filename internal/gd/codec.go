@@ -73,6 +73,12 @@ func (c *Codec) SplitChunk(chunk []byte) (Split, error) {
 	if h, ok := c.t.(*Hamming); ok {
 		return c.splitHamming(h, chunk)
 	}
+	return c.splitGeneric(chunk)
+}
+
+// splitGeneric encodes a chunk through the Transform interface; the
+// Hamming transform takes the vector-free path in fastpath.go instead.
+func (c *Codec) splitGeneric(chunk []byte) (Split, error) {
 	if len(chunk) != c.ChunkBytes() {
 		return Split{}, fmt.Errorf("gd: chunk is %d bytes, codec expects %d", len(chunk), c.ChunkBytes())
 	}

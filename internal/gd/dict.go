@@ -21,9 +21,11 @@ type Dictionary struct {
 	idBits   int
 	capacity int
 	byKey    map[string]*list.Element // basis key -> entry
-	byID     []*list.Element          // id -> entry (nil if free)
+	byID     []*list.Element          // id -> entry (nil if free); grows on demand
 	order    *list.List               // front = most recently used
-	free     []uint32                 // unallocated ids, LIFO
+	freed    []uint32                 // ids returned by Remove, LIFO
+	next     uint32                   // first never-allocated id
+	keyBuf   []byte                   // scratch for allocation-free lookups
 }
 
 type dictEntry struct {
@@ -33,24 +35,22 @@ type dictEntry struct {
 }
 
 // NewDictionary creates a dictionary with 2^idBits identifier slots.
+// Memory is proportional to the entries actually inserted, not to the
+// slot count: a decoder can be handed an attacker-chosen idBits (and,
+// in the sharded container, hundreds of dictionaries), so the 2^24
+// worst case must not be preallocated. Identifiers are still handed
+// out in increasing order (reusing Removed ids first, LIFO), exactly
+// as the previous eager free-list did.
 func NewDictionary(idBits int) *Dictionary {
 	if idBits < 1 || idBits > 24 {
 		panic(fmt.Sprintf("gd: idBits %d out of range [1,24]", idBits))
 	}
-	capacity := 1 << uint(idBits)
-	d := &Dictionary{
+	return &Dictionary{
 		idBits:   idBits,
-		capacity: capacity,
-		byKey:    make(map[string]*list.Element, capacity),
-		byID:     make([]*list.Element, capacity),
+		capacity: 1 << uint(idBits),
+		byKey:    make(map[string]*list.Element),
 		order:    list.New(),
-		free:     make([]uint32, 0, capacity),
 	}
-	// Hand out identifiers in increasing order for determinism.
-	for id := capacity - 1; id >= 0; id-- {
-		d.free = append(d.free, uint32(id))
-	}
-	return d
 }
 
 // IDBits returns the identifier width in bits.
@@ -62,10 +62,21 @@ func (d *Dictionary) Capacity() int { return d.capacity }
 // Len returns the number of bases currently mapped.
 func (d *Dictionary) Len() int { return d.order.Len() }
 
+// fillKeyBuf assembles the basis's map key (the same bytes as
+// bitvec's Key: a 2-byte length prefix plus the backing store) in the
+// dictionary's scratch buffer. Indexing the map with string(d.keyBuf)
+// directly lets the compiler skip the string allocation, keeping the
+// hot hit path allocation-free.
+func (d *Dictionary) fillKeyBuf(basis *bitvec.Vector) {
+	d.keyBuf = append(d.keyBuf[:0], byte(basis.Len()>>8), byte(basis.Len()))
+	d.keyBuf = append(d.keyBuf, basis.Bytes()...)
+}
+
 // Lookup returns the identifier for a basis if present, refreshing
 // its recency (a data-plane hit resets the TNA idle timer).
 func (d *Dictionary) Lookup(basis *bitvec.Vector) (uint32, bool) {
-	el, ok := d.byKey[basis.Key()]
+	d.fillKeyBuf(basis)
+	el, ok := d.byKey[string(d.keyBuf)]
 	if !ok {
 		return 0, false
 	}
@@ -77,10 +88,23 @@ func (d *Dictionary) Lookup(basis *bitvec.Vector) (uint32, bool) {
 // does not refresh recency: decoders follow the encoder's mapping
 // rather than maintaining their own.
 func (d *Dictionary) LookupID(id uint32) (*bitvec.Vector, bool) {
-	if id >= uint32(d.capacity) || d.byID[id] == nil {
+	if id >= uint32(len(d.byID)) || d.byID[id] == nil {
 		return nil, false
 	}
 	return d.byID[id].Value.(*dictEntry).basis, true
+}
+
+// LookupIDTouch is LookupID plus the recency refresh of a Lookup hit,
+// in one table access and without rebuilding the basis key — the
+// decoder's replay of an encoder hit, the dominant operation on the
+// decode hot path.
+func (d *Dictionary) LookupIDTouch(id uint32) (*bitvec.Vector, bool) {
+	if id >= uint32(len(d.byID)) || d.byID[id] == nil {
+		return nil, false
+	}
+	el := d.byID[id]
+	d.order.MoveToFront(el)
+	return el.Value.(*dictEntry).basis, true
 }
 
 // Insert maps a new basis, allocating the least recently used
@@ -88,15 +112,20 @@ func (d *Dictionary) LookupID(id uint32) (*bitvec.Vector, bool) {
 // mapping had to be recycled, the evicted basis. Inserting a basis
 // that is already present just refreshes it.
 func (d *Dictionary) Insert(basis *bitvec.Vector) (id uint32, evicted *bitvec.Vector) {
-	key := basis.Key()
-	if el, ok := d.byKey[key]; ok {
+	d.fillKeyBuf(basis)
+	if el, ok := d.byKey[string(d.keyBuf)]; ok {
 		d.order.MoveToFront(el)
 		return el.Value.(*dictEntry).id, nil
 	}
-	if len(d.free) > 0 {
-		id = d.free[len(d.free)-1]
-		d.free = d.free[:len(d.free)-1]
-	} else {
+	key := string(d.keyBuf)
+	switch {
+	case len(d.freed) > 0:
+		id = d.freed[len(d.freed)-1]
+		d.freed = d.freed[:len(d.freed)-1]
+	case d.next < uint32(d.capacity):
+		id = d.next
+		d.next++
+	default:
 		// Recycle the least recently used mapping (paper §5: "an LRU
 		// policy is applied to evict and recycle an identifier").
 		back := d.order.Back()
@@ -109,6 +138,9 @@ func (d *Dictionary) Insert(basis *bitvec.Vector) (id uint32, evicted *bitvec.Ve
 	}
 	el := d.order.PushFront(&dictEntry{key: key, basis: basis.Clone(), id: id})
 	d.byKey[key] = el
+	for int(id) >= len(d.byID) {
+		d.byID = append(d.byID, nil)
+	}
 	d.byID[id] = el
 	return id, evicted
 }
@@ -116,7 +148,8 @@ func (d *Dictionary) Insert(basis *bitvec.Vector) (id uint32, evicted *bitvec.Ve
 // Remove drops the mapping for a basis, returning its id to the free
 // pool. It reports whether the basis was present.
 func (d *Dictionary) Remove(basis *bitvec.Vector) bool {
-	el, ok := d.byKey[basis.Key()]
+	d.fillKeyBuf(basis)
+	el, ok := d.byKey[string(d.keyBuf)]
 	if !ok {
 		return false
 	}
@@ -124,6 +157,6 @@ func (d *Dictionary) Remove(basis *bitvec.Vector) bool {
 	delete(d.byKey, ent.key)
 	d.byID[ent.id] = nil
 	d.order.Remove(el)
-	d.free = append(d.free, ent.id)
+	d.freed = append(d.freed, ent.id)
 	return true
 }

@@ -2,6 +2,7 @@ package gd
 
 import (
 	"fmt"
+	"slices"
 
 	"zipline/internal/bitvec"
 )
@@ -19,52 +20,146 @@ import (
 // letting the syndrome be computed over the whole byte-aligned chunk
 // in one table-driven pass — exactly what ZipLine's P4 program does
 // with the Tofino CRC extern over the full payload container.
+//
+// Each operation comes in three shapes: the allocating SplitChunk /
+// MergeChunk used by one-shot callers, the scratch-reusing
+// SplitChunkInto used by the stream encoders, and the raw-byte
+// SplitChunkBytes / MergeChunkBytes that never touch a bit vector at
+// all — the allocation-free hot path of the public Codec.
 
 // splitHamming encodes one chunk for a Hamming transform without
 // intermediate bit vectors.
 func (c *Codec) splitHamming(h *Hamming, chunk []byte) (Split, error) {
+	var s Split
+	err := c.splitHammingInto(h, chunk, &s)
+	return s, err
+}
+
+// SplitChunkInto is SplitChunk writing into a caller-owned Split,
+// reusing s.Basis's storage when it has capacity. Repeated calls with
+// the same Split allocate nothing on the Hamming fast path, which is
+// what lets each stream worker encode with a single scratch struct.
+// The previous contents of s are overwritten; bases handed to a
+// Dictionary are cloned on insert, so reuse is safe.
+func (c *Codec) SplitChunkInto(chunk []byte, s *Split) error {
+	if h, ok := c.t.(*Hamming); ok {
+		return c.splitHammingInto(h, chunk, s)
+	}
+	out, err := c.splitGeneric(chunk)
+	if err != nil {
+		return err
+	}
+	*s = out
+	return nil
+}
+
+func (c *Codec) splitHammingInto(h *Hamming, chunk []byte, s *Split) error {
 	if len(chunk) != c.ChunkBytes() {
-		return Split{}, fmt.Errorf("gd: chunk is %d bytes, codec expects %d", len(chunk), c.ChunkBytes())
+		return fmt.Errorf("gd: chunk is %d bytes, codec expects %d", len(chunk), c.ChunkBytes())
 	}
 	code := h.code
 	extra := chunk[0] >> 7
-	s := code.Engine().Remainder(chunk, c.chunkBits) ^ uint32(extra)
-
+	syn := code.Engine().Remainder(chunk, c.chunkBits) ^ uint32(extra)
+	if s.Basis == nil {
+		s.Basis = bitvec.New(code.K())
+	} else {
+		s.Basis.Reset(code.K())
+	}
+	basisBuf := s.Basis.Bytes()
 	// Extract the basis (word positions m..n-1, i.e. chunk bit
 	// offset 1+m), then flip the syndrome-indicated bit if it landed
 	// inside the basis range; flips in the parity range vanish with
 	// the truncation.
-	basisBuf := make([]byte, (code.K()+7)/8)
 	bitvec.CopyBits(basisBuf, 0, chunk, 1+code.M(), code.K())
-	if pos := code.ErrorPosition(s); pos >= 0 {
+	if pos := code.ErrorPosition(syn); pos >= 0 {
 		if rel := pos - code.M(); rel >= 0 {
 			basisBuf[rel>>3] ^= 1 << (7 - uint(rel&7))
 		}
 	}
-	return Split{
-		Basis:     bitvec.Wrap(basisBuf, code.K()),
-		Deviation: s,
-		Extra:     extra,
-	}, nil
+	s.Deviation = syn
+	s.Extra = extra
+	return nil
+}
+
+// SplitChunkBytes is SplitChunk without bit vectors: the basis bits
+// land in basis, whose capacity is reused append-style (pass the
+// previous return value, or nil on first use). The returned slice is
+// exactly ceil(BasisBits/8) bytes with zero tail padding.
+func (c *Codec) SplitChunkBytes(chunk, basis []byte) (basisOut []byte, deviation uint32, extra uint8, err error) {
+	h, ok := c.t.(*Hamming)
+	if !ok {
+		s, err := c.splitGeneric(chunk)
+		if err != nil {
+			return basis, 0, 0, err
+		}
+		return append(basis[:0], s.Basis.Bytes()...), s.Deviation, s.Extra, nil
+	}
+	if len(chunk) != c.ChunkBytes() {
+		return basis, 0, 0, fmt.Errorf("gd: chunk is %d bytes, codec expects %d", len(chunk), c.ChunkBytes())
+	}
+	code := h.code
+	ex := chunk[0] >> 7
+	syn := code.Engine().Remainder(chunk, c.chunkBits) ^ uint32(ex)
+	nb := (code.K() + 7) / 8
+	if cap(basis) >= nb {
+		basis = basis[:nb]
+		clear(basis)
+	} else {
+		basis = make([]byte, nb)
+	}
+	bitvec.CopyBits(basis, 0, chunk, 1+code.M(), code.K())
+	if pos := code.ErrorPosition(syn); pos >= 0 {
+		if rel := pos - code.M(); rel >= 0 {
+			basis[rel>>3] ^= 1 << (7 - uint(rel&7))
+		}
+	}
+	return basis, syn, ex, nil
 }
 
 // mergeHamming reconstructs one chunk for a Hamming transform without
 // intermediate bit vectors, appending to dst.
 func (c *Codec) mergeHamming(h *Hamming, s Split, dst []byte) ([]byte, error) {
-	code := h.code
-	if s.Basis.Len() != code.K() {
-		return dst, fmt.Errorf("gd: basis length %d != k=%d", s.Basis.Len(), code.K())
+	if s.Basis.Len() != h.code.K() {
+		return dst, fmt.Errorf("gd: basis length %d != k=%d", s.Basis.Len(), h.code.K())
 	}
-	if s.Deviation >= 1<<uint(code.M()) {
-		return dst, fmt.Errorf("gd: deviation %#x wider than m=%d bits", s.Deviation, code.M())
-	}
-	if s.Extra > 1 {
-		return dst, fmt.Errorf("gd: extra %#x wider than 1 bit", s.Extra)
-	}
-	p := code.ParityBytes(s.Basis.Bytes())
+	return c.mergeHammingBytes(h, s.Basis.Bytes(), s.Deviation, s.Extra, dst)
+}
 
-	chunk := make([]byte, c.ChunkBytes())
-	if s.Extra == 1 {
+// MergeChunkBytes is MergeChunk on a raw basis buffer: basis must be
+// ceil(BasisBits/8) bytes (tail padding bits are ignored). The chunk
+// is appended to dst in place; when dst has spare capacity the call
+// allocates nothing.
+func (c *Codec) MergeChunkBytes(basis []byte, deviation uint32, extra uint8, dst []byte) ([]byte, error) {
+	if len(basis) != (c.t.BasisBits()+7)/8 {
+		return dst, fmt.Errorf("gd: basis is %d bytes, want %d", len(basis), (c.t.BasisBits()+7)/8)
+	}
+	h, ok := c.t.(*Hamming)
+	if !ok {
+		return c.MergeChunk(Split{
+			Basis:     bitvec.FromBytes(basis, c.t.BasisBits()),
+			Deviation: deviation,
+			Extra:     extra,
+		}, dst)
+	}
+	return c.mergeHammingBytes(h, basis, deviation, extra, dst)
+}
+
+func (c *Codec) mergeHammingBytes(h *Hamming, basis []byte, deviation uint32, extra uint8, dst []byte) ([]byte, error) {
+	code := h.code
+	if deviation >= 1<<uint(code.M()) {
+		return dst, fmt.Errorf("gd: deviation %#x wider than m=%d bits", deviation, code.M())
+	}
+	if extra > 1 {
+		return dst, fmt.Errorf("gd: extra %#x wider than 1 bit", extra)
+	}
+	p := code.ParityBytes(basis)
+
+	// Build the chunk directly in dst's grown tail.
+	base := len(dst)
+	dst = slices.Grow(dst, c.ChunkBytes())[:base+c.ChunkBytes()]
+	chunk := dst[base:]
+	clear(chunk)
+	if extra == 1 {
 		chunk[0] = 0x80
 	}
 	// Deposit the m parity bits at chunk bit offset 1.
@@ -74,11 +169,11 @@ func (c *Codec) mergeHamming(h *Hamming, s Split, dst []byte) ([]byte, error) {
 	ptmp[1] = byte(v >> 16)
 	bitvec.CopyBits(chunk, 1, ptmp[:], 0, code.M())
 	// Deposit the basis at offset 1+m.
-	bitvec.CopyBits(chunk, 1+code.M(), s.Basis.Bytes(), 0, code.K())
+	bitvec.CopyBits(chunk, 1+code.M(), basis, 0, code.K())
 	// Re-introduce the deviation bit.
-	if pos := code.ErrorPosition(s.Deviation); pos >= 0 {
+	if pos := code.ErrorPosition(deviation); pos >= 0 {
 		cp := pos + 1
 		chunk[cp>>3] ^= 1 << (7 - uint(cp&7))
 	}
-	return append(dst, chunk...), nil
+	return dst, nil
 }

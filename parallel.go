@@ -1,0 +1,551 @@
+package zipline
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"zipline/internal/bitvec"
+)
+
+// Parallel streaming engine (container version 2).
+//
+// ParallelWriter splits its input into large fixed-size segments and
+// fans them out to N workers, pgzip-style. Worker w owns basis
+// dictionary shard w and encodes segments seq ≡ w (mod N) in order, so
+// each shard's identifier assignment evolves deterministically; a
+// collector goroutine emits the encoded groups strictly in segment
+// order under the v2 framing (stream.go), which records the shard per
+// group. ParallelReader runs the mirror image: a pump goroutine reads
+// groups in order and dispatches each to its shard's decode worker,
+// and Read reassembles the decoded segments in stream order.
+//
+// Sharding trades a little compression for parallelism: each shard
+// only learns from the segments it encodes, so cross-shard duplicate
+// bases are stored once per shard. With segments of 128 KiB the loss
+// is small on the paper's workloads, and throughput scales with
+// cores — the software analogue of ZipLine running one GD pipeline
+// per switch port.
+
+// defaultSegmentBytes is the input segment handed to each worker. It
+// is a multiple of every valid chunk size (chunks are 2^(M-3) ≤ 4096
+// bytes), large enough to amortise hand-off costs and small enough to
+// keep per-shard dictionaries warm.
+const defaultSegmentBytes = 128 << 10
+
+// maxShards is the widest shard count the v2 header can record.
+const maxShards = 255
+
+// pwJob carries one input segment through a ParallelWriter worker.
+type pwJob struct {
+	seq   uint32
+	shard uint8
+	data  []byte         // input segment (owned by the job until collected)
+	block *bitvec.Writer // encoded records
+	stats StreamStats
+	err   error
+	done  chan struct{}
+}
+
+// ParallelWriter compresses a byte stream with GD across multiple
+// goroutines, emitting the version-2 sharded container. It implements
+// io.WriteCloser; Close flushes the tail and trailer and must be
+// called for the stream to be readable — including after a Write
+// error, where it releases the worker and collector goroutines.
+// Methods must not be called concurrently; Stats is valid after
+// Close.
+type ParallelWriter struct {
+	w       io.Writer
+	codec   *Codec
+	shards  int
+	segSize int
+
+	pending []byte
+	seq     uint32
+	closed  bool
+
+	jobs          []chan *pwJob
+	order         chan *pwJob
+	collectorDone chan struct{}
+
+	bufPool   sync.Pool // segment input buffers
+	blockPool sync.Pool // *bitvec.Writer block buffers
+
+	mu   sync.Mutex
+	werr error // first encode/write error, set by the collector
+
+	// Stats accumulate over the writer's lifetime (valid after Close).
+	Stats StreamStats
+}
+
+// NewParallelWriter builds a parallel compressing writer with the
+// given configuration and worker count (0 selects GOMAXPROCS, capped
+// at 255). The container header is written immediately. workers == 1
+// still produces a valid v2 stream with a single shard.
+func NewParallelWriter(w io.Writer, cfg Config, workers int) (*ParallelWriter, error) {
+	codec, err := NewCodec(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > maxShards {
+		workers = maxShards
+	}
+	cs := codec.ChunkSize()
+	segSize := defaultSegmentBytes
+	if rem := segSize % cs; rem != 0 {
+		segSize += cs - rem
+	}
+	pw := &ParallelWriter{
+		w:             w,
+		codec:         codec,
+		shards:        workers,
+		segSize:       segSize,
+		jobs:          make([]chan *pwJob, workers),
+		order:         make(chan *pwJob, 2*workers),
+		collectorDone: make(chan struct{}),
+	}
+	pw.bufPool.New = func() any { return make([]byte, 0, segSize) }
+	pw.blockPool.New = func() any { return bitvec.NewWriter(segSize/cs*4 + 256) }
+
+	hdr := append(streamHeader(streamV2, codec.cfg), byte(workers), 0, 0, 0)
+	if _, err := w.Write(hdr); err != nil {
+		return nil, err
+	}
+	for i := range pw.jobs {
+		pw.jobs[i] = make(chan *pwJob, 2)
+		go pw.worker(i)
+	}
+	go pw.collect()
+	return pw, nil
+}
+
+func (pw *ParallelWriter) setErr(err error) {
+	pw.mu.Lock()
+	if pw.werr == nil {
+		pw.werr = err
+	}
+	pw.mu.Unlock()
+}
+
+func (pw *ParallelWriter) error() error {
+	pw.mu.Lock()
+	defer pw.mu.Unlock()
+	return pw.werr
+}
+
+// worker encodes this shard's segments in arrival order against the
+// shard's persistent dictionary.
+func (pw *ParallelWriter) worker(shard int) {
+	enc := newBlockEncoder(pw.codec)
+	cs := pw.codec.ChunkSize()
+	for job := range pw.jobs[shard] {
+		enc.block, enc.stats = job.block, &job.stats
+		for off := 0; off < len(job.data) && job.err == nil; off += cs {
+			job.err = enc.encodeChunk(job.data[off : off+cs])
+		}
+		close(job.done)
+	}
+}
+
+// collect writes finished groups to the underlying writer in segment
+// order. It keeps draining after a failure so dispatchers never block.
+func (pw *ParallelWriter) collect() {
+	defer close(pw.collectorDone)
+	failed := false
+	for job := range pw.order {
+		<-job.done
+		if !failed {
+			err := job.err
+			if err == nil {
+				err = pw.writeGroup(job)
+			}
+			if err != nil {
+				pw.setErr(err)
+				failed = true
+			} else {
+				pw.Stats.add(job.stats)
+			}
+		}
+		job.block.Reset()
+		pw.blockPool.Put(job.block)
+		pw.bufPool.Put(job.data[:0])
+	}
+}
+
+func (pw *ParallelWriter) writeGroup(job *pwJob) error {
+	var hdr [16]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(job.block.Bytes())))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(job.block.Len()))
+	binary.LittleEndian.PutUint32(hdr[8:], job.seq)
+	hdr[12] = job.shard
+	if _, err := pw.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := pw.w.Write(job.block.Bytes())
+	return err
+}
+
+// dispatch hands a chunk-aligned segment to its shard's worker and
+// registers it with the collector.
+func (pw *ParallelWriter) dispatch(seg []byte) {
+	shard := int(pw.seq) % pw.shards
+	job := &pwJob{
+		seq:   pw.seq,
+		shard: uint8(shard),
+		data:  seg,
+		block: pw.blockPool.Get().(*bitvec.Writer),
+		done:  make(chan struct{}),
+	}
+	pw.seq++
+	pw.order <- job
+	pw.jobs[shard] <- job
+}
+
+// Write implements io.Writer.
+func (pw *ParallelWriter) Write(p []byte) (int, error) {
+	if pw.closed {
+		return 0, fmt.Errorf("zipline: write after Close")
+	}
+	if err := pw.error(); err != nil {
+		return 0, err
+	}
+	n := len(p)
+	for len(p) > 0 {
+		if pw.pending == nil {
+			pw.pending = pw.bufPool.Get().([]byte)
+		}
+		take := min(pw.segSize-len(pw.pending), len(p))
+		pw.pending = append(pw.pending, p[:take]...)
+		p = p[take:]
+		if len(pw.pending) == pw.segSize {
+			pw.dispatch(pw.pending)
+			pw.pending = nil
+			// Re-check the latch per segment so a large Write stops
+			// segmenting (and the workers stop encoding) as soon as
+			// the collector records a failure, not at the next call.
+			if err := pw.error(); err != nil {
+				return n - len(p), err
+			}
+		}
+	}
+	return n, nil
+}
+
+// Close dispatches the final partial segment, waits for every worker,
+// then writes the tail and trailer groups. It does not close the
+// underlying writer.
+func (pw *ParallelWriter) Close() error {
+	if pw.closed {
+		return pw.error()
+	}
+	pw.closed = true
+	var tail []byte
+	if len(pw.pending) > 0 {
+		cs := pw.codec.ChunkSize()
+		full := len(pw.pending) / cs * cs
+		// The sub-chunk remainder must outlive the recycled buffer.
+		tail = append([]byte(nil), pw.pending[full:]...)
+		if full > 0 {
+			pw.dispatch(pw.pending[:full])
+		}
+		pw.pending = nil
+	}
+	for _, ch := range pw.jobs {
+		close(ch)
+	}
+	close(pw.order)
+	<-pw.collectorDone
+	if err := pw.error(); err != nil {
+		return err
+	}
+	// Record tail/trailer write failures too, so a later Close (e.g. a
+	// deferred one after an unchecked explicit Close) repeats the
+	// error instead of reporting success on a truncated stream.
+	if err := pw.finish(tail); err != nil {
+		pw.setErr(err)
+		return err
+	}
+	return nil
+}
+
+// finish writes the tail group (if any) and the trailer.
+func (pw *ParallelWriter) finish(tail []byte) error {
+	if len(tail) > 0 {
+		pw.Stats.TailBytes = uint64(len(tail))
+		body := appendTailBlock(make([]byte, 0, 3+len(tail)), tail)
+		var hdr [16]byte
+		binary.LittleEndian.PutUint32(hdr[0:], uint32(len(body)))
+		binary.LittleEndian.PutUint32(hdr[4:], uint32(len(body)*8)|tailBlockFlag)
+		binary.LittleEndian.PutUint32(hdr[8:], pw.seq)
+		if _, err := pw.w.Write(hdr[:]); err != nil {
+			return err
+		}
+		if _, err := pw.w.Write(body); err != nil {
+			return err
+		}
+	}
+	var trailer [16]byte
+	_, err := pw.w.Write(trailer[:])
+	return err
+}
+
+// prJob carries one group through a ParallelReader worker.
+type prJob struct {
+	body   []byte
+	bitLen int
+	out    []byte
+	err    error
+	done   chan struct{}
+}
+
+// closedChan is a pre-closed done channel for jobs that need no work.
+var closedChan = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
+
+// ParallelReader decompresses a stream with one decode worker per
+// shard. Version-1 (serial) streams are handled transparently by an
+// embedded serial Reader. Methods must not be called concurrently;
+// Stats is valid once Read has returned io.EOF.
+type ParallelReader struct {
+	serial *Reader // non-nil for v1 streams
+
+	codec  *Codec
+	shards int
+	jobs   []chan *prJob
+	order  chan *prJob
+	stop   chan struct{}
+	once   sync.Once
+
+	shardStats []StreamStats
+	pumpTail   uint64
+	pumpErr    error // set by the pump before it closes order
+
+	// Buffer recycling, mirroring the writer's pools: compressed group
+	// bodies go back to bodyPool once decoded, decoded segments go
+	// back to outPool once Read has drained them.
+	bodyPool sync.Pool
+	outPool  sync.Pool
+
+	cur    []byte
+	curBuf []byte // full backing of cur, recycled when drained
+	err    error
+
+	// Stats accumulate over the reader's lifetime.
+	Stats StreamStats
+}
+
+// NewParallelReader opens a compressed stream, reading and validating
+// its header immediately (unlike NewReader, which defers to the first
+// Read).
+func NewParallelReader(r io.Reader) (*ParallelReader, error) {
+	version, codec, shards, err := parseStreamHeader(r)
+	if err != nil {
+		return nil, err
+	}
+	if version == streamV1 {
+		// Serial container: delegate to a Reader that starts past the
+		// already-parsed header.
+		zr := &Reader{
+			r:       r,
+			codec:   codec,
+			version: version,
+			started: true,
+			decs:    make([]*blockDecoder, shards),
+		}
+		return &ParallelReader{serial: zr}, nil
+	}
+	pr := &ParallelReader{
+		codec:      codec,
+		shards:     shards,
+		jobs:       make([]chan *prJob, shards),
+		order:      make(chan *prJob, 2*shards),
+		stop:       make(chan struct{}),
+		shardStats: make([]StreamStats, shards),
+	}
+	for i := range pr.jobs {
+		pr.jobs[i] = make(chan *prJob, 2)
+		go pr.worker(i)
+	}
+	go pr.pump(r)
+	return pr, nil
+}
+
+// worker decodes this shard's groups in arrival order against the
+// shard's persistent dictionary. The dictionary is built on the first
+// group so a corrupt header's shard count cannot force up-front
+// allocation of hundreds of full-capacity dictionaries.
+func (pr *ParallelReader) worker(shard int) {
+	var dec *blockDecoder
+	for job := range pr.jobs[shard] {
+		if dec == nil {
+			dec = newBlockDecoder(pr.codec, &pr.shardStats[shard])
+		}
+		var out []byte
+		if b, _ := pr.outPool.Get().([]byte); b != nil {
+			out = b[:0]
+		}
+		job.out, job.err = dec.decodeRecords(job.body, job.bitLen, out)
+		// The compressed body is dead once decoded; every worker-bound
+		// job's body came from bodyPool (tail jobs never reach here).
+		pr.bodyPool.Put(job.body[:0])
+		job.body = nil
+		close(job.done)
+	}
+}
+
+// pump reads groups in stream order, dispatching each to its shard's
+// worker and to the in-order queue Read consumes from.
+func (pr *ParallelReader) pump(r io.Reader) {
+	defer func() {
+		for _, ch := range pr.jobs {
+			close(ch)
+		}
+		close(pr.order)
+	}()
+	var nextSeq uint32
+	for {
+		byteLen, bitWord, shard, err := readBlockHeader(r, streamV2, &nextSeq)
+		if err != nil {
+			pr.pumpErr = err
+			return
+		}
+		if byteLen == 0 {
+			return // trailer
+		}
+		tailGroup := bitWord&tailBlockFlag != 0
+		var body []byte
+		if !tailGroup {
+			// Tail bodies are never pooled: the decoded tail aliases
+			// them and lives until Read consumes it.
+			if b, _ := pr.bodyPool.Get().([]byte); cap(b) >= int(byteLen) {
+				body = b[:byteLen]
+			}
+		}
+		if body == nil {
+			body = make([]byte, byteLen)
+		}
+		if _, err := io.ReadFull(r, body); err != nil {
+			pr.pumpErr = fmt.Errorf("%w: block body: %v", ErrCorrupt, err)
+			return
+		}
+		tail, isTail, err := classifyGroup(bitWord, shard, pr.shards, body)
+		if err != nil {
+			pr.pumpErr = err
+			return
+		}
+		var job *prJob
+		if isTail {
+			pr.pumpTail += uint64(len(tail))
+			job = &prJob{out: tail, done: closedChan}
+		} else {
+			job = &prJob{body: body, bitLen: int(bitWord), done: make(chan struct{})}
+		}
+		select {
+		case pr.order <- job:
+		case <-pr.stop:
+			return
+		}
+		if job.body != nil {
+			select {
+			case pr.jobs[shard] <- job:
+			case <-pr.stop:
+				return
+			}
+		}
+	}
+}
+
+// Read implements io.Reader.
+func (pr *ParallelReader) Read(p []byte) (int, error) {
+	if pr.serial != nil {
+		n, err := pr.serial.Read(p)
+		pr.Stats = pr.serial.Stats
+		return n, err
+	}
+	if pr.err != nil {
+		return 0, pr.err
+	}
+	for len(pr.cur) == 0 {
+		if pr.curBuf != nil {
+			pr.outPool.Put(pr.curBuf[:0])
+			pr.curBuf = nil
+		}
+		job, ok := <-pr.order
+		if !ok {
+			if pr.pumpErr != nil {
+				pr.err = pr.pumpErr
+			} else {
+				pr.err = io.EOF
+				pr.finalizeStats()
+			}
+			return 0, pr.err
+		}
+		<-job.done
+		if job.err != nil {
+			pr.err = job.err
+			pr.release()
+			return 0, pr.err
+		}
+		pr.cur, pr.curBuf = job.out, job.out
+	}
+	n := copy(p, pr.cur)
+	pr.cur = pr.cur[n:]
+	return n, nil
+}
+
+// finalizeStats folds the per-shard counters into Stats once the
+// whole stream has been consumed (every job's done channel has been
+// observed, so the workers' writes are visible).
+func (pr *ParallelReader) finalizeStats() {
+	pr.Stats = StreamStats{TailBytes: pr.pumpTail}
+	for _, s := range pr.shardStats {
+		pr.Stats.add(s)
+	}
+}
+
+// release unblocks the pump so its goroutine can exit early.
+func (pr *ParallelReader) release() {
+	pr.once.Do(func() { close(pr.stop) })
+}
+
+// Close releases the reader's goroutines without consuming the rest
+// of the stream. It never fails; the error return satisfies
+// io.ReadCloser.
+func (pr *ParallelReader) Close() error {
+	if pr.serial != nil {
+		return nil
+	}
+	pr.release()
+	if pr.err == nil {
+		pr.err = fmt.Errorf("zipline: reader closed")
+	}
+	return nil
+}
+
+// CompressBytesParallel compresses data in one call using workers
+// parallel encoders (0 selects GOMAXPROCS); the result is a v2
+// sharded stream readable by Reader, ParallelReader or
+// DecompressBytes.
+func CompressBytesParallel(data []byte, cfg Config, workers int) ([]byte, error) {
+	var buf appendWriter
+	pw, err := NewParallelWriter(&buf, cfg, workers)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := pw.Write(data); err != nil {
+		pw.Close() // release the workers; the write error wins
+		return nil, err
+	}
+	if err := pw.Close(); err != nil {
+		return nil, err
+	}
+	return buf.b, nil
+}

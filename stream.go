@@ -32,26 +32,180 @@ import (
 // identical insertions and lookups, so identifier assignment evolves
 // in lockstep on both sides without any side channel — the streaming
 // analogue of the control-plane protocol.
+//
+// Version 2 is the parallel (sharded) container written by
+// ParallelWriter. The 8-byte header above is followed by
+//
+//	u8 shards | u8 reserved ×3
+//
+// and blocks become 16-byte-headed groups, one per input segment:
+//
+//	u32le byteLen | u32le bitLen | u32le seq | u8 shard | u8 reserved ×3
+//
+// seq counts groups from zero; shard names the basis dictionary the
+// group's records were encoded against (the encoder assigns segment
+// seq to shard seq mod shards, and each shard's groups appear in the
+// stream in that shard's encode order). A decoder keeps one
+// dictionary per shard and replays each group against its recorded
+// shard, so identifier assignment stays in lockstep per shard whether
+// the groups are decoded serially or by per-shard workers. The tail
+// marker and the all-zero trailer group work as in version 1. Record
+// payloads are identical across versions.
 const (
-	streamMagic   = "ZLGD"
-	streamVersion = 1
+	streamMagic = "ZLGD"
+	streamV1    = 1 // serial container, written by Writer
+	streamV2    = 2 // sharded container, written by ParallelWriter
 )
 
 // ErrCorrupt reports an undecodable stream.
 var ErrCorrupt = errors.New("zipline: corrupt stream")
 
-const defaultBlockBytes = 64 << 10
+const (
+	defaultBlockBytes = 64 << 10
+	maxBlockBytes     = 1 << 24
+	maxTailBytes      = 0xFFFF
+)
+
+// tailBlockFlag marks the bitLen word of a raw tail block.
+const tailBlockFlag = 1 << 31
+
+// blockEncoder is the reusable encode unit shared by the serial
+// Writer and every ParallelWriter worker: it turns fixed-size chunks
+// into bit-packed records against one basis dictionary. The block and
+// stats destinations are fields so a worker can repoint them at the
+// current job while the dictionary persists across jobs.
+type blockEncoder struct {
+	codec *Codec
+	dict  *gd.Dictionary
+	block *bitvec.Writer
+	stats *StreamStats
+	split gd.Split // scratch reused across chunks
+}
+
+func newBlockEncoder(codec *Codec) *blockEncoder {
+	return &blockEncoder{codec: codec, dict: gd.NewDictionary(codec.cfg.IDBits)}
+}
+
+// encodeChunk appends one chunk's record to the current block.
+func (e *blockEncoder) encodeChunk(chunk []byte) error {
+	if err := e.codec.inner.SplitChunkInto(chunk, &e.split); err != nil {
+		return err
+	}
+	m := e.codec.DeviationBits()
+	e.stats.Chunks++
+	if id, ok := e.dict.Lookup(e.split.Basis); ok {
+		e.block.WriteBit(true)
+		e.block.WriteUint(uint64(e.split.Deviation), m)
+		e.block.WriteUint(uint64(e.split.Extra), 1)
+		e.block.WriteUint(uint64(id), e.codec.cfg.IDBits)
+		e.stats.Hits++
+	} else {
+		e.dict.Insert(e.split.Basis)
+		e.block.WriteBit(false)
+		e.block.WriteUint(uint64(e.split.Deviation), m)
+		e.block.WriteUint(uint64(e.split.Extra), 1)
+		e.block.WriteVector(e.split.Basis)
+		e.stats.Misses++
+	}
+	return nil
+}
+
+// blockDecoder is the matching decode unit: it replays one shard's
+// record blocks against one basis dictionary, mirroring the encoder's
+// insertions and recency refreshes.
+type blockDecoder struct {
+	codec *Codec
+	dict  *gd.Dictionary
+	stats *StreamStats
+}
+
+func newBlockDecoder(codec *Codec, stats *StreamStats) *blockDecoder {
+	return &blockDecoder{codec: codec, dict: gd.NewDictionary(codec.cfg.IDBits), stats: stats}
+}
+
+// decodeRecords replays one block of records, appending the decoded
+// bytes to out.
+func (d *blockDecoder) decodeRecords(body []byte, bitLen int, out []byte) ([]byte, error) {
+	br := bitvec.NewReaderBits(body, bitLen)
+	m := d.codec.DeviationBits()
+	k := d.codec.BasisBits()
+	idBits := d.codec.cfg.IDBits
+	for br.Remaining() > 0 {
+		hit, err := br.ReadBit()
+		if err != nil {
+			return out, fmt.Errorf("%w: truncated record", ErrCorrupt)
+		}
+		dev, err := br.ReadUint(m)
+		if err != nil {
+			return out, fmt.Errorf("%w: truncated deviation", ErrCorrupt)
+		}
+		extra, err := br.ReadUint(1)
+		if err != nil {
+			return out, fmt.Errorf("%w: truncated extra bit", ErrCorrupt)
+		}
+		var basis *bitvec.Vector
+		if hit {
+			id, err := br.ReadUint(idBits)
+			if err != nil {
+				return out, fmt.Errorf("%w: truncated identifier", ErrCorrupt)
+			}
+			// Mirrors the encoder's lookup including its recency refresh.
+			b, ok := d.dict.LookupIDTouch(uint32(id))
+			if !ok {
+				return out, fmt.Errorf("%w: unknown identifier %d", ErrCorrupt, id)
+			}
+			basis = b
+			d.stats.Hits++
+		} else {
+			b, err := br.ReadVector(k)
+			if err != nil {
+				return out, fmt.Errorf("%w: truncated basis", ErrCorrupt)
+			}
+			d.dict.Insert(b)
+			basis = b
+			d.stats.Misses++
+		}
+		d.stats.Chunks++
+		out, err = d.codec.inner.MergeChunk(gd.Split{
+			Basis:     basis,
+			Deviation: uint32(dev),
+			Extra:     uint8(extra),
+		}, out)
+		if err != nil {
+			return out, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+	}
+	return out, nil
+}
+
+// parseTailBlock validates a raw tail block body and returns the tail
+// bytes (aliasing body).
+func parseTailBlock(body []byte) ([]byte, error) {
+	if len(body) < 3 || body[0] != 0xFF {
+		return nil, fmt.Errorf("%w: malformed tail block", ErrCorrupt)
+	}
+	n := int(binary.LittleEndian.Uint16(body[1:3]))
+	if len(body) != 3+n {
+		return nil, fmt.Errorf("%w: tail length mismatch", ErrCorrupt)
+	}
+	return body[3:], nil
+}
+
+// appendTailBlock encodes the tail body: 0xFF | u16le length | bytes.
+func appendTailBlock(dst, tail []byte) []byte {
+	dst = append(dst, 0xFF)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(tail)))
+	return append(dst, tail...)
+}
 
 // Writer compresses a byte stream with GD. It buffers at most one
 // chunk of input plus one output block. Close flushes the tail and
 // the trailer; the stream is unreadable without it.
 type Writer struct {
-	w     io.Writer
-	codec *Codec
-	dict  *gd.Dictionary
+	w   io.Writer
+	enc *blockEncoder
 
 	pending     []byte // partial input chunk
-	block       *bitvec.Writer
 	wroteHeader bool
 	closed      bool
 
@@ -67,18 +221,24 @@ type StreamStats struct {
 	TailBytes uint64
 }
 
+// add accumulates o into s.
+func (s *StreamStats) add(o StreamStats) {
+	s.Chunks += o.Chunks
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.TailBytes += o.TailBytes
+}
+
 // NewWriter builds a compressing writer with the given configuration.
 func NewWriter(w io.Writer, cfg Config) (*Writer, error) {
 	codec, err := NewCodec(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return &Writer{
-		w:     w,
-		codec: codec,
-		dict:  gd.NewDictionary(codec.cfg.IDBits),
-		block: bitvec.NewWriter(defaultBlockBytes + 256),
-	}, nil
+	zw := &Writer{w: w, enc: newBlockEncoder(codec)}
+	zw.enc.block = bitvec.NewWriter(defaultBlockBytes + 256)
+	zw.enc.stats = &zw.Stats
+	return zw, nil
 }
 
 // Write implements io.Writer.
@@ -90,7 +250,7 @@ func (zw *Writer) Write(p []byte) (int, error) {
 		return 0, err
 	}
 	n := len(p)
-	cs := zw.codec.ChunkSize()
+	cs := zw.enc.codec.ChunkSize()
 	// Drain the pending partial chunk first.
 	if len(zw.pending) > 0 {
 		need := cs - len(zw.pending)
@@ -115,58 +275,46 @@ func (zw *Writer) Write(p []byte) (int, error) {
 	return n, nil
 }
 
+// streamHeader assembles the 8-byte container header.
+func streamHeader(version uint8, cfg Config) []byte {
+	return []byte{streamMagic[0], streamMagic[1], streamMagic[2], streamMagic[3],
+		version, byte(cfg.M), byte(cfg.IDBits), byte(cfg.T)}
+}
+
 func (zw *Writer) writeHeader() error {
 	if zw.wroteHeader {
 		return nil
 	}
 	zw.wroteHeader = true
-	hdr := []byte{streamMagic[0], streamMagic[1], streamMagic[2], streamMagic[3],
-		streamVersion, byte(zw.codec.cfg.M), byte(zw.codec.cfg.IDBits), byte(zw.codec.cfg.T)}
-	_, err := zw.w.Write(hdr)
+	_, err := zw.w.Write(streamHeader(streamV1, zw.enc.codec.cfg))
 	return err
 }
 
 func (zw *Writer) encodeChunk(chunk []byte) error {
-	s, err := zw.codec.inner.SplitChunk(chunk)
-	if err != nil {
+	if err := zw.enc.encodeChunk(chunk); err != nil {
 		return err
 	}
-	m := zw.codec.DeviationBits()
-	zw.Stats.Chunks++
-	if id, ok := zw.dict.Lookup(s.Basis); ok {
-		zw.block.WriteBit(true)
-		zw.block.WriteUint(uint64(s.Deviation), m)
-		zw.block.WriteUint(uint64(s.Extra), 1)
-		zw.block.WriteUint(uint64(id), zw.codec.cfg.IDBits)
-		zw.Stats.Hits++
-	} else {
-		zw.dict.Insert(s.Basis)
-		zw.block.WriteBit(false)
-		zw.block.WriteUint(uint64(s.Deviation), m)
-		zw.block.WriteUint(uint64(s.Extra), 1)
-		zw.block.WriteVector(s.Basis)
-		zw.Stats.Misses++
-	}
-	if len(zw.block.Bytes()) >= defaultBlockBytes {
+	if len(zw.enc.block.Bytes()) >= defaultBlockBytes {
 		return zw.flushBlock()
 	}
 	return nil
 }
 
 func (zw *Writer) flushBlock() error {
-	if zw.block.Len() == 0 {
+	block := zw.enc.block
+	if block.Len() == 0 {
 		return nil
 	}
 	var hdr [8]byte
-	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(zw.block.Bytes())))
-	binary.LittleEndian.PutUint32(hdr[4:], uint32(zw.block.Len()))
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(block.Bytes())))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(block.Len()))
 	if _, err := zw.w.Write(hdr[:]); err != nil {
 		return err
 	}
-	if _, err := zw.w.Write(zw.block.Bytes()); err != nil {
+	if _, err := zw.w.Write(block.Bytes()); err != nil {
 		return err
 	}
-	zw.block.Reset()
+	block.Reset()
 	return nil
 }
 
@@ -185,14 +333,11 @@ func (zw *Writer) Close() error {
 	}
 	// Tail block: raw trailing bytes that did not fill a chunk.
 	if len(zw.pending) > 0 {
-		if len(zw.pending) > 0xFFFF {
+		if len(zw.pending) > maxTailBytes {
 			return fmt.Errorf("zipline: tail of %d bytes exceeds format limit", len(zw.pending))
 		}
 		zw.Stats.TailBytes = uint64(len(zw.pending))
-		body := make([]byte, 0, 3+len(zw.pending))
-		body = append(body, 0xFF)
-		body = binary.LittleEndian.AppendUint16(body, uint16(len(zw.pending)))
-		body = append(body, zw.pending...)
+		body := appendTailBlock(make([]byte, 0, 3+len(zw.pending)), zw.pending)
 		var hdr [8]byte
 		binary.LittleEndian.PutUint32(hdr[0:], uint32(len(body)))
 		binary.LittleEndian.PutUint32(hdr[4:], uint32(len(body)*8)|tailBlockFlag)
@@ -208,15 +353,14 @@ func (zw *Writer) Close() error {
 	return err
 }
 
-// tailBlockFlag marks the bitLen word of a raw tail block.
-const tailBlockFlag = 1 << 31
-
-// Reader decompresses a stream produced by Writer. It implements
-// io.Reader.
+// Reader decompresses a stream produced by Writer or ParallelWriter
+// (it understands both container versions). It implements io.Reader.
 type Reader struct {
-	r     io.Reader
-	codec *Codec
-	dict  *gd.Dictionary
+	r       io.Reader
+	codec   *Codec
+	version uint8
+	decs    []*blockDecoder // one per shard; v1 streams have one
+	nextSeq uint32
 
 	out     []byte // decoded bytes not yet read
 	done    bool
@@ -237,23 +381,51 @@ func (zr *Reader) start() error {
 		return nil
 	}
 	zr.started = true
+	version, codec, shards, err := parseStreamHeader(zr.r)
+	if err != nil {
+		return err
+	}
+	zr.version, zr.codec = version, codec
+	// Shard decoders are created lazily on first use; together with
+	// insert-proportional Dictionary sizing this keeps decoder memory
+	// tied to real stream content, not to the attacker-controlled
+	// shards and idBits header bytes.
+	zr.decs = make([]*blockDecoder, shards)
+	return nil
+}
+
+// parseStreamHeader reads and validates the container header — magic,
+// version, codec configuration and (v2) shard count. It is the single
+// authority both Reader and ParallelReader open streams with, so the
+// two decoders accept exactly the same headers.
+func parseStreamHeader(r io.Reader) (version uint8, codec *Codec, shards int, err error) {
 	var hdr [8]byte
-	if _, err := io.ReadFull(zr.r, hdr[:]); err != nil {
-		return fmt.Errorf("%w: header: %v", ErrCorrupt, err)
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, 0, fmt.Errorf("%w: header: %v", ErrCorrupt, err)
 	}
 	if string(hdr[:4]) != streamMagic {
-		return fmt.Errorf("%w: bad magic %q", ErrCorrupt, hdr[:4])
+		return 0, nil, 0, fmt.Errorf("%w: bad magic %q", ErrCorrupt, hdr[:4])
 	}
-	if hdr[4] != streamVersion {
-		return fmt.Errorf("%w: unsupported version %d", ErrCorrupt, hdr[4])
+	version = hdr[4]
+	if version != streamV1 && version != streamV2 {
+		return 0, nil, 0, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, version)
 	}
-	codec, err := NewCodec(Config{M: int(hdr[5]), IDBits: int(hdr[6]), T: int(hdr[7])})
-	if err != nil {
-		return fmt.Errorf("%w: %v", ErrCorrupt, err)
+	codec, cerr := NewCodec(Config{M: int(hdr[5]), IDBits: int(hdr[6]), T: int(hdr[7])})
+	if cerr != nil {
+		return 0, nil, 0, fmt.Errorf("%w: %v", ErrCorrupt, cerr)
 	}
-	zr.codec = codec
-	zr.dict = gd.NewDictionary(codec.cfg.IDBits)
-	return nil
+	shards = 1
+	if version == streamV2 {
+		var ext [4]byte
+		if _, err := io.ReadFull(r, ext[:]); err != nil {
+			return 0, nil, 0, fmt.Errorf("%w: v2 header: %v", ErrCorrupt, err)
+		}
+		shards = int(ext[0])
+		if shards == 0 {
+			return 0, nil, 0, fmt.Errorf("%w: zero shards", ErrCorrupt)
+		}
+	}
+	return version, codec, shards, nil
 }
 
 // Read implements io.Reader.
@@ -275,96 +447,82 @@ func (zr *Reader) Read(p []byte) (int, error) {
 }
 
 func (zr *Reader) readBlock() error {
-	var hdr [8]byte
-	if _, err := io.ReadFull(zr.r, hdr[:]); err != nil {
-		return fmt.Errorf("%w: block header: %v", ErrCorrupt, err)
+	byteLen, bitWord, shard, err := readBlockHeader(zr.r, zr.version, &zr.nextSeq)
+	if err != nil {
+		return err
 	}
-	byteLen := binary.LittleEndian.Uint32(hdr[0:])
-	bitWord := binary.LittleEndian.Uint32(hdr[4:])
 	if byteLen == 0 {
 		zr.done = true
 		return nil
-	}
-	if byteLen > 1<<24 {
-		return fmt.Errorf("%w: block of %d bytes", ErrCorrupt, byteLen)
 	}
 	body := make([]byte, byteLen)
 	if _, err := io.ReadFull(zr.r, body); err != nil {
 		return fmt.Errorf("%w: block body: %v", ErrCorrupt, err)
 	}
-	if bitWord&tailBlockFlag != 0 {
-		// Raw tail block.
-		if len(body) < 3 || body[0] != 0xFF {
-			return fmt.Errorf("%w: malformed tail block", ErrCorrupt)
-		}
-		n := int(binary.LittleEndian.Uint16(body[1:3]))
-		if len(body) != 3+n {
-			return fmt.Errorf("%w: tail length mismatch", ErrCorrupt)
-		}
-		zr.out = append(zr.out, body[3:]...)
-		zr.Stats.TailBytes += uint64(n)
+	tail, isTail, err := classifyGroup(bitWord, shard, len(zr.decs), body)
+	if err != nil {
+		return err
+	}
+	if isTail {
+		zr.out = append(zr.out, tail...)
+		zr.Stats.TailBytes += uint64(len(tail))
 		return nil
 	}
-	bitLen := int(bitWord)
-	if bitLen > len(body)*8 {
-		return fmt.Errorf("%w: bit length exceeds block", ErrCorrupt)
+	if zr.decs[shard] == nil {
+		zr.decs[shard] = newBlockDecoder(zr.codec, &zr.Stats)
 	}
-	return zr.decodeRecords(body, bitLen)
+	zr.out, err = zr.decs[shard].decodeRecords(body, int(bitWord), zr.out)
+	return err
 }
 
-func (zr *Reader) decodeRecords(body []byte, bitLen int) error {
-	br := bitvec.NewReaderBits(body, bitLen)
-	m := zr.codec.DeviationBits()
-	k := zr.codec.BasisBits()
-	idBits := zr.codec.cfg.IDBits
-	for br.Remaining() > 0 {
-		hit, err := br.ReadBit()
-		if err != nil {
-			return fmt.Errorf("%w: truncated record", ErrCorrupt)
-		}
-		dev, err := br.ReadUint(m)
-		if err != nil {
-			return fmt.Errorf("%w: truncated deviation", ErrCorrupt)
-		}
-		extra, err := br.ReadUint(1)
-		if err != nil {
-			return fmt.Errorf("%w: truncated extra bit", ErrCorrupt)
-		}
-		var basis *bitvec.Vector
-		if hit {
-			id, err := br.ReadUint(idBits)
-			if err != nil {
-				return fmt.Errorf("%w: truncated identifier", ErrCorrupt)
-			}
-			b, ok := zr.dict.LookupID(uint32(id))
-			if !ok {
-				return fmt.Errorf("%w: unknown identifier %d", ErrCorrupt, id)
-			}
-			basis = b
-			// Mirror the encoder's recency refresh.
-			zr.dict.Lookup(basis)
-			zr.Stats.Hits++
-		} else {
-			b, err := br.ReadVector(k)
-			if err != nil {
-				return fmt.Errorf("%w: truncated basis", ErrCorrupt)
-			}
-			zr.dict.Insert(b)
-			basis = b
-			zr.Stats.Misses++
-		}
-		zr.Stats.Chunks++
-		out, err := zr.codec.inner.MergeChunk(gd.Split{
-			Basis:     basis,
-			Deviation: uint32(dev),
-			Extra:     uint8(extra),
-		}, zr.out)
-		if err != nil {
-			return fmt.Errorf("%w: %v", ErrCorrupt, err)
-		}
-		zr.out = out
+// classifyGroup applies the shared accept rules for a group body in
+// either container version: tail groups are validated and their bytes
+// returned (aliasing body); record groups get their shard and bit
+// length bounds checked. Keeping one validator means the serial and
+// parallel decoders accept exactly the same streams.
+func classifyGroup(bitWord uint32, shard uint8, shards int, body []byte) (tail []byte, isTail bool, err error) {
+	if bitWord&tailBlockFlag != 0 {
+		t, err := parseTailBlock(body)
+		return t, true, err
 	}
-	return nil
+	if int(shard) >= shards {
+		return nil, false, fmt.Errorf("%w: shard %d of %d", ErrCorrupt, shard, shards)
+	}
+	if int(bitWord) > len(body)*8 {
+		return nil, false, fmt.Errorf("%w: bit length exceeds block", ErrCorrupt)
+	}
+	return nil, false, nil
+}
+
+// readBlockHeader reads and validates one block (v1) or group (v2)
+// header, returning the payload length, the bit-length word and the
+// shard. nextSeq tracks the expected v2 sequence number.
+func readBlockHeader(r io.Reader, version uint8, nextSeq *uint32) (byteLen, bitWord uint32, shard uint8, err error) {
+	var hdr [16]byte
+	n := 8
+	if version == streamV2 {
+		n = 16
+	}
+	if _, err := io.ReadFull(r, hdr[:n]); err != nil {
+		return 0, 0, 0, fmt.Errorf("%w: block header: %v", ErrCorrupt, err)
+	}
+	byteLen = binary.LittleEndian.Uint32(hdr[0:])
+	bitWord = binary.LittleEndian.Uint32(hdr[4:])
+	if version == streamV2 {
+		if byteLen == 0 {
+			return 0, 0, 0, nil
+		}
+		seq := binary.LittleEndian.Uint32(hdr[8:])
+		if seq != *nextSeq {
+			return 0, 0, 0, fmt.Errorf("%w: group %d out of order (want %d)", ErrCorrupt, seq, *nextSeq)
+		}
+		*nextSeq++
+		shard = hdr[12]
+	}
+	if byteLen > maxBlockBytes {
+		return 0, 0, 0, fmt.Errorf("%w: block of %d bytes", ErrCorrupt, byteLen)
+	}
+	return byteLen, bitWord, shard, nil
 }
 
 // CompressBytes compresses data in one call.
@@ -383,8 +541,8 @@ func CompressBytes(data []byte, cfg Config) ([]byte, error) {
 	return buf.b, nil
 }
 
-// DecompressBytes decompresses a stream produced by CompressBytes or
-// Writer in one call.
+// DecompressBytes decompresses a stream produced by CompressBytes,
+// Writer or ParallelWriter in one call.
 func DecompressBytes(data []byte) ([]byte, error) {
 	zr, err := NewReader(bytes.NewReader(data))
 	if err != nil {

@@ -26,7 +26,6 @@ import (
 	"fmt"
 
 	"zipline/internal/bch"
-	"zipline/internal/bitvec"
 	"zipline/internal/gd"
 	"zipline/internal/hamming"
 )
@@ -140,27 +139,32 @@ func (c *Codec) DeviationBits() int { return c.inner.DeviationBits() }
 
 // Split decomposes one chunk of exactly ChunkSize bytes.
 func (c *Codec) Split(chunk []byte) (Split, error) {
-	s, err := c.inner.SplitChunk(chunk)
-	if err != nil {
-		return Split{}, err
-	}
-	return Split{
-		Basis:     s.Basis.Bytes(),
-		Deviation: s.Deviation,
-		Extra:     s.Extra,
-	}, nil
+	var s Split
+	err := c.SplitInto(chunk, &s)
+	return s, err
 }
 
-// Merge reconstructs the chunk from a Split, appending to dst.
+// SplitInto is Split with caller-owned storage: the basis bits are
+// written into s.Basis, reusing its capacity append-style. Reusing
+// one Split across a loop makes the encode path allocation-free; the
+// Codec itself stays safe for concurrent use because all scratch
+// state lives in the caller's Split.
+func (c *Codec) SplitInto(chunk []byte, s *Split) error {
+	basis, dev, extra, err := c.inner.SplitChunkBytes(chunk, s.Basis)
+	if err != nil {
+		return err
+	}
+	s.Basis, s.Deviation, s.Extra = basis, dev, extra
+	return nil
+}
+
+// Merge reconstructs the chunk from a Split, appending to dst. When
+// dst has spare capacity the call allocates nothing.
 func (c *Codec) Merge(s Split, dst []byte) ([]byte, error) {
 	if len(s.Basis) != (c.BasisBits()+7)/8 {
 		return dst, fmt.Errorf("zipline: basis is %d bytes, want %d", len(s.Basis), (c.BasisBits()+7)/8)
 	}
-	return c.inner.MergeChunk(gd.Split{
-		Basis:     bitvec.FromBytes(s.Basis, c.BasisBits()),
-		Deviation: s.Deviation,
-		Extra:     s.Extra,
-	}, dst)
+	return c.inner.MergeChunkBytes(s.Basis, s.Deviation, s.Extra, dst)
 }
 
 // internalCodec hands the wrapped codec to sibling files.
