@@ -10,30 +10,41 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
+	"os"
 	"strings"
 
 	"zipline"
 )
 
 func main() {
-	queries := buildWorkload(200_000, 2_000)
-	fmt.Printf("workload: %d queries x %d B = %.1f MB\n",
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
+	queries, err := buildWorkload(200_000, 2_000)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "workload: %d queries x %d B = %.1f MB\n",
 		len(queries)/32, 32, float64(len(queries))/1e6)
 
 	comp, err := zipline.CompressBytes(queries, zipline.Config{})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("zipline: %.1f%% of original size\n",
+	fmt.Fprintf(w, "zipline: %.1f%% of original size\n",
 		100*float64(len(comp))/float64(len(queries)))
 
 	restored, err := zipline.DecompressBytes(comp)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Println("lossless:", bytes.Equal(restored, queries))
+	fmt.Fprintln(w, "lossless:", bytes.Equal(restored, queries))
 
 	// Chunk-level view: how many distinct bases does the day hold?
 	codec := zipline.MustCodec(zipline.Config{})
@@ -41,16 +52,17 @@ func main() {
 	for off := 0; off < len(queries); off += 32 {
 		s, err := codec.Split(queries[off : off+32])
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		bases[string(s.Basis)]++
 	}
-	fmt.Printf("distinct bases: %d (dictionary holds %d)\n", len(bases), 1<<15)
+	fmt.Fprintf(w, "distinct bases: %d (dictionary holds %d)\n", len(bases), 1<<15)
+	return nil
 }
 
 // buildWorkload emits n stripped 34-byte DNS queries (32 B each) for
 // Zipf-popular names.
-func buildWorkload(n, domains int) []byte {
+func buildWorkload(n, domains int) ([]byte, error) {
 	rng := rand.New(rand.NewSource(7))
 	zipf := rand.NewZipf(rng, 1.3, 1, uint64(domains-1))
 	names := make([]string, domains)
@@ -66,14 +78,18 @@ func buildWorkload(n, domains int) []byte {
 	}
 	out := make([]byte, 0, n*32)
 	for i := 0; i < n; i++ {
-		out = append(out, query(names[zipf.Uint64()])...)
+		q, err := query(names[zipf.Uint64()])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, q...)
 	}
-	return out
+	return out, nil
 }
 
 // query builds a wire-format DNS query and strips the 2-byte txid,
 // yielding the 32-byte chunk ZipLine sees.
-func query(name string) []byte {
+func query(name string) ([]byte, error) {
 	q := make([]byte, 10, 32)                 // header minus txid
 	binary.BigEndian.PutUint16(q[0:], 0x0100) // RD
 	binary.BigEndian.PutUint16(q[2:], 1)      // QDCOUNT
@@ -84,7 +100,7 @@ func query(name string) []byte {
 	q = append(q, 0)          // root
 	q = append(q, 0, 1, 0, 1) // QTYPE A, QCLASS IN
 	if len(q) != 32 {
-		log.Fatalf("query for %s is %d bytes, want 32", name, len(q))
+		return nil, fmt.Errorf("query for %s is %d bytes, want 32", name, len(q))
 	}
-	return q
+	return q, nil
 }

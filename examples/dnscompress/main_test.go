@@ -1,0 +1,25 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestDNSCompressRoundTrip runs the example in a temp working
+// directory and asserts the day of queries round-trips losslessly
+// and actually compresses.
+func TestDNSCompressRoundTrip(t *testing.T) {
+	t.Chdir(t.TempDir())
+	var out bytes.Buffer
+	if err := run(&out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "lossless: true") {
+		t.Fatalf("round trip failed:\n%s", got)
+	}
+	if !strings.Contains(got, "distinct bases:") {
+		t.Fatalf("missing basis census:\n%s", got)
+	}
+}

@@ -10,13 +10,21 @@ package main
 import (
 	"encoding/binary"
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
+	"os"
 
 	"zipline"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	// A small sensor fleet: 8 devices, values change rarely, so only
 	// a handful of bases exist.
 	rng := rand.New(rand.NewSource(3))
@@ -45,19 +53,20 @@ func main() {
 		Seed:      11,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
-	fmt.Printf("packets sent        : %d\n", res.Sent)
-	fmt.Printf("received            : %d\n", res.Received)
-	fmt.Printf("  type 2 (full basis): %d\n", res.UncompressedFrames)
-	fmt.Printf("  type 3 (compressed): %d\n", res.CompressedFrames)
-	fmt.Printf("bases learned       : %d\n", res.BasesLearned)
-	fmt.Printf("payload in          : %.2f MB\n", float64(res.InputPayloadBytes)/1e6)
-	fmt.Printf("payload out         : %.2f MB\n", float64(res.OutputPayloadBytes)/1e6)
-	fmt.Printf("compression ratio   : %.3f\n", res.Ratio())
-	fmt.Printf("first type 2 at     : %.3f ms\n", float64(res.FirstUncompressedNs)/1e6)
-	fmt.Printf("first type 3 at     : %.3f ms (learning delay ≈ %.2f ms)\n",
+	fmt.Fprintf(w, "packets sent        : %d\n", res.Sent)
+	fmt.Fprintf(w, "received            : %d\n", res.Received)
+	fmt.Fprintf(w, "  type 2 (full basis): %d\n", res.UncompressedFrames)
+	fmt.Fprintf(w, "  type 3 (compressed): %d\n", res.CompressedFrames)
+	fmt.Fprintf(w, "bases learned       : %d\n", res.BasesLearned)
+	fmt.Fprintf(w, "payload in          : %.2f MB\n", float64(res.InputPayloadBytes)/1e6)
+	fmt.Fprintf(w, "payload out         : %.2f MB\n", float64(res.OutputPayloadBytes)/1e6)
+	fmt.Fprintf(w, "compression ratio   : %.3f\n", res.Ratio())
+	fmt.Fprintf(w, "first type 2 at     : %.3f ms\n", float64(res.FirstUncompressedNs)/1e6)
+	fmt.Fprintf(w, "first type 3 at     : %.3f ms (learning delay ≈ %.2f ms)\n",
 		float64(res.FirstCompressedNs)/1e6,
 		float64(res.FirstCompressedNs-res.FirstUncompressedNs)/1e6)
+	return nil
 }

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestInlineCompressionRun runs the full in-network example in a
+// temp working directory: every sent packet must arrive, most of the
+// traffic must go compressed, and the learning delay must be the
+// control plane's ≈1.8 ms.
+func TestInlineCompressionRun(t *testing.T) {
+	t.Chdir(t.TempDir())
+	var out bytes.Buffer
+	if err := run(&out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+
+	var sent, received uint64
+	if _, err := fmt.Sscanf(line(t, got, "packets sent"), "packets sent        : %d", &sent); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fmt.Sscanf(line(t, got, "received "), "received            : %d", &received); err != nil {
+		t.Fatal(err)
+	}
+	if sent == 0 || sent != received {
+		t.Fatalf("sent %d, received %d:\n%s", sent, received, got)
+	}
+
+	var ratio float64
+	if _, err := fmt.Sscanf(line(t, got, "compression ratio"), "compression ratio   : %f", &ratio); err != nil {
+		t.Fatal(err)
+	}
+	if ratio <= 0 || ratio >= 0.5 {
+		t.Fatalf("compression ratio %.3f, want well under 0.5 for 8 near-static sensors:\n%s", ratio, got)
+	}
+
+	var t3, delay float64
+	if _, err := fmt.Sscanf(line(t, got, "first type 3"),
+		"first type 3 at     : %f ms (learning delay ≈ %f ms)", &t3, &delay); err != nil {
+		t.Fatal(err)
+	}
+	if delay < 1.5 || delay > 2.1 {
+		t.Fatalf("learning delay %.2f ms outside the modelled band:\n%s", delay, got)
+	}
+}
+
+// line returns the first output line containing the marker.
+func line(t *testing.T, report, marker string) string {
+	t.Helper()
+	for _, l := range strings.Split(report, "\n") {
+		if strings.Contains(l, marker) {
+			return l
+		}
+	}
+	t.Fatalf("no line with %q in:\n%s", marker, report)
+	return ""
+}

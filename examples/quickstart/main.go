@@ -7,32 +7,40 @@ package main
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"zipline"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	// Chunk level: split a 32-byte chunk into basis + deviation.
 	codec := zipline.MustCodec(zipline.Config{}) // paper defaults: m=8, 15-bit IDs
 	chunk := []byte("telemetry:temp=21.50C,rh=40.25%!")
 	if len(chunk) != codec.ChunkSize() {
-		log.Fatalf("chunk must be %d bytes", codec.ChunkSize())
+		return fmt.Errorf("chunk must be %d bytes", codec.ChunkSize())
 	}
 	s, err := codec.Split(chunk)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("chunk      : %d bytes\n", len(chunk))
-	fmt.Printf("basis      : %d bits (dictionary key)\n", codec.BasisBits())
-	fmt.Printf("deviation  : %#02x (%d bits)\n", s.Deviation, codec.DeviationBits())
-	fmt.Printf("carried MSB: %d\n", s.Extra)
+	fmt.Fprintf(w, "chunk      : %d bytes\n", len(chunk))
+	fmt.Fprintf(w, "basis      : %d bits (dictionary key)\n", codec.BasisBits())
+	fmt.Fprintf(w, "deviation  : %#02x (%d bits)\n", s.Deviation, codec.DeviationBits())
+	fmt.Fprintf(w, "carried MSB: %d\n", s.Extra)
 
 	back, err := codec.Merge(s, nil)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("lossless   : %v\n\n", bytes.Equal(back, chunk))
+	fmt.Fprintf(w, "lossless   : %v\n\n", bytes.Equal(back, chunk))
 
 	// Stream level: compress a repetitive sensor log.
 	var log100 []byte
@@ -41,14 +49,15 @@ func main() {
 	}
 	compressed, err := zipline.CompressBytes(log100, zipline.Config{})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	restored, err := zipline.DecompressBytes(compressed)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("stream: %d bytes -> %d bytes (ratio %.3f), lossless %v\n",
+	fmt.Fprintf(w, "stream: %d bytes -> %d bytes (ratio %.3f), lossless %v\n",
 		len(log100), len(compressed),
 		float64(len(compressed))/float64(len(log100)),
 		bytes.Equal(restored, log100))
+	return nil
 }

@@ -1,0 +1,24 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestQuickstartRoundTrip runs the example end to end in a temp
+// working directory and asserts both round trips report lossless.
+func TestQuickstartRoundTrip(t *testing.T) {
+	t.Chdir(t.TempDir())
+	var out bytes.Buffer
+	if err := run(&out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "lossless   : true") {
+		t.Fatalf("chunk round trip not lossless:\n%s", got)
+	}
+	if !strings.Contains(got, "lossless true") {
+		t.Fatalf("stream round trip not lossless:\n%s", got)
+	}
+}

@@ -12,8 +12,10 @@ import (
 	"compress/gzip"
 	"encoding/binary"
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
+	"os"
 
 	"zipline"
 )
@@ -24,48 +26,62 @@ const (
 )
 
 func main() {
-	data := generate()
-	fmt.Printf("sensor log: %d readings x 32 B = %.1f MB\n",
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
+	data, err := generate()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "sensor log: %d readings x 32 B = %.1f MB\n",
 		readings, float64(len(data))/1e6)
 
 	// ZipLine stream compression.
 	var zbuf bytes.Buffer
 	zw, err := zipline.NewWriter(&zbuf, zipline.Config{})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if _, err := zw.Write(data); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if err := zw.Close(); err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("zipline: %8d bytes (ratio %.3f)  chunks=%d hits=%d misses=%d\n",
+	fmt.Fprintf(w, "zipline: %8d bytes (ratio %.3f)  chunks=%d hits=%d misses=%d\n",
 		zbuf.Len(), float64(zbuf.Len())/float64(len(data)),
 		zw.Stats.Chunks, zw.Stats.Hits, zw.Stats.Misses)
 
 	// gzip for comparison.
 	var gbuf bytes.Buffer
 	gw := gzip.NewWriter(&gbuf)
-	gw.Write(data)
-	gw.Close()
-	fmt.Printf("gzip   : %8d bytes (ratio %.3f)\n",
+	if _, err := gw.Write(data); err != nil {
+		return err
+	}
+	if err := gw.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "gzip   : %8d bytes (ratio %.3f)\n",
 		gbuf.Len(), float64(gbuf.Len())/float64(len(data)))
 
 	// Verify losslessness.
 	restored, err := zipline.DecompressBytes(zbuf.Bytes())
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if !bytes.Equal(restored, data) {
-		log.Fatal("round trip failed")
+		return fmt.Errorf("round trip failed")
 	}
-	fmt.Println("round trip: lossless ✓")
+	fmt.Fprintln(w, "round trip: lossless ✓")
+	return nil
 }
 
 // generate builds a day of readings: per-sensor quantised random
 // walks, 1-in-2 readings hit by a single-bit transmission glitch.
-func generate() []byte {
+func generate() ([]byte, error) {
 	rng := rand.New(rand.NewSource(42))
 	type state struct{ temp, rh int32 }
 	fleet := make([]state, sensors)
@@ -91,24 +107,27 @@ func generate() []byte {
 		// glitch: flip one random bit of every reading. GD maps the
 		// glitched reading to the same basis (Hamming ball), so it
 		// still costs only ~3 bytes; gzip pays for each broken match.
-		snap(codec, rec)
+		if err := snap(codec, rec); err != nil {
+			return nil, err
+		}
 		bit := rng.Intn(256)
 		rec[bit/8] ^= 1 << (7 - uint(bit%8))
 		out = append(out, rec...)
 	}
-	return out
+	return out, nil
 }
 
 // snap forces the record onto a GD codeword (deviation zero).
-func snap(codec *zipline.Codec, rec []byte) {
+func snap(codec *zipline.Codec, rec []byte) error {
 	s, err := codec.Split(rec)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	s.Deviation = 0
 	snapped, err := codec.Merge(s, rec[:0:len(rec)])
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	copy(rec, snapped)
+	return nil
 }

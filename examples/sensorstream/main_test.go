@@ -1,0 +1,50 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestSensorstreamRoundTrip runs the example in a temp working
+// directory and asserts the stream round trip is lossless and that
+// ZipLine beat gzip on the glitched workload (the example's point).
+func TestSensorstreamRoundTrip(t *testing.T) {
+	t.Chdir(t.TempDir())
+	var out bytes.Buffer
+	if err := run(&out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "round trip: lossless") {
+		t.Fatalf("round trip failed:\n%s", got)
+	}
+	zl := ratioAfter(t, got, "zipline:")
+	gz := ratioAfter(t, got, "gzip   :")
+	if zl <= 0 || gz <= 0 || zl >= gz {
+		t.Fatalf("zipline ratio %.3f not better than gzip %.3f:\n%s", zl, gz, got)
+	}
+}
+
+// ratioAfter extracts the "(ratio X)" value from the report line
+// starting with prefix.
+func ratioAfter(t *testing.T, report, prefix string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(report, "\n") {
+		if !strings.HasPrefix(line, prefix) {
+			continue
+		}
+		i := strings.Index(line, "(ratio ")
+		if i < 0 {
+			break
+		}
+		var v float64
+		if _, err := fmt.Sscanf(line[i+len("(ratio "):], "%f", &v); err != nil {
+			t.Fatalf("parsing %q: %v", line, err)
+		}
+		return v
+	}
+	t.Fatalf("no %q ratio line in:\n%s", prefix, report)
+	return 0
+}

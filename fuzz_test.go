@@ -2,6 +2,7 @@ package zipline
 
 import (
 	"bytes"
+	"io"
 	"testing"
 )
 
@@ -72,6 +73,79 @@ func FuzzStreamRoundTrip(f *testing.F) {
 		}
 		if !bytes.Equal(back, data) {
 			t.Fatalf("v2 round trip failed for cfg %+v", cfg)
+		}
+	})
+}
+
+// decompressParallel drains data through a ParallelReader, always
+// releasing its goroutines.
+func decompressParallel(data []byte) ([]byte, error) {
+	pr, err := NewParallelReader(bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	defer pr.Close()
+	return io.ReadAll(pr)
+}
+
+// FuzzParallelReader: arbitrary input through the sharded decoder
+// must never panic, deadlock or leak its workers — and whenever both
+// the serial and the parallel decoder accept an input, they must
+// produce identical bytes (the decoders share one format authority;
+// this keeps them honest). The corpus seeds the interesting failure
+// classes: truncation at every framing boundary and shard numbers
+// that exceed the header's count.
+func FuzzParallelReader(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte("not a stream"))
+	if comp, err := CompressBytes(bytes.Repeat([]byte("serial v1 stream!"), 50), Config{}); err == nil {
+		f.Add(comp)
+	}
+	if comp, err := CompressBytesParallel(bytes.Repeat([]byte{1, 2, 3, 4}, 100), Config{}, 3); err == nil {
+		f.Add(comp)
+		// Truncations: inside the stream header, the v2 extension, the
+		// first group header, a group body, and just short of the
+		// trailer.
+		for _, cut := range []int{3, 9, 20, len(comp) / 2, len(comp) - 1} {
+			if cut >= 0 && cut < len(comp) {
+				f.Add(append([]byte(nil), comp[:cut]...))
+			}
+		}
+		// Shard mismatch: the first group's shard byte (stream header
+		// 12 B + group header offset 12) bumped past the declared
+		// shard count.
+		if len(comp) > 25 {
+			mut := append([]byte(nil), comp...)
+			mut[24] = 0xFF
+			f.Add(mut)
+		}
+		// Declared shard count zeroed and inflated.
+		for _, shards := range []byte{0, 255} {
+			mut := append([]byte(nil), comp...)
+			mut[8] = shards
+			f.Add(mut)
+		}
+	}
+	// A multi-segment stream (several groups per shard) and a
+	// tail-bearing one.
+	if comp, err := CompressBytesParallel(sensorLikeData(2*defaultSegmentBytes+5, 9), Config{}, 4); err == nil {
+		f.Add(comp)
+		f.Add(append([]byte(nil), comp[:len(comp)-7]...))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pOut, pErr := decompressParallel(data)
+		if pErr == nil && len(pOut) > 1<<26 {
+			t.Fatalf("implausible expansion: %d bytes", len(pOut))
+		}
+		sOut, sErr := DecompressBytes(data)
+		if pErr == nil && sErr != nil {
+			// The serial Reader decodes every container version; a
+			// stream only the parallel decoder accepts is a format
+			// divergence, not a feature.
+			t.Fatalf("parallel decoder accepted what the serial decoder rejects: %v", sErr)
+		}
+		if pErr == nil && sErr == nil && !bytes.Equal(pOut, sOut) {
+			t.Fatalf("serial and parallel decoders disagree: %d vs %d bytes", len(sOut), len(pOut))
 		}
 	})
 }

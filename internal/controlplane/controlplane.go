@@ -24,9 +24,11 @@ package controlplane
 
 import (
 	"fmt"
+	"sort"
 
 	"zipline/internal/bitvec"
 	"zipline/internal/netsim"
+	"zipline/internal/stats"
 	"zipline/internal/tofino"
 	"zipline/internal/zswitch"
 )
@@ -84,6 +86,9 @@ func (c Config) withDefaults() Config {
 type Stats struct {
 	// DigestsSeen is every digest delivered, including duplicates.
 	DigestsSeen uint64
+	// DigestBytes is the payload volume those digests carried — the
+	// data-plane→control-plane channel cost a deployment budgets for.
+	DigestBytes uint64
 	// Learned is the number of fresh basis→ID mappings installed.
 	Learned uint64
 	// Recycled counts identifiers taken from live mappings via LRU.
@@ -101,28 +106,41 @@ type mapping struct {
 	basis *bitvec.Vector
 }
 
-// Controller is the simulated control plane bound to one encoder
-// pipeline and one decoder pipeline (which may be the same pipeline
-// in a unified single-switch deployment).
+// Controller is the simulated control plane bound to one or more
+// encoder pipelines and one or more decoder pipelines (which may be
+// the same pipeline in a unified single-switch deployment). All
+// encoders share one dictionary keyed by identifier, so a basis
+// learned from any encoder becomes compressible on every encoder —
+// the multi-switch deployment of §8's network-wide discussion.
 type Controller struct {
-	sim *netsim.Sim
-	cfg Config
-	enc *tofino.Pipeline
-	dec *tofino.Pipeline
+	sim  *netsim.Sim
+	cfg  Config
+	encs []*tofino.Pipeline
+	decs []*tofino.Pipeline
 
 	basisBits int
 
 	free      []uint32
-	byKey     map[string]mapping // installed encoder mappings
-	inflight  map[string]bool    // digest accepted, writes pending
-	recycling map[string]bool    // victims with a pending eviction
+	byKey     map[string]mapping     // installed encoder mappings
+	inflight  map[string]netsim.Time // digest accepted (value: first emit time), writes pending
+	recycling map[string]bool        // victims with a pending eviction
 
-	stats Stats
+	stats  Stats
+	delays *stats.Sample // per-basis learning delay, milliseconds
 }
 
 // New builds a controller for an encoder/decoder pipeline pair.
 // basisBits is the dictionary key width (Codec.BasisBits()).
 func New(sim *netsim.Sim, cfg Config, enc, dec *tofino.Pipeline, basisBits int) (*Controller, error) {
+	return NewMulti(sim, cfg, []*tofino.Pipeline{enc}, []*tofino.Pipeline{dec}, basisBits)
+}
+
+// NewMulti builds a controller owning the dictionaries of several
+// encoder and decoder pipelines. Each install phase programs every
+// pipeline of its tier in one batched BfRt write: all decoders first,
+// then all encoders, preserving the paper's invariant that a
+// compressed packet can always be uncompressed — now network-wide.
+func NewMulti(sim *netsim.Sim, cfg Config, encs, decs []*tofino.Pipeline, basisBits int) (*Controller, error) {
 	cfg = cfg.withDefaults()
 	if basisBits <= 0 {
 		return nil, fmt.Errorf("controlplane: basisBits %d", basisBits)
@@ -130,15 +148,19 @@ func New(sim *netsim.Sim, cfg Config, enc, dec *tofino.Pipeline, basisBits int) 
 	if cfg.IDBits < 1 || cfg.IDBits > 24 {
 		return nil, fmt.Errorf("controlplane: IDBits %d out of range", cfg.IDBits)
 	}
+	if len(encs) == 0 || len(decs) == 0 {
+		return nil, fmt.Errorf("controlplane: need at least one encoder and one decoder pipeline")
+	}
 	c := &Controller{
 		sim:       sim,
 		cfg:       cfg,
-		enc:       enc,
-		dec:       dec,
+		encs:      encs,
+		decs:      decs,
 		basisBits: basisBits,
 		byKey:     make(map[string]mapping),
-		inflight:  make(map[string]bool),
+		inflight:  make(map[string]netsim.Time),
 		recycling: make(map[string]bool),
+		delays:    stats.New(),
 	}
 	n := 1 << uint(cfg.IDBits)
 	c.free = make([]uint32, 0, n)
@@ -153,6 +175,12 @@ func New(sim *netsim.Sim, cfg Config, enc, dec *tofino.Pipeline, basisBits int) 
 
 // Stats returns a snapshot of controller counters.
 func (c *Controller) Stats() Stats { return c.stats }
+
+// LearningDelayMs is the sample of per-basis learning delays: for
+// each learned basis, the time from its first digest leaving the data
+// plane to the encoder mapping going live, in milliseconds. With the
+// default timing its mean models the paper's (1.77 ± 0.08) ms.
+func (c *Controller) LearningDelayMs() *stats.Sample { return c.delays }
 
 // Mappings reports the number of live basis→ID mappings.
 func (c *Controller) Mappings() int { return len(c.byKey) }
@@ -169,9 +197,9 @@ func (c *Controller) Bind(sw *netsim.Switch) {
 			if d.Name != zswitch.DigestNewBasis {
 				continue
 			}
-			data := d.Data
+			data, emitted := d.Data, d.EmittedAt
 			c.sim.After(c.sim.Jitter(c.cfg.DigestLatencyNs, c.cfg.JitterFrac), func() {
-				c.handleDigest(data)
+				c.handleDigest(data, emitted)
 			})
 		}
 	}
@@ -180,14 +208,15 @@ func (c *Controller) Bind(sw *netsim.Switch) {
 // HandleDigestNow injects a digest directly (test and tooling hook);
 // the digest latency is NOT applied.
 func (c *Controller) HandleDigestNow(basis *bitvec.Vector) {
-	c.handleDigest(basis.Bytes())
+	c.handleDigest(basis.Bytes(), c.sim.Now())
 }
 
-func (c *Controller) handleDigest(data []byte) {
+func (c *Controller) handleDigest(data []byte, emitted netsim.Time) {
 	c.stats.DigestsSeen++
+	c.stats.DigestBytes += uint64(len(data))
 	basis := bitvec.FromBytes(data, c.basisBits)
 	key := basis.Key()
-	if c.inflight[key] {
+	if _, pending := c.inflight[key]; pending {
 		c.stats.Duplicates++
 		return
 	}
@@ -195,7 +224,7 @@ func (c *Controller) handleDigest(data []byte) {
 		c.stats.Duplicates++
 		return
 	}
-	c.inflight[key] = true
+	c.inflight[key] = emitted
 	c.sim.After(c.sim.Jitter(c.cfg.DecisionNs, c.cfg.JitterFrac), func() {
 		c.allocateAndInstall(key, basis)
 	})
@@ -213,21 +242,20 @@ func (c *Controller) allocateAndInstall(key string, basis *bitvec.Vector) {
 		return
 	}
 	// Pool exhausted: recycle the least recently used installed
-	// mapping, as seen by the data plane's idle timers. Victims with
-	// an eviction already in flight are skipped so two learns never
-	// recycle the same identifier; if every mapping is mid-flight
-	// (a burst larger than the pool), retry after a write interval.
-	encTbl, ok := c.enc.Table(zswitch.TableBasisToID)
-	if !ok {
-		panic("controlplane: encoder pipeline lacks dictionary table")
-	}
+	// mapping, as seen by the data plane's idle timers. With several
+	// encoders an entry is as recent as its most recent hit anywhere,
+	// so its effective idle time is the minimum across encoders.
+	// Victims with an eviction already in flight are skipped so two
+	// learns never recycle the same identifier; if every mapping is
+	// mid-flight (a burst larger than the pool), retry after a write
+	// interval.
 	victimKey := ""
 	victimIdle := int64(-1)
 	for k := range c.byKey {
 		if c.recycling[k] {
 			continue
 		}
-		idle, live := encTbl.IdleTime(k, c.sim.Now())
+		idle, live := c.idleAcrossEncoders(k)
 		if !live {
 			continue
 		}
@@ -243,9 +271,13 @@ func (c *Controller) allocateAndInstall(key string, basis *bitvec.Vector) {
 	}
 	id := c.byKey[victimKey].id
 	c.recycling[victimKey] = true
-	// Phase 0: stop the encoder from using the identifier.
+	// Phase 0: stop every encoder from using the identifier (one
+	// batched write).
 	c.sim.After(c.sim.Jitter(c.cfg.WriteLatencyNs, c.cfg.JitterFrac), func() {
-		encTbl.Delete(victimKey)
+		basisVictim := c.byKey[victimKey].basis
+		for _, enc := range c.encs {
+			zswitch.DeleteBasisToID(enc, basisVictim)
+		}
 		delete(c.byKey, victimKey)
 		delete(c.recycling, victimKey)
 		c.stats.Recycled++
@@ -253,43 +285,107 @@ func (c *Controller) allocateAndInstall(key string, basis *bitvec.Vector) {
 	})
 }
 
-func (c *Controller) installDecoderThenEncoder(key string, basis *bitvec.Vector, id uint32) {
-	// Phase 1: decoder first, so that compressed packets can always
-	// be uncompressed (paper §5).
-	c.sim.After(c.sim.Jitter(c.cfg.WriteLatencyNs, c.cfg.JitterFrac), func() {
-		if err := zswitch.InstallIDToBasis(c.dec, id, basis, c.sim.Now()); err != nil {
-			panic(fmt.Sprintf("controlplane: decoder install: %v", err))
+// idleAcrossEncoders reports how long key has been idle on every
+// encoder that holds it (minimum idle — one recent hit anywhere keeps
+// the entry warm), and whether any encoder holds it at all.
+func (c *Controller) idleAcrossEncoders(key string) (int64, bool) {
+	minIdle, live := int64(0), false
+	for _, enc := range c.encs {
+		tbl, ok := enc.Table(zswitch.TableBasisToID)
+		if !ok {
+			panic("controlplane: encoder pipeline lacks dictionary table")
 		}
-		// Phase 2: encoder mapping goes live.
+		idle, present := tbl.IdleTime(key, c.sim.Now())
+		if !present {
+			continue
+		}
+		if !live || idle < minIdle {
+			minIdle = idle
+		}
+		live = true
+	}
+	return minIdle, live
+}
+
+func (c *Controller) installDecoderThenEncoder(key string, basis *bitvec.Vector, id uint32) {
+	// Phase 1: every decoder first, so that compressed packets can
+	// always be uncompressed (paper §5) — one batched BfRt write.
+	c.sim.After(c.sim.Jitter(c.cfg.WriteLatencyNs, c.cfg.JitterFrac), func() {
+		for _, dec := range c.decs {
+			if err := zswitch.InstallIDToBasis(dec, id, basis, c.sim.Now()); err != nil {
+				panic(fmt.Sprintf("controlplane: decoder install: %v", err))
+			}
+		}
+		// Phase 2: the encoder mappings go live.
 		c.sim.After(c.sim.Jitter(c.cfg.WriteLatencyNs, c.cfg.JitterFrac), func() {
-			if err := zswitch.InstallBasisToID(c.enc, basis, id, c.sim.Now()); err != nil {
-				panic(fmt.Sprintf("controlplane: encoder install: %v", err))
+			for _, enc := range c.encs {
+				if err := zswitch.InstallBasisToID(enc, basis, id, c.sim.Now()); err != nil {
+					panic(fmt.Sprintf("controlplane: encoder install: %v", err))
+				}
 			}
 			c.byKey[key] = mapping{id: id, basis: basis}
+			if emitted, ok := c.inflight[key]; ok {
+				c.delays.Add(float64(c.sim.Now()-emitted) / 1e6)
+			}
 			delete(c.inflight, key)
 			c.stats.Learned++
 		})
 	})
 }
 
-// sweep ages out mappings whose encoder-side idle timers lapsed.
+// sweep ages out mappings whose encoder-side idle timers lapsed. A
+// mapping expires only when every encoder that holds it reports it
+// idle — one recent hit anywhere keeps it alive network-wide.
 func (c *Controller) sweep() {
-	for _, key := range zswitch.ExpiredBases(c.enc, c.sim.Now()) {
+	now := c.sim.Now()
+	expired := make(map[string]int)
+	for _, enc := range c.encs {
+		for _, key := range zswitch.ExpiredBases(enc, now) {
+			expired[key]++
+		}
+	}
+	if len(expired) == 0 {
+		c.sim.After(c.cfg.SweepIntervalNs, c.sweep)
+		return
+	}
+	// A key only expires when every encoder holding it reports it
+	// idle; count presence for the expired candidates alone.
+	keys := make([]string, 0, len(expired))
+	for key, n := range expired {
+		present := 0
+		for _, enc := range c.encs {
+			if tbl, ok := enc.Table(zswitch.TableBasisToID); ok {
+				if _, holds := tbl.IdleTime(key, now); holds {
+					present++
+				}
+			}
+		}
+		if n == present {
+			keys = append(keys, key)
+		}
+	}
+	// Deterministic victim order despite map iteration above.
+	sort.Strings(keys)
+	for _, key := range keys {
 		m, known := c.byKey[key]
 		if !known || c.recycling[key] {
 			continue
 		}
 		c.recycling[key] = true
 		basis := m.basis
-		// One write per table: encoder entry out first, then the
-		// decoder entry, then the identifier returns to the pool.
+		// One write per tier: encoder entries out first, then the
+		// decoder entries, then the identifier returns to the pool.
 		keyCopy, idCopy := key, m.id
 		c.sim.After(c.sim.Jitter(c.cfg.WriteLatencyNs, c.cfg.JitterFrac), func() {
-			zswitch.DeleteBasisToID(c.enc, basis)
+			for _, enc := range c.encs {
+				zswitch.DeleteBasisToID(enc, basis)
+			}
 			delete(c.byKey, keyCopy)
 			delete(c.recycling, keyCopy)
 			c.sim.After(c.sim.Jitter(c.cfg.WriteLatencyNs, c.cfg.JitterFrac), func() {
-				zswitch.DeleteIDToBasis(c.dec, idCopy)
+				for _, dec := range c.decs {
+					zswitch.DeleteIDToBasis(dec, idCopy)
+				}
 				c.free = append(c.free, idCopy)
 				c.stats.Expired++
 			})

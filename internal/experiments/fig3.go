@@ -4,8 +4,8 @@ import (
 	"fmt"
 
 	"zipline/internal/baseline"
-	"zipline/internal/netsim"
 	"zipline/internal/packet"
+	"zipline/internal/scenario"
 	"zipline/internal/tofino"
 	"zipline/internal/trace"
 	"zipline/internal/zswitch"
@@ -217,37 +217,49 @@ func fig3Static(ds *trace.Trace, cfg Figure3Config) (Figure3Case, error) {
 
 // fig3Dynamic: the full system with an empty table filled by the
 // control plane as unknown bases stream past — learning latency and
-// first-packet costs included.
+// first-packet costs included. Runs on the scenario engine: one
+// unified encode switch, the dataset replayed record by record.
 func fig3Dynamic(ds *trace.Trace, cfg Figure3Config) (Figure3Case, error) {
-	tb, err := NewTestbed(TestbedConfig{
-		Seed:           cfg.Seed,
-		Op:             OpEncode,
-		Switch:         zswitch.Config{IDBits: cfg.IDBits},
-		HostA:          netsim.HostConfig{MaxPPS: cfg.ReplayPPS},
-		WithController: true,
+	sc, err := scenario.Build(scenario.Spec{
+		Name:  "fig3-dynamic",
+		Seed:  cfg.Seed,
+		Codec: scenario.CodecSpec{IDBits: cfg.IDBits},
+		Hosts: []scenario.HostSpec{
+			{Name: "sender", MaxPPS: cfg.ReplayPPS},
+			{Name: "sink"},
+		},
+		Switches: []scenario.SwitchSpec{
+			{Name: "sw", Ports: []scenario.PortSpec{{Port: 0, Role: scenario.RoleEncode, Out: 1}}},
+		},
+		Links: []scenario.LinkSpec{
+			{A: "sender", B: "sw:0"},
+			{A: "sw:1", B: "sink"},
+		},
 	})
 	if err != nil {
 		return Figure3Case{}, err
 	}
 	records := ds.Records()
-	tb.A.Stream(0, 0, func(i uint64) []byte {
+	hdr := packet.Header{Dst: sc.MAC("sink"), Src: sc.MAC("sender"), EtherType: packet.EtherTypeRaw}
+	sc.Host("sender").Stream(0, 0, func(i uint64) []byte {
 		if i >= uint64(records) {
 			return nil
 		}
-		return RawFrame(ds.Record(int(i)))
+		rec := ds.Record(int(i))
+		sc.CountOffered(1, uint64(len(rec)))
+		return packet.Frame(hdr, rec)
 	})
-	tb.Sim.Run()
+	r := sc.Run()
 
-	rx := tb.B.Rx()
-	got := int64(rx.TypePayload[packet.TypeUncompressed] + rx.TypePayload[packet.TypeCompressed] + rx.TypePayload[packet.TypeRaw])
-	if rx.Frames != uint64(records) {
-		return Figure3Case{}, fmt.Errorf("received %d of %d frames", rx.Frames, records)
+	sink := r.Hosts[1]
+	if sink.RxFrames != uint64(records) {
+		return Figure3Case{}, fmt.Errorf("received %d of %d frames", sink.RxFrames, records)
 	}
 	return Figure3Case{
 		Name:  "Dynamic learning",
-		Bytes: got,
-		Ratio: float64(got) / float64(ds.TotalBytes()),
+		Bytes: int64(sink.PayloadBytes),
+		Ratio: float64(sink.PayloadBytes) / float64(ds.TotalBytes()),
 		Detail: fmt.Sprintf("type2=%d type3=%d learned=%d",
-			rx.TypeFrames[packet.TypeUncompressed], rx.TypeFrames[packet.TypeCompressed], tb.Ctl.Stats().Learned),
+			sink.Type2Frames, sink.Type3Frames, r.Learning.Learned),
 	}, nil
 }

@@ -2,10 +2,9 @@ package experiments
 
 import (
 	"fmt"
-	"math/rand"
 
 	"zipline/internal/netsim"
-	"zipline/internal/packet"
+	"zipline/internal/scenario"
 	"zipline/internal/stats"
 )
 
@@ -48,34 +47,45 @@ func (c LearningConfig) withDefaults() LearningConfig {
 	return c
 }
 
-// Learning measures the dynamic-learning delay.
+// Learning measures the dynamic-learning delay on the scenario
+// engine: one unified encode switch, one repeated unknown payload per
+// repeat, receiver-side first-t3 minus first-t2.
 func Learning(cfg LearningConfig) (LearningResult, error) {
 	cfg = cfg.withDefaults()
 	res := LearningResult{DelayMs: stats.New()}
 	for rep := 0; rep < cfg.Repeats; rep++ {
 		seed := cfg.Seed + int64(rep)*7919
-		tb, err := NewTestbed(TestbedConfig{
-			Seed:           seed,
-			Op:             OpEncode,
-			HostA:          netsim.HostConfig{MaxPPS: cfg.GeneratorPPS},
-			WithController: true,
+		sc, err := scenario.Build(scenario.Spec{
+			Name: "learning",
+			Seed: seed,
+			Hosts: []scenario.HostSpec{
+				{Name: "sender", MaxPPS: cfg.GeneratorPPS},
+				{Name: "sink"},
+			},
+			Switches: []scenario.SwitchSpec{
+				{Name: "sw", Ports: []scenario.PortSpec{{Port: 0, Role: scenario.RoleEncode, Out: 1}}},
+			},
+			Links: []scenario.LinkSpec{
+				{A: "sender", B: "sw:0"},
+				{A: "sw:1", B: "sink"},
+			},
+			Traffic: []scenario.TrafficSpec{{
+				From: "sender", To: "sink",
+				Workload: scenario.WorkloadRepeat,
+				Records:  1 << 30, // the window, not the count, ends the flow
+				StopNs:   int64(cfg.WindowNs),
+				Seed:     seed,
+			}},
 		})
 		if err != nil {
 			return res, err
 		}
-		payload := make([]byte, tb.Prog.Codec().ChunkBytes())
-		rand.New(rand.NewSource(seed)).Read(payload)
-		frame := RawFrame(payload)
-		tb.A.Stream(0, cfg.WindowNs, func(i uint64) []byte { return frame })
-		tb.Sim.Run()
-
-		rx := tb.B.Rx()
-		t2 := rx.FirstArrival[packet.TypeUncompressed]
-		t3 := rx.FirstArrival[packet.TypeCompressed]
-		if t2 < 0 || t3 < 0 {
-			return res, fmt.Errorf("rep %d: learning did not complete (t2=%d t3=%d)", rep, t2, t3)
+		r := sc.Run()
+		delay := r.Hosts[1].LearningDelayMs
+		if delay < 0 {
+			return res, fmt.Errorf("rep %d: learning did not complete (report %+v)", rep, r.Hosts[1])
 		}
-		res.DelayMs.Add(float64(t3-t2) / 1e6)
+		res.DelayMs.Add(delay)
 	}
 	return res, nil
 }

@@ -148,9 +148,16 @@ func (h *Host) Send(frame []byte) {
 // and the NIC's line rate. next is called with the frame index and
 // must return a fresh frame each time.
 func (h *Host) Stream(start, stop Time, next func(i uint64) []byte) {
+	h.StreamPaced(start, stop, h.cfg.MaxPPS, next)
+}
+
+// StreamPaced is Stream with an explicit generator rate, letting one
+// host carry several flows at different rates. pps == 0 means no
+// generator ceiling (the NIC's line rate governs).
+func (h *Host) StreamPaced(start, stop Time, pps float64, next func(i uint64) []byte) {
 	var interval Time
-	if h.cfg.MaxPPS > 0 {
-		interval = Time(float64(Second) / h.cfg.MaxPPS)
+	if pps > 0 {
+		interval = Time(float64(Second) / pps)
 	}
 	var i uint64
 	var tick func()

@@ -6,6 +6,62 @@ import "fmt"
 // 7 B preamble + 1 B SFD + 12 B inter-frame gap + 4 B FCS.
 const WireOverheadBytes = 24
 
+// Impairments degrades a link the way a congested or faulty network
+// segment would. All probabilities are per transmitted frame and all
+// draws come from the simulation's seeded random source, so impaired
+// runs stay reproducible bit for bit. The zero value is the ideal
+// (testbed) link the paper measures on.
+type Impairments struct {
+	// LossProb drops a frame after serialization, i.i.d.
+	LossProb float64
+	// DupProb delivers a second copy of a frame, DupDelayNs after the
+	// original (a retransmitting segment or an L2 loop).
+	DupProb float64
+	// DupDelayNs spaces the duplicate copy (default 2 µs).
+	DupDelayNs Time
+	// ReorderProb holds a frame back by ReorderDelayNs so later frames
+	// overtake it.
+	ReorderProb float64
+	// ReorderDelayNs is the hold-back applied to reordered frames
+	// (default 5 µs).
+	ReorderDelayNs Time
+	// ExtraLatencyNs adds a per-frame latency drawn uniformly from
+	// [0, ExtraLatencyNs] — standing queueing on an overloaded path.
+	ExtraLatencyNs Time
+}
+
+// Default impairment delays, applied when the matching probability is
+// positive but the delay is left zero.
+const (
+	DefaultDupDelayNs     = 2 * Microsecond
+	DefaultReorderDelayNs = 5 * Microsecond
+)
+
+func (im Impairments) withDefaults() Impairments {
+	if im.DupProb > 0 && im.DupDelayNs == 0 {
+		im.DupDelayNs = DefaultDupDelayNs
+	}
+	if im.ReorderProb > 0 && im.ReorderDelayNs == 0 {
+		im.ReorderDelayNs = DefaultReorderDelayNs
+	}
+	return im
+}
+
+// active reports whether any impairment is configured.
+func (im Impairments) active() bool {
+	return im.LossProb > 0 || im.DupProb > 0 || im.ReorderProb > 0 || im.ExtraLatencyNs > 0
+}
+
+// LinkStats counts what an endpoint's impairments did to its traffic.
+type LinkStats struct {
+	// Lost frames were serialized but never delivered.
+	Lost uint64
+	// Duplicated frames were delivered twice.
+	Duplicated uint64
+	// Reordered frames were held back past later traffic.
+	Reordered uint64
+}
+
 // LinkConfig sizes one full-duplex link.
 type LinkConfig struct {
 	// RateBps is the line rate in bits per second (default 100 Gbit/s,
@@ -14,6 +70,9 @@ type LinkConfig struct {
 	// PropagationNs is the one-way propagation delay (default 5 ns,
 	// about a metre of fibre).
 	PropagationNs Time
+	// Impair degrades frames in both directions; zero means the
+	// ideal loss-free link of the paper's testbed.
+	Impair Impairments
 }
 
 // Default link parameters (the paper's testbed).
@@ -29,6 +88,7 @@ func (c LinkConfig) withDefaults() LinkConfig {
 	if c.PropagationNs == 0 {
 		c.PropagationNs = DefaultPropagationNs
 	}
+	c.Impair = c.Impair.withDefaults()
 	return c
 }
 
@@ -51,6 +111,10 @@ type Endpoint struct {
 	// excluding wire overhead — the quantity Figure 4 reports).
 	TxFrames uint64
 	TxBytes  uint64
+
+	// Stats counts what this endpoint's impairments did to the frames
+	// it transmitted.
+	Stats LinkStats
 }
 
 // NewLink wires two endpoints together and returns them. Receivers
@@ -94,13 +158,36 @@ func (e *Endpoint) Send(frame []byte) Time {
 	e.TxBytes += uint64(len(frame))
 
 	arrive := done + e.cfg.PropagationNs
+	if im := e.cfg.Impair; im.active() {
+		rng := e.sim.Rand()
+		if im.LossProb > 0 && rng.Float64() < im.LossProb {
+			e.Stats.Lost++
+			return done // serialized, then lost on the wire
+		}
+		if im.ExtraLatencyNs > 0 {
+			arrive += Time(rng.Int63n(int64(im.ExtraLatencyNs) + 1))
+		}
+		if im.ReorderProb > 0 && rng.Float64() < im.ReorderProb {
+			e.Stats.Reordered++
+			arrive += im.ReorderDelayNs
+		}
+		if im.DupProb > 0 && rng.Float64() < im.DupProb {
+			e.Stats.Duplicated++
+			e.deliver(frame, arrive+im.DupDelayNs)
+		}
+	}
+	e.deliver(frame, arrive)
+	return done
+}
+
+// deliver schedules the frame's arrival at the peer.
+func (e *Endpoint) deliver(frame []byte, arrive Time) {
 	peer := e.peer
 	e.sim.At(arrive, func() {
 		if peer.recv != nil {
 			peer.recv(frame, arrive)
 		}
 	})
-	return done
 }
 
 // QueueDelay reports how long a frame sent now would wait before its

@@ -268,6 +268,88 @@ func TestHostResetRx(t *testing.T) {
 	}
 }
 
+func TestLinkLoss(t *testing.T) {
+	s := NewSim(5)
+	a, b := NewLink(s, LinkConfig{Impair: Impairments{LossProb: 0.3}}, "a", "b")
+	var got int
+	b.SetReceiver(func(_ []byte, _ Time) { got++ })
+	const n = 10_000
+	frame := make([]byte, 64)
+	for i := 0; i < n; i++ {
+		s.At(Time(i)*Microsecond, func() { a.Send(frame) })
+	}
+	s.Run()
+	if got+int(a.Stats.Lost) != n {
+		t.Fatalf("delivered %d + lost %d != sent %d", got, a.Stats.Lost, n)
+	}
+	if a.Stats.Lost < 2_700 || a.Stats.Lost > 3_300 {
+		t.Fatalf("lost %d of %d, want ≈30%%", a.Stats.Lost, n)
+	}
+}
+
+func TestLinkDuplication(t *testing.T) {
+	s := NewSim(6)
+	a, b := NewLink(s, LinkConfig{Impair: Impairments{DupProb: 1}}, "a", "b")
+	var got int
+	b.SetReceiver(func(_ []byte, _ Time) { got++ })
+	frame := make([]byte, 64)
+	s.At(0, func() { a.Send(frame) })
+	s.Run()
+	if got != 2 || a.Stats.Duplicated != 1 {
+		t.Fatalf("delivered %d (dups %d), want 2 (1)", got, a.Stats.Duplicated)
+	}
+}
+
+func TestLinkReordering(t *testing.T) {
+	// First frame held back by 5 µs; the second, sent right after,
+	// must overtake it.
+	s := NewSim(7)
+	a, b := NewLink(s, LinkConfig{Impair: Impairments{ReorderProb: 1}}, "a", "b")
+	var order []byte
+	b.SetReceiver(func(f []byte, _ Time) { order = append(order, f[0]) })
+	s.At(0, func() { a.Send([]byte{1}) })
+	s.At(10, func() {
+		// Disable reordering for the chaser so only frame 1 is held.
+		a.cfg.Impair.ReorderProb = 0
+		a.Send([]byte{2})
+	})
+	s.Run()
+	if len(order) != 2 || order[0] != 2 || order[1] != 1 {
+		t.Fatalf("arrival order = %v, want [2 1]", order)
+	}
+	if a.Stats.Reordered != 1 {
+		t.Fatalf("reordered = %d", a.Stats.Reordered)
+	}
+}
+
+func TestImpairedLinkDeterminism(t *testing.T) {
+	run := func() (uint64, []Time) {
+		s := NewSim(99)
+		a, b := NewLink(s, LinkConfig{Impair: Impairments{
+			LossProb: 0.1, DupProb: 0.1, ReorderProb: 0.1, ExtraLatencyNs: 3 * Microsecond,
+		}}, "a", "b")
+		var arrivals []Time
+		b.SetReceiver(func(_ []byte, at Time) { arrivals = append(arrivals, at) })
+		frame := make([]byte, 128)
+		for i := 0; i < 500; i++ {
+			s.At(Time(i)*Microsecond, func() { a.Send(frame) })
+		}
+		s.Run()
+		return a.Stats.Lost, arrivals
+	}
+	lostA, arrA := run()
+	lostB, arrB := run()
+	if lostA != lostB || len(arrA) != len(arrB) {
+		t.Fatalf("impaired runs diverged: lost %d vs %d, arrivals %d vs %d",
+			lostA, lostB, len(arrA), len(arrB))
+	}
+	for i := range arrA {
+		if arrA[i] != arrB[i] {
+			t.Fatalf("arrival %d: %d vs %d", i, arrA[i], arrB[i])
+		}
+	}
+}
+
 func TestAttachPortValidation(t *testing.T) {
 	s := NewSim(1)
 	pl, _ := tofino.Load(tofino.Config{}, noopProgram{})

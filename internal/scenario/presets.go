@@ -1,0 +1,111 @@
+package scenario
+
+// Presets are ready-made scenarios: the paper's testbed, multi-switch
+// chains, and degraded variants. Preset returns a copy, so callers
+// may mutate freely (the CLI applies flag overrides on top).
+func Preset(name string) (Spec, bool) {
+	switch name {
+	case "single":
+		// The paper's §7 testbed: two servers through one switch
+		// running the unified encode pipeline.
+		return Spec{
+			Name: "single",
+			Hosts: []HostSpec{
+				{Name: "sender", MaxPPS: 500_000},
+				{Name: "sink"},
+			},
+			Switches: []SwitchSpec{
+				{Name: "sw", Ports: []PortSpec{
+					{Port: 0, Role: RoleEncode, Out: 1},
+					{Port: 1, Role: RoleForward, Out: 0},
+				}},
+			},
+			Links: []LinkSpec{
+				{A: "sender", B: "sw:0"},
+				{A: "sw:1", B: "sink"},
+			},
+			Traffic: []TrafficSpec{
+				{From: "sender", To: "sink", Workload: WorkloadSensor, Records: 20_000},
+			},
+		}, true
+
+	case "chain3":
+		// Encoder → transit → decoder: the compressed hop spans a
+		// plain forwarding switch, and the sink receives restored raw
+		// traffic.
+		return Spec{
+			Name: "chain3",
+			Hosts: []HostSpec{
+				{Name: "sender", MaxPPS: 500_000},
+				{Name: "sink"},
+			},
+			Switches: []SwitchSpec{
+				{Name: "enc", Ports: []PortSpec{{Port: 0, Role: RoleEncode, Out: 1}}},
+				{Name: "mid", Ports: []PortSpec{{Port: 0, Role: RoleForward, Out: 1}}},
+				{Name: "dec", Ports: []PortSpec{{Port: 0, Role: RoleDecode, Out: 1}}},
+			},
+			Links: []LinkSpec{
+				{A: "sender", B: "enc:0"},
+				{A: "enc:1", B: "mid:0"},
+				{A: "mid:1", B: "dec:0"},
+				{A: "dec:1", B: "sink"},
+			},
+			Traffic: []TrafficSpec{
+				{From: "sender", To: "sink", Workload: WorkloadSensor, Records: 20_000},
+			},
+		}, true
+
+	case "lossy-chain3":
+		// The chain with a degraded compressed hop: loss, duplication,
+		// reordering and queueing jitter on both transit links. The
+		// learning delay must still match the control plane's model —
+		// impairments slow traffic, not BfRt writes.
+		spec, _ := Preset("chain3")
+		spec.Name = "lossy-chain3"
+		spec.Links[1].LossProb = 0.01
+		spec.Links[1].ReorderProb = 0.005
+		spec.Links[1].ExtraLatencyNs = 2_000
+		spec.Links[2].LossProb = 0.01
+		spec.Links[2].DupProb = 0.005
+		spec.Links[2].ExtraLatencyNs = 2_000
+		return spec, true
+
+	case "fanin":
+		// Two edge encoders share one core decoder and one controller:
+		// a basis learned from either sender compresses traffic from
+		// both (the network-wide placement of Beirami et al.).
+		return Spec{
+			Name: "fanin",
+			Hosts: []HostSpec{
+				{Name: "senderA", MaxPPS: 300_000},
+				{Name: "senderB", MaxPPS: 300_000},
+				{Name: "sink"},
+			},
+			Switches: []SwitchSpec{
+				{Name: "encA", Ports: []PortSpec{{Port: 0, Role: RoleEncode, Out: 1}}},
+				{Name: "encB", Ports: []PortSpec{{Port: 0, Role: RoleEncode, Out: 1}}},
+				{Name: "core", Ports: []PortSpec{
+					{Port: 0, Role: RoleDecode, Out: 2},
+					{Port: 1, Role: RoleDecode, Out: 2},
+				}},
+			},
+			Links: []LinkSpec{
+				{A: "senderA", B: "encA:0"},
+				{A: "senderB", B: "encB:0"},
+				{A: "encA:1", B: "core:0"},
+				{A: "encB:1", B: "core:1"},
+				{A: "core:2", B: "sink"},
+			},
+			Traffic: []TrafficSpec{
+				{From: "senderA", To: "sink", Workload: WorkloadSensor, Records: 10_000, Seed: 100},
+				{From: "senderB", To: "sink", Workload: WorkloadSensor, Records: 10_000, Seed: 100},
+			},
+		}, true
+	}
+	return Spec{}, false
+}
+
+// PresetNames lists the built-in scenarios in display order.
+func PresetNames() []string {
+	return []string{"single", "chain3", "lossy-chain3", "fanin"}
+}

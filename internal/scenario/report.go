@@ -1,0 +1,217 @@
+package scenario
+
+import (
+	"fmt"
+	"io"
+
+	"zipline/internal/netsim"
+	"zipline/internal/packet"
+	"zipline/internal/zswitch"
+)
+
+// TrafficTotals aggregates one side of the run's traffic.
+type TrafficTotals struct {
+	Frames       uint64 `json:"frames"`
+	PayloadBytes uint64 `json:"payload_bytes"`
+}
+
+// HostReport is one host's receive-side view.
+type HostReport struct {
+	Host         string  `json:"host"`
+	RxFrames     uint64  `json:"rx_frames"`
+	PayloadBytes uint64  `json:"payload_bytes"`
+	RawFrames    uint64  `json:"raw_frames"`
+	Type2Frames  uint64  `json:"type2_frames"`
+	Type3Frames  uint64  `json:"type3_frames"`
+	GoodputGbps  float64 `json:"goodput_gbps"`
+	// LearningDelayMs is the paper's receiver-side measurement — the
+	// gap between this host's first type 2 and first type 3 arrival —
+	// or -1 when the host never saw both types.
+	LearningDelayMs float64 `json:"learning_delay_ms"`
+}
+
+// LinkReport is one transmit direction of one link.
+type LinkReport struct {
+	From         string `json:"from"`
+	To           string `json:"to"`
+	TxFrames     uint64 `json:"tx_frames"`
+	TxBytes      uint64 `json:"tx_bytes"`
+	PayloadBytes uint64 `json:"payload_bytes"`
+	Lost         uint64 `json:"lost,omitempty"`
+	Duplicated   uint64 `json:"duplicated,omitempty"`
+	Reordered    uint64 `json:"reordered,omitempty"`
+}
+
+// LearningReport summarises the control plane's work: how many bases
+// were learned and how long each took from first digest to the
+// encoder mapping going live.
+type LearningReport struct {
+	Learned     uint64  `json:"learned"`
+	Recycled    uint64  `json:"recycled"`
+	Expired     uint64  `json:"expired"`
+	DigestsSeen uint64  `json:"digests_seen"`
+	DigestBytes uint64  `json:"digest_bytes"`
+	DelayN      int     `json:"delay_n"`
+	DelayMeanMs float64 `json:"delay_mean_ms"`
+	DelayP50Ms  float64 `json:"delay_p50_ms"`
+	DelayP90Ms  float64 `json:"delay_p90_ms"`
+	DelayP99Ms  float64 `json:"delay_p99_ms"`
+}
+
+// Report is one scenario run's metrics. Identical spec + seed ⇒
+// identical report, so serialised reports double as regression
+// fixtures.
+type Report struct {
+	Scenario  string  `json:"scenario"`
+	Seed      int64   `json:"seed"`
+	ElapsedMs float64 `json:"elapsed_ms"`
+
+	Offered   TrafficTotals `json:"offered"`
+	Delivered TrafficTotals `json:"delivered"`
+	// DeliveryRate is delivered over offered frames; loss pushes it
+	// below 1, duplication above.
+	DeliveryRate float64 `json:"delivery_rate"`
+
+	// Encode aggregates the classification counters of every switch
+	// pipeline in the scenario; CompressionRatio is its exact
+	// payload-bytes-out over payload-bytes-in (1 = incompressible,
+	// >1 = transform overhead dominating, paper Figure 3).
+	Encode           zswitch.Stats `json:"encode"`
+	CompressionRatio float64       `json:"compression_ratio"`
+
+	// Learning is nil when the scenario has no encoder (and thus no
+	// control plane).
+	Learning *LearningReport `json:"learning,omitempty"`
+
+	Hosts []HostReport `json:"hosts"`
+	Links []LinkReport `json:"links"`
+}
+
+// report assembles the metrics after the event loop has finished.
+func (sc *Scenario) report() Report {
+	r := Report{
+		Scenario:  sc.Spec.Name,
+		Seed:      sc.Spec.Seed,
+		ElapsedMs: float64(sc.Sim.Now()) / 1e6,
+		Offered:   TrafficTotals{Frames: sc.offeredFrames, PayloadBytes: sc.offeredPayload},
+	}
+	elapsedNs := float64(sc.Sim.Now())
+
+	for _, h := range sc.Spec.Hosts {
+		rx := sc.hosts[h.Name].Rx()
+		hr := HostReport{
+			Host:            h.Name,
+			RxFrames:        rx.Frames,
+			PayloadBytes:    rx.PayloadBytes,
+			RawFrames:       rx.TypeFrames[packet.TypeRaw],
+			Type2Frames:     rx.TypeFrames[packet.TypeUncompressed],
+			Type3Frames:     rx.TypeFrames[packet.TypeCompressed],
+			LearningDelayMs: -1,
+		}
+		if elapsedNs > 0 {
+			hr.GoodputGbps = float64(rx.PayloadBytes) * 8 / elapsedNs
+		}
+		t2 := rx.FirstArrival[packet.TypeUncompressed]
+		t3 := rx.FirstArrival[packet.TypeCompressed]
+		if t2 >= 0 && t3 >= 0 {
+			hr.LearningDelayMs = float64(t3-t2) / 1e6
+		}
+		r.Delivered.Frames += rx.Frames
+		r.Delivered.PayloadBytes += rx.PayloadBytes
+		r.Hosts = append(r.Hosts, hr)
+	}
+	if r.Offered.Frames > 0 {
+		r.DeliveryRate = float64(r.Delivered.Frames) / float64(r.Offered.Frames)
+	}
+
+	for _, sw := range sc.Spec.Switches {
+		r.Encode.Add(zswitch.ReadStats(sc.pipes[sw.Name]))
+	}
+	if r.Encode.EncPayloadIn > 0 {
+		r.CompressionRatio = float64(r.Encode.EncPayloadOut) / float64(r.Encode.EncPayloadIn)
+	}
+
+	if sc.Ctl != nil {
+		st := sc.Ctl.Stats()
+		d := sc.Ctl.LearningDelayMs()
+		r.Learning = &LearningReport{
+			Learned:     st.Learned,
+			Recycled:    st.Recycled,
+			Expired:     st.Expired,
+			DigestsSeen: st.DigestsSeen,
+			DigestBytes: st.DigestBytes,
+			DelayN:      d.N(),
+			DelayMeanMs: d.Mean(),
+			DelayP50Ms:  d.Percentile(50),
+			DelayP90Ms:  d.Percentile(90),
+			DelayP99Ms:  d.Percentile(99),
+		}
+	}
+
+	for _, l := range sc.links {
+		r.Links = append(r.Links,
+			linkReport(l.aName, l.bName, l.a),
+			linkReport(l.bName, l.aName, l.b))
+	}
+	return r
+}
+
+// linkReport summarises one transmit direction. Payload bytes are
+// frame bytes minus one Ethernet header per frame — exact, since
+// every simulated frame carries the 14-byte header.
+func linkReport(from, to string, e *netsim.Endpoint) LinkReport {
+	hdrBytes := uint64(packet.HeaderLen) * e.TxFrames
+	var payload uint64
+	if e.TxBytes > hdrBytes {
+		payload = e.TxBytes - hdrBytes
+	}
+	return LinkReport{
+		From:         from,
+		To:           to,
+		TxFrames:     e.TxFrames,
+		TxBytes:      e.TxBytes,
+		PayloadBytes: payload,
+		Lost:         e.Stats.Lost,
+		Duplicated:   e.Stats.Duplicated,
+		Reordered:    e.Stats.Reordered,
+	}
+}
+
+// WriteText renders the report for humans.
+func (r Report) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "scenario %s (seed %d): %.3f ms simulated\n", r.Scenario, r.Seed, r.ElapsedMs)
+	fmt.Fprintf(w, "  offered   : %d frames, %d payload bytes\n", r.Offered.Frames, r.Offered.PayloadBytes)
+	fmt.Fprintf(w, "  delivered : %d frames, %d payload bytes (rate %.4f)\n",
+		r.Delivered.Frames, r.Delivered.PayloadBytes, r.DeliveryRate)
+	if r.Encode.EncPayloadIn > 0 {
+		fmt.Fprintf(w, "  encode    : %d→type2  %d→type3  ratio %.4f  (in %d B, out %d B)\n",
+			r.Encode.RawToType2, r.Encode.RawToType3, r.CompressionRatio,
+			r.Encode.EncPayloadIn, r.Encode.EncPayloadOut)
+	}
+	if l := r.Learning; l != nil {
+		fmt.Fprintf(w, "  learning  : %d bases (recycled %d, expired %d), digests %d (%d B)\n",
+			l.Learned, l.Recycled, l.Expired, l.DigestsSeen, l.DigestBytes)
+		if l.DelayN > 0 {
+			fmt.Fprintf(w, "  delay     : mean %.3f ms  p50 %.3f  p90 %.3f  p99 %.3f  (n=%d)\n",
+				l.DelayMeanMs, l.DelayP50Ms, l.DelayP90Ms, l.DelayP99Ms, l.DelayN)
+		}
+	}
+	for _, h := range r.Hosts {
+		fmt.Fprintf(w, "  host %-10s rx %8d frames (raw %d, t2 %d, t3 %d)  %.3f Gbit/s",
+			h.Host, h.RxFrames, h.RawFrames, h.Type2Frames, h.Type3Frames, h.GoodputGbps)
+		if h.LearningDelayMs >= 0 {
+			fmt.Fprintf(w, "  t3−t2 %.3f ms", h.LearningDelayMs)
+		}
+		fmt.Fprintln(w)
+	}
+	for _, l := range r.Links {
+		if l.TxFrames == 0 && l.Lost == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "  link %s→%s: %d frames, %d B", l.From, l.To, l.TxFrames, l.TxBytes)
+		if l.Lost+l.Duplicated+l.Reordered > 0 {
+			fmt.Fprintf(w, "  (lost %d, dup %d, reordered %d)", l.Lost, l.Duplicated, l.Reordered)
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,235 @@
+package scenario
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"zipline/internal/netsim"
+	"zipline/internal/zswitch"
+)
+
+func mustBuild(t *testing.T, spec Spec) *Scenario {
+	t.Helper()
+	sc, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+func preset(t *testing.T, name string) Spec {
+	t.Helper()
+	spec, ok := Preset(name)
+	if !ok {
+		t.Fatalf("missing preset %q", name)
+	}
+	return spec
+}
+
+// TestChain3EndToEnd: encoder → transit → decoder must deliver every
+// payload restored to raw, with the middle hop compressed.
+func TestChain3EndToEnd(t *testing.T) {
+	r := mustBuild(t, preset(t, "chain3")).Run()
+
+	if r.Delivered.Frames != r.Offered.Frames {
+		t.Fatalf("delivered %d of %d frames on ideal links", r.Delivered.Frames, r.Offered.Frames)
+	}
+	if r.Delivered.PayloadBytes != r.Offered.PayloadBytes {
+		t.Fatalf("payload bytes: delivered %d, offered %d", r.Delivered.PayloadBytes, r.Offered.PayloadBytes)
+	}
+	sink := r.Hosts[1]
+	if sink.Host != "sink" || sink.RawFrames != r.Offered.Frames || sink.Type2Frames != 0 || sink.Type3Frames != 0 {
+		t.Fatalf("sink must see only restored raw traffic: %+v", sink)
+	}
+	if r.Encode.RawToType3 == 0 {
+		t.Fatal("no compression on the chain")
+	}
+	if r.Encode.DecodeMiss != 0 {
+		t.Fatalf("decode misses: %d", r.Encode.DecodeMiss)
+	}
+	if r.CompressionRatio <= 0 || r.CompressionRatio >= 1 {
+		t.Fatalf("compression ratio = %.4f, want (0,1) for the sensor workload", r.CompressionRatio)
+	}
+	if r.Learning == nil || r.Learning.Learned == 0 {
+		t.Fatalf("learning report missing or empty: %+v", r.Learning)
+	}
+}
+
+// TestLossyChain3: under loss, duplication and reordering the system
+// must degrade gracefully — no decode misses, no panics, delivery
+// close to but below the offered load — and the control-plane
+// learning delay must stay on the paper's model.
+func TestLossyChain3(t *testing.T) {
+	r := mustBuild(t, preset(t, "lossy-chain3")).Run()
+
+	if r.DeliveryRate >= 1.0 || r.DeliveryRate < 0.93 {
+		t.Fatalf("delivery rate = %.4f, want a few percent of loss", r.DeliveryRate)
+	}
+	if r.Encode.DecodeMiss != 0 {
+		t.Fatalf("decode misses under impairment: %d", r.Encode.DecodeMiss)
+	}
+	var lost, dup, reordered uint64
+	for _, l := range r.Links {
+		lost += l.Lost
+		dup += l.Duplicated
+		reordered += l.Reordered
+	}
+	if lost == 0 || dup == 0 || reordered == 0 {
+		t.Fatalf("impairments inactive: lost=%d dup=%d reordered=%d", lost, dup, reordered)
+	}
+	if r.Learning.DelayN == 0 {
+		t.Fatal("no learning delays sampled")
+	}
+	if m := r.Learning.DelayMeanMs; m < 1.6 || m > 1.95 {
+		t.Fatalf("learning delay mean = %.3f ms, want ≈1.77", m)
+	}
+}
+
+// TestDeterminism: same spec and seed must produce the identical
+// report, field for field — the property that lets scenarios serve
+// as regression tests.
+func TestDeterminism(t *testing.T) {
+	for _, name := range PresetNames() {
+		a := mustBuild(t, preset(t, name)).Run()
+		b := mustBuild(t, preset(t, name)).Run()
+		if !reflect.DeepEqual(a, b) {
+			aj, _ := json.Marshal(a)
+			bj, _ := json.Marshal(b)
+			t.Fatalf("preset %s diverged:\n%s\n%s", name, aj, bj)
+		}
+	}
+}
+
+// TestSeedChangesOutcome: a different seed must actually change an
+// impaired run (otherwise "deterministic" would just mean frozen).
+func TestSeedChangesOutcome(t *testing.T) {
+	spec := preset(t, "lossy-chain3")
+	a := mustBuild(t, spec).Run()
+	spec.Seed = 2
+	b := mustBuild(t, spec).Run()
+	if reflect.DeepEqual(a, b) {
+		t.Fatal("seed change produced the identical report")
+	}
+}
+
+// TestFaninSharedController: two encoders share the controller, so a
+// basis digested by either compresses traffic from both, and the
+// second encoder's digests are deduplicated.
+func TestFaninSharedController(t *testing.T) {
+	sc := mustBuild(t, preset(t, "fanin"))
+	r := sc.Run()
+
+	if r.Encode.RawToType3 == 0 {
+		t.Fatal("no compressed traffic")
+	}
+	for _, name := range []string{"encA", "encB"} {
+		st := zswitch.ReadStats(sc.Pipeline(name))
+		if st.RawToType3 == 0 {
+			t.Fatalf("encoder %s never compressed (shared dictionary not installed?)", name)
+		}
+	}
+	if r.Learning.DigestsSeen <= r.Learning.Learned {
+		t.Fatalf("expected duplicate digests across encoders: seen %d, learned %d",
+			r.Learning.DigestsSeen, r.Learning.Learned)
+	}
+	sink := r.Hosts[2]
+	if sink.RawFrames != r.Offered.Frames {
+		t.Fatalf("sink saw %d raw frames of %d offered", sink.RawFrames, r.Offered.Frames)
+	}
+}
+
+// TestRepeatWorkloadLearningDelay: the paper's dynamic-learning
+// measurement on the engine — a single unified switch, one repeated
+// payload, receiver-side t3−t2 ≈ 1.77 ms.
+func TestRepeatWorkloadLearningDelay(t *testing.T) {
+	spec := preset(t, "single")
+	spec.Hosts[0].MaxPPS = 7_000_000
+	spec.Traffic = []TrafficSpec{{
+		From: "sender", To: "sink", Workload: WorkloadRepeat,
+		Records: 100_000, StopNs: 5 * int64(netsim.Millisecond),
+	}}
+	r := mustBuild(t, spec).Run()
+
+	sink := r.Hosts[1]
+	if sink.LearningDelayMs < 1.6 || sink.LearningDelayMs > 1.95 {
+		t.Fatalf("receiver-side learning delay = %.3f ms, want ≈1.77", sink.LearningDelayMs)
+	}
+	if r.Learning.Learned != 1 {
+		t.Fatalf("learned %d bases from one repeated payload", r.Learning.Learned)
+	}
+}
+
+// TestJSONRoundTrip: a spec survives disk, and the loaded copy builds
+// and runs to the same report as the original.
+func TestJSONRoundTrip(t *testing.T) {
+	spec := preset(t, "lossy-chain3")
+	data, err := json.MarshalIndent(spec, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := mustBuild(t, spec).Run()
+	b := mustBuild(t, loaded).Run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("loaded spec ran to a different report")
+	}
+}
+
+// TestValidateRejects: structural errors must be caught before any
+// wiring happens.
+func TestValidateRejects(t *testing.T) {
+	base := func() Spec { return preset(t, "chain3") }
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+	}{
+		{"duplicate name", func(s *Spec) { s.Hosts[1].Name = "enc" }},
+		{"unknown link host", func(s *Spec) { s.Links[0].A = "ghost" }},
+		{"unwired host", func(s *Spec) { s.Hosts = append(s.Hosts, HostSpec{Name: "idle"}) }},
+		{"double-wired port", func(s *Spec) { s.Links[3].A = "enc:0" }},
+		{"undeclared switch port", func(s *Spec) { s.Links[1].A = "enc:40" }},
+		{"bad role", func(s *Spec) { s.Switches[0].Ports[0].Role = "transmogrify" }},
+		{"bad workload", func(s *Spec) { s.Traffic[0].Workload = "cat videos" }},
+		{"bad probability", func(s *Spec) { s.Links[1].LossProb = 1.5 }},
+		{"unknown traffic host", func(s *Spec) { s.Traffic[0].To = "ghost" }},
+		{"sweep without duration", func(s *Spec) { s.Controller.TTLNs = 1000 }},
+	}
+	for _, tc := range cases {
+		spec := base()
+		tc.mutate(&spec)
+		if err := spec.Validate(); err == nil {
+			t.Errorf("%s: validation passed", tc.name)
+		}
+	}
+}
+
+// TestTTLAgingInScenario: with TTL aging and a bounded duration,
+// mappings for a workload that stops must expire and return
+// identifiers to the pool.
+func TestTTLAgingInScenario(t *testing.T) {
+	spec := preset(t, "single")
+	spec.Name = "single-ttl"
+	spec.DurationNs = 40 * int64(netsim.Millisecond)
+	spec.Controller.TTLNs = 5 * int64(netsim.Millisecond)
+	spec.Traffic = []TrafficSpec{{
+		From: "sender", To: "sink", Workload: WorkloadSensor,
+		Records: 2_000, StopNs: 10 * int64(netsim.Millisecond),
+	}}
+	r := mustBuild(t, spec).Run()
+	if r.Learning.Learned == 0 {
+		t.Fatal("nothing learned")
+	}
+	if r.Learning.Expired == 0 {
+		t.Fatalf("nothing expired after 30 ms idle with a 5 ms TTL: %+v", r.Learning)
+	}
+}

@@ -74,20 +74,41 @@ type Stats struct {
 	TooShort   uint64
 	DecodeMiss uint64
 	Digests    uint64
+	// EncPayloadIn/EncPayloadOut count payload bytes entering and
+	// leaving the encode role for raw traffic; their ratio is the
+	// hop's exact compression ratio.
+	EncPayloadIn  uint64
+	EncPayloadOut uint64
 }
 
 // ReadStats snapshots the counters of a loaded pipeline.
 func ReadStats(pl *tofino.Pipeline) Stats {
 	return Stats{
-		RawToType2: pl.Counter(CounterRawToType2),
-		RawToType3: pl.Counter(CounterRawToType3),
-		Type2ToRaw: pl.Counter(CounterType2ToRaw),
-		Type3ToRaw: pl.Counter(CounterType3ToRaw),
-		Forwarded:  pl.Counter(CounterForwarded),
-		TooShort:   pl.Counter(CounterTooShort),
-		DecodeMiss: pl.Counter(CounterDecodeMiss),
-		Digests:    pl.Counter(CounterDigests),
+		RawToType2:    pl.Counter(CounterRawToType2),
+		RawToType3:    pl.Counter(CounterRawToType3),
+		Type2ToRaw:    pl.Counter(CounterType2ToRaw),
+		Type3ToRaw:    pl.Counter(CounterType3ToRaw),
+		Forwarded:     pl.Counter(CounterForwarded),
+		TooShort:      pl.Counter(CounterTooShort),
+		DecodeMiss:    pl.Counter(CounterDecodeMiss),
+		Digests:       pl.Counter(CounterDigests),
+		EncPayloadIn:  pl.Counter(CounterEncPayloadIn),
+		EncPayloadOut: pl.Counter(CounterEncPayloadOut),
 	}
+}
+
+// Add accumulates o into s (aggregating several pipelines' views).
+func (s *Stats) Add(o Stats) {
+	s.RawToType2 += o.RawToType2
+	s.RawToType3 += o.RawToType3
+	s.Type2ToRaw += o.Type2ToRaw
+	s.Type3ToRaw += o.Type3ToRaw
+	s.Forwarded += o.Forwarded
+	s.TooShort += o.TooShort
+	s.DecodeMiss += o.DecodeMiss
+	s.Digests += o.Digests
+	s.EncPayloadIn += o.EncPayloadIn
+	s.EncPayloadOut += o.EncPayloadOut
 }
 
 // Encoded reports the total packets the encoder path transformed.

@@ -79,6 +79,15 @@ const (
 	CounterDigests    = "digests"      // new-basis reports emitted
 )
 
+// Byte counters on the encode path. They count payload bytes entering
+// and leaving the encode role for type-1 (raw) traffic, so
+// out ÷ in is the exact compression ratio of the hop the encoder
+// feeds — the quantity Figure 3 reports per dataset.
+const (
+	CounterEncPayloadIn  = "enc_payload_in_bytes"
+	CounterEncPayloadOut = "enc_payload_out_bytes"
+)
+
 // Config parameterises the program; zero values take the paper's
 // operating point.
 type Config struct {
@@ -196,6 +205,7 @@ func (p *Program) Declare(a *tofino.Alloc) error {
 		CounterRawToType2, CounterRawToType3, CounterType2ToRaw,
 		CounterType3ToRaw, CounterForwarded, CounterTooShort,
 		CounterDecodeMiss, CounterDigests,
+		CounterEncPayloadIn, CounterEncPayloadOut,
 	} {
 		h, err := a.Counter(name)
 		if err != nil {
@@ -235,11 +245,14 @@ func (p *Program) encode(ctx *tofino.Ctx, frame []byte, egress tofino.Port) []to
 		// Not compressible: forward unchanged.
 		if err == nil && hdr.EtherType == packet.EtherTypeRaw && len(payload) < p.codec.ChunkBytes() {
 			ctx.Count(p.counters[CounterTooShort], 1)
+			ctx.Count(p.counters[CounterEncPayloadIn], uint64(len(payload)))
+			ctx.Count(p.counters[CounterEncPayloadOut], uint64(len(payload)))
 		} else {
 			ctx.Count(p.counters[CounterForwarded], 1)
 		}
 		return []tofino.Emit{{Port: egress, Frame: frame}}
 	}
+	ctx.Count(p.counters[CounterEncPayloadIn], uint64(len(payload)))
 
 	chunk := payload[:p.codec.ChunkBytes()]
 	tail := payload[p.codec.ChunkBytes():]
@@ -248,6 +261,7 @@ func (p *Program) encode(ctx *tofino.Ctx, frame []byte, egress tofino.Port) []to
 		// Unreachable by construction (chunk length checked above);
 		// treat as forward to stay total.
 		ctx.Count(p.counters[CounterForwarded], 1)
+		ctx.Count(p.counters[CounterEncPayloadOut], uint64(len(payload)))
 		return []tofino.Emit{{Port: egress, Frame: frame}}
 	}
 
@@ -262,6 +276,7 @@ func (p *Program) encode(ctx *tofino.Ctx, frame []byte, egress tofino.Port) []to
 		})
 		out = append(out, tail...)
 		ctx.Count(p.counters[CounterRawToType3], 1)
+		ctx.Count(p.counters[CounterEncPayloadOut], uint64(len(out)-packet.HeaderLen))
 		return []tofino.Emit{{Port: egress, Frame: out}}
 	}
 
@@ -275,6 +290,7 @@ func (p *Program) encode(ctx *tofino.Ctx, frame []byte, egress tofino.Port) []to
 	out = p.fmt.AppendType2(out, s)
 	out = append(out, tail...)
 	ctx.Count(p.counters[CounterRawToType2], 1)
+	ctx.Count(p.counters[CounterEncPayloadOut], uint64(len(out)-packet.HeaderLen))
 	return []tofino.Emit{{Port: egress, Frame: out}}
 }
 
