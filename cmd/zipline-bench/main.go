@@ -5,14 +5,25 @@
 //
 // Usage:
 //
-//	zipline-bench [-run all|table1|table2|fig3|fig4|fig5|learning|ablations] [-quick] [-seed N]
+//	zipline-bench [-run all|table1|table2|fig3|fig4|fig5|learning|ablations|perf] [-quick] [-seed N] [-json PATH]
 //
 // -quick scales the datasets and windows down (≈30× faster) for smoke
 // runs; the full run uses the paper-scale parameters recorded in
 // EXPERIMENTS.md.
+//
+// The perf experiment measures the software dataplane itself — chunk
+// codec MB/s, CRC throughput, per-role switch pkts/s through the
+// zero-allocation ProcessAppend path, and the scenario engine's
+// events/s — the repo's performance trajectory. -json writes every
+// collected measurement (perf rows plus Figure 3 compression ratios)
+// as machine-readable JSON; BENCH_PR3.json in the repo root is one
+// such artifact:
+//
+//	zipline-bench -run perf -json BENCH_PR3.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -36,9 +47,10 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("zipline-bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	which := fs.String("run", "all", "experiment to run: all, table1, table2, fig3, fig4, fig5, learning, ablations")
+	which := fs.String("run", "all", "experiment to run: all, table1, table2, fig3, fig4, fig5, learning, ablations, perf")
 	quick := fs.Bool("quick", false, "scaled-down datasets and windows")
 	seed := fs.Int64("seed", 1, "base seed for synthetic data and simulation jitter")
+	jsonPath := fs.String("json", "", "write collected measurements (perf, compression ratios) as JSON to this path")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -46,6 +58,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	want := func(name string) bool { return *which == "all" || *which == name }
 	start := time.Now()
 	ran := 0
+	rep := &jsonReport{Seed: *seed, Quick: *quick}
 
 	steps := []struct {
 		name string
@@ -53,11 +66,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}{
 		{"table1", func() error { return runTable1(stdout) }},
 		{"table2", func() error { return runTable2(stdout) }},
-		{"fig3", func() error { return runFig3(stdout, *quick, *seed) }},
+		{"fig3", func() error { return runFig3(stdout, *quick, *seed, rep) }},
 		{"fig4", func() error { return runFig4(stdout, *quick, *seed) }},
 		{"fig5", func() error { return runFig5(stdout, *quick, *seed) }},
 		{"learning", func() error { return runLearning(stdout, *quick, *seed) }},
 		{"ablations", func() error { return runAblations(stdout, *quick, *seed) }},
+		{"perf", func() error { return runPerf(stdout, *quick, *seed, rep) }},
 	}
 	for _, step := range steps {
 		if !want(step.name) {
@@ -74,8 +88,65 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fs.Usage()
 		return 2
 	}
+	if *jsonPath != "" {
+		if err := rep.write(*jsonPath); err != nil {
+			fmt.Fprintf(stderr, "zipline-bench: writing %s: %v\n", *jsonPath, err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "\nmeasurements written to %s\n", *jsonPath)
+	}
 	fmt.Fprintf(stdout, "\ncompleted in %s\n", time.Since(start).Round(time.Millisecond))
 	return 0
+}
+
+// jsonReport is the -json artifact: the perf trajectory entry format
+// (BENCH_*.json).
+type jsonReport struct {
+	Seed  int64 `json:"seed"`
+	Quick bool  `json:"quick"`
+	// Perf holds dataplane measurements (ns/op, MB/s, pkts/s,
+	// events/s, allocs/op) from the perf experiment.
+	Perf []experiments.PerfResult `json:"perf,omitempty"`
+	// CompressionRatios holds the Figure 3 ratio table when fig3 ran.
+	CompressionRatios []ratioEntry `json:"compression_ratios,omitempty"`
+}
+
+type ratioEntry struct {
+	Dataset string  `json:"dataset"`
+	Case    string  `json:"case"`
+	Ratio   float64 `json:"ratio"`
+}
+
+func (r *jsonReport) write(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// runPerf measures the software dataplane and prints the rows the
+// tentpole optimised; the same rows land in the -json artifact.
+func runPerf(w io.Writer, quick bool, seed int64, rep *jsonReport) error {
+	header(w, "Perf: software dataplane (zero-allocation hot paths)")
+	rows, err := experiments.PerfSuite(seed, quick)
+	if err != nil {
+		return err
+	}
+	rep.Perf = append(rep.Perf, rows...)
+	fmt.Fprintf(w, "%-20s %12s %12s %14s %14s %10s\n",
+		"path", "ns/op", "MB/s", "pkts/s", "events/s", "allocs/op")
+	for _, r := range rows {
+		num := func(v float64) string {
+			if v == 0 {
+				return "-"
+			}
+			return fmt.Sprintf("%.0f", v)
+		}
+		fmt.Fprintf(w, "%-20s %12.1f %12s %14s %14s %10.2f\n",
+			r.Name, r.NsPerOp, num(r.MBPerS), num(r.PktsPerS), num(r.EventsPerS), r.AllocsPerOp)
+	}
+	return nil
 }
 
 func header(w io.Writer, title string) {
@@ -126,7 +197,7 @@ var paperFig3 = map[string]map[string]string{
 	},
 }
 
-func runFig3(w io.Writer, quick bool, seed int64) error {
+func runFig3(w io.Writer, quick bool, seed int64, rep *jsonReport) error {
 	header(w, "Figure 3: Resulting payload size after processing (ZipLine vs gzip)")
 	sensorCfg := trace.SensorConfig{Seed: seed}
 	snap, glitch, err := fig3SensorNoise()
@@ -170,6 +241,9 @@ func runFig3(w io.Writer, quick bool, seed int64) error {
 				fmt.Fprintf(w, "  %-18s %12s %-8s %-8s %s\n", c.Name, "n/a", "n/a", paper, c.Detail)
 				continue
 			}
+			rep.CompressionRatios = append(rep.CompressionRatios, ratioEntry{
+				Dataset: ds.tr.Name, Case: c.Name, Ratio: c.Ratio,
+			})
 			fmt.Fprintf(w, "  %-18s %12.1f %-8.2f %-8s %s\n",
 				c.Name, float64(c.Bytes)/1e6, c.Ratio, paper, c.Detail)
 		}

@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -40,5 +43,42 @@ func TestBadFlagExits2(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if code := run([]string{"-definitely-not-a-flag"}, &stdout, &stderr); code != 2 {
 		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+func TestRunPerfWithJSON(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if code := run([]string{"-run", "perf", "-quick", "-json", path}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "switch-encode") {
+		t.Fatalf("perf table missing: %q", stdout.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep jsonReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if len(rep.Perf) < 6 {
+		t.Fatalf("artifact has %d perf rows, want ≥ 6", len(rep.Perf))
+	}
+	byName := make(map[string]bool)
+	for _, r := range rep.Perf {
+		byName[r.Name] = true
+		if r.NsPerOp <= 0 {
+			t.Errorf("%s: ns/op = %v", r.Name, r.NsPerOp)
+		}
+	}
+	for _, want := range []string{
+		"codec-encode", "codec-decode", "crc-remainder-32B",
+		"switch-encode", "switch-decode", "switch-forward", "scenario-perf",
+	} {
+		if !byName[want] {
+			t.Errorf("artifact missing %q", want)
+		}
 	}
 }

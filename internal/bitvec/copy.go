@@ -1,10 +1,13 @@
 package bitvec
 
+import "encoding/binary"
+
 // CopyBits copies nbits bits from src starting at bit srcOff into dst
 // starting at bit dstOff, overwriting the destination bits and
 // leaving all other dst bits untouched. Offsets are MSB-first bit
-// positions. It processes a destination byte at a time, so arbitrary
-// misalignment costs roughly one shift per byte rather than per bit.
+// positions. Once the destination is byte-aligned, interior bits move
+// eight bytes per step (a shifted 64-bit load/store), so arbitrary
+// misalignment costs roughly one shift per word rather than per byte.
 func CopyBits(dst []byte, dstOff int, src []byte, srcOff, nbits int) {
 	if nbits < 0 {
 		panic("bitvec: negative bit count")
@@ -22,6 +25,35 @@ func CopyBits(dst []byte, dstOff int, src []byte, srcOff, nbits int) {
 			dst[di] = dst[di]&^mask | src[srcOff>>3+n]&mask
 		}
 		return
+	}
+	// Align the destination to a byte boundary (at most one partial
+	// byte), then stream whole words: each output word is one shifted
+	// 64-bit source load plus the spill byte that the shift exposes.
+	if db := dstOff & 7; db != 0 && nbits >= 8 {
+		w := 8 - db
+		v := extractBits(src, srcOff, w)
+		mask := byte(1<<uint(w) - 1)
+		di := dstOff >> 3
+		dst[di] = dst[di]&^mask | byte(v)&mask
+		dstOff += w
+		srcOff += w
+		nbits -= w
+	}
+	if dstOff&7 == 0 {
+		sh := uint(srcOff & 7)
+		si, di := srcOff>>3, dstOff>>3
+		for nbits >= 64 && si+9 <= len(src) {
+			v := binary.BigEndian.Uint64(src[si:])
+			if sh > 0 {
+				v = v<<sh | uint64(src[si+8])>>(8-sh)
+			}
+			binary.BigEndian.PutUint64(dst[di:], v)
+			si += 8
+			di += 8
+			srcOff += 64
+			dstOff += 64
+			nbits -= 64
+		}
 	}
 	for nbits > 0 {
 		db := dstOff & 7

@@ -215,7 +215,7 @@ func (c *Controller) handleDigest(data []byte, emitted netsim.Time) {
 	c.stats.DigestsSeen++
 	c.stats.DigestBytes += uint64(len(data))
 	basis := bitvec.FromBytes(data, c.basisBits)
-	key := basis.Key()
+	key := zswitch.BasisKey(basis)
 	if _, pending := c.inflight[key]; pending {
 		c.stats.Duplicates++
 		return

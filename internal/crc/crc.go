@@ -40,6 +40,13 @@ type Engine struct {
 	full  uint32 // g(x) including the x^m term
 	mask  uint32 // m low bits set
 	tab   [256]uint32
+	// Slicing tables for the 8-byte block path: tab0[v] = rem(v) and
+	// tab8[k][v] = rem(v·x^{8(k+1)}). A 64-bit block contributes eight
+	// data bytes at x^8..x^56 (k = 0..6 plus tab0 for the last byte)
+	// and the four carried remainder bytes land at x^64..x^88
+	// (k = 7..10), so eleven shifted tables cover every term.
+	tab0 [256]uint32
+	tab8 [11][256]uint32
 }
 
 // New returns an engine for the width-m generator polynomial
@@ -78,6 +85,23 @@ func New(width int, param uint32) (*Engine, error) {
 		}
 		e.tab[h] = r
 	}
+	// Slicing tables: reduce each byte value, then walk it up eight
+	// bit positions per table. tab0 is the identity for width ≥ 8
+	// (a degree-<8 polynomial is already reduced) and a true
+	// reduction for narrower generators.
+	for v := 0; v < 256; v++ {
+		r := uint32(0)
+		for i := 7; i >= 0; i-- {
+			r = e.shiftInBit(r, v>>uint(i)&1 == 1)
+		}
+		e.tab0[v] = r
+		for k := 0; k < len(e.tab8); k++ {
+			for i := 0; i < 8; i++ {
+				r = e.shiftInBit(r, false)
+			}
+			e.tab8[k][v] = r
+		}
+	}
 	return e, nil
 }
 
@@ -115,14 +139,35 @@ func (e *Engine) shiftInBit(r uint32, b bool) uint32 {
 }
 
 // Remainder computes B(x) mod g(x) over the first nbits of data,
-// MSB first. Complete bytes use the table fast path; a trailing
-// partial byte is folded bit by bit.
+// MSB first. Eight-byte blocks take the slicing path (twelve
+// independent table lookups XORed together, no loop-carried
+// dependency inside a block); remaining complete bytes use the
+// byte table; a trailing partial byte is folded bit by bit.
 func (e *Engine) Remainder(data []byte, nbits int) uint32 {
 	if nbits > len(data)*8 {
 		panic(fmt.Sprintf("crc: %d bits requested, %d available", nbits, len(data)*8))
 	}
 	var r uint32
 	i := 0
+	// Slicing-by-8: appending 64 bits turns the state into
+	// r·x^64 + D, a 96-bit polynomial whose twelve bytes reduce
+	// through one shifted table each.
+	for ; nbits-i >= 64; i += 64 {
+		p := data[i>>3:]
+		_ = p[7] // one bounds check for the block
+		r = e.tab8[10][byte(r>>24)] ^
+			e.tab8[9][byte(r>>16)] ^
+			e.tab8[8][byte(r>>8)] ^
+			e.tab8[7][byte(r)] ^
+			e.tab8[6][p[0]] ^
+			e.tab8[5][p[1]] ^
+			e.tab8[4][p[2]] ^
+			e.tab8[3][p[3]] ^
+			e.tab8[2][p[4]] ^
+			e.tab8[1][p[5]] ^
+			e.tab8[0][p[6]] ^
+			e.tab0[p[7]]
+	}
 	for ; nbits-i >= 8; i += 8 {
 		b := data[i>>3]
 		// Appending 8 bits: value = r·x^8 + b. The top 8 bits of

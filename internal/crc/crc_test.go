@@ -222,3 +222,64 @@ func BenchmarkRemainder255Bits(b *testing.B) {
 		e.Remainder(data, 255)
 	}
 }
+
+// TestSlicingBoundaries walks the lengths around the 64-bit slicing
+// block edges, where the block loop hands off to the byte and bit
+// tails, for narrow, byte-wide and extra-wide generators.
+func TestSlicingBoundaries(t *testing.T) {
+	widths := []struct {
+		m     int
+		param uint32
+	}{
+		{3, 0x3}, {7, 0x09}, {8, 0x1D}, {15, 0x003},
+		{16, 0x1021}, {24, 0x00065B}, {31, 0x04C11DB7 & 0x7FFFFFFF},
+	}
+	data := make([]byte, 64)
+	rand.New(rand.NewSource(41)).Read(data)
+	for _, w := range widths {
+		e, err := New(w.m, w.param|1) // force odd constant term
+		if err != nil {
+			t.Fatalf("m=%d: %v", w.m, err)
+		}
+		for _, nbits := range []int{
+			1, 7, 8, 63, 64, 65, 71, 72, 127, 128, 129,
+			191, 192, 193, 255, 256, 320, 384, 448, 512,
+		} {
+			fast := e.Remainder(data, nbits)
+			slow := e.RemainderBitwise(data, nbits)
+			if fast != slow {
+				t.Fatalf("m=%d nbits=%d: slicing %x != bitwise %x", w.m, nbits, fast, slow)
+			}
+		}
+	}
+}
+
+// TestRemainderAllocFree pins the hot path at zero allocations: the
+// 32-byte chunk CRC is the innermost loop of every switch encode.
+func TestRemainderAllocFree(t *testing.T) {
+	e := MustNew(8, 0x1D)
+	data := make([]byte, 32)
+	rand.New(rand.NewSource(5)).Read(data)
+	var r uint32
+	if n := testing.AllocsPerRun(200, func() {
+		r = e.Remainder(data, 256)
+	}); n != 0 {
+		t.Fatalf("Remainder allocates %.1f per run, want 0", n)
+	}
+	_ = r
+}
+
+// BenchmarkRemainderChunk measures the paper operating point: CRC-8
+// over one 32-byte chunk, the per-packet cost of the encode syndrome.
+func BenchmarkRemainderChunk(b *testing.B) {
+	e := MustNew(8, 0x1D)
+	data := make([]byte, 32)
+	rand.New(rand.NewSource(1)).Read(data)
+	b.SetBytes(32)
+	b.ReportAllocs()
+	var r uint32
+	for i := 0; i < b.N; i++ {
+		r = e.Remainder(data, 256)
+	}
+	_ = r
+}

@@ -1,0 +1,243 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"zipline/internal/gd"
+	"zipline/internal/packet"
+	"zipline/internal/scenario"
+	"zipline/internal/tofino"
+	"zipline/internal/zswitch"
+)
+
+// PerfResult is one micro- or macro-benchmark measurement of the
+// software dataplane — the repo's perf trajectory entries
+// (BENCH_*.json).
+type PerfResult struct {
+	// Name identifies the measured path, e.g. "switch-encode".
+	Name string `json:"name"`
+	// Ops is how many operations the timing loop executed.
+	Ops int `json:"ops"`
+	// NsPerOp is wall time per operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// MBPerS is payload throughput, where the operation has one.
+	MBPerS float64 `json:"mb_per_s,omitempty"`
+	// PktsPerS is packet rate, for the per-packet paths.
+	PktsPerS float64 `json:"pkts_per_s,omitempty"`
+	// EventsPerS is the simulator event rate, for scenario runs.
+	EventsPerS float64 `json:"events_per_s,omitempty"`
+	// AllocsPerOp is heap allocations per operation (0 pins the
+	// zero-allocation steady state).
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Ratio carries a compression ratio where the run yields one.
+	Ratio float64 `json:"ratio,omitempty"`
+}
+
+// measure times fn over enough iterations to fill the budget,
+// reporting ns/op and allocs/op. fn must be one operation.
+func measure(name string, budget time.Duration, warmup int, fn func()) PerfResult {
+	for i := 0; i < warmup; i++ {
+		fn()
+	}
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	ops := 0
+	batch := 1024
+	for time.Since(start) < budget {
+		for i := 0; i < batch; i++ {
+			fn()
+		}
+		ops += batch
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	return PerfResult{
+		Name:        name,
+		Ops:         ops,
+		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(ops),
+		AllocsPerOp: float64(ms1.Mallocs-ms0.Mallocs) / float64(ops),
+	}
+}
+
+// PerfSuite measures the dataplane hot paths end to end: chunk codec,
+// CRC, the three switch roles through tofino.Pipeline.ProcessAppend,
+// and a full scenario run. quick shrinks the timing budgets for smoke
+// runs.
+func PerfSuite(seed int64, quick bool) ([]PerfResult, error) {
+	budget := 400 * time.Millisecond
+	if quick {
+		budget = 20 * time.Millisecond
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var out []PerfResult
+
+	// Chunk codec, allocation-free byte paths.
+	tr, err := gd.NewHammingM(8)
+	if err != nil {
+		return nil, err
+	}
+	codec := gd.NewCodec(tr)
+	chunk := make([]byte, codec.ChunkBytes())
+	rng.Read(chunk)
+
+	var basis []byte
+	var dev uint32
+	var extra uint8
+	r := measure("codec-encode", budget, 100, func() {
+		basis, dev, extra, err = codec.SplitChunkBytes(chunk, basis)
+	})
+	if err != nil {
+		return nil, err
+	}
+	r.MBPerS = float64(len(chunk)) / r.NsPerOp * 1e9 / 1e6
+	out = append(out, r)
+
+	mergeDst := make([]byte, 0, codec.ChunkBytes())
+	r = measure("codec-decode", budget, 100, func() {
+		mergeDst, err = codec.MergeChunkBytes(basis, dev, extra, mergeDst[:0])
+	})
+	if err != nil {
+		return nil, err
+	}
+	r.MBPerS = float64(len(chunk)) / r.NsPerOp * 1e9 / 1e6
+	out = append(out, r)
+
+	// The CRC engine alone: the innermost loop of every encode.
+	eng := tr.Code().Engine()
+	var crcv uint32
+	r = measure("crc-remainder-32B", budget, 100, func() {
+		crcv = eng.Remainder(chunk, codec.ChunkBits())
+	})
+	_ = crcv
+	r.MBPerS = float64(len(chunk)) / r.NsPerOp * 1e9 / 1e6
+	out = append(out, r)
+
+	// Switch roles, steady state.
+	for _, role := range []zswitch.Role{zswitch.RoleEncode, zswitch.RoleDecode, zswitch.RoleForward} {
+		res, err := perfSwitchRole(role, rng.Int63(), budget)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+
+	// End-to-end scenario engine.
+	res, err := perfScenario(seed, quick)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, res)
+	return out, nil
+}
+
+// perfSwitchRole measures one role's packets/sec through a loaded
+// pipeline with a warm dictionary.
+func perfSwitchRole(role zswitch.Role, seed int64, budget time.Duration) (PerfResult, error) {
+	newPipeline := func(r zswitch.Role) (*zswitch.Program, *tofino.Pipeline, error) {
+		prog, err := zswitch.New(zswitch.Config{
+			Roles:   map[tofino.Port]zswitch.Role{0: r},
+			PortMap: map[tofino.Port]tofino.Port{0: 1},
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		pl, err := tofino.Load(tofino.Config{Name: "perf"}, prog)
+		return prog, pl, err
+	}
+	encProg, encPl, err := newPipeline(zswitch.RoleEncode)
+	if err != nil {
+		return PerfResult{}, err
+	}
+	payload := make([]byte, encProg.Codec().ChunkBytes())
+	rand.New(rand.NewSource(seed)).Read(payload)
+	raw := packet.Frame(packet.Header{
+		Dst:       packet.MAC{2, 0, 0, 0, 0, 2},
+		Src:       packet.MAC{2, 0, 0, 0, 0, 1},
+		EtherType: packet.EtherTypeRaw,
+	}, payload)
+	s, err := encProg.Codec().SplitChunk(payload)
+	if err != nil {
+		return PerfResult{}, err
+	}
+	if err := zswitch.InstallBasisToID(encPl, s.Basis, 1, 0); err != nil {
+		return PerfResult{}, err
+	}
+
+	var pl *tofino.Pipeline
+	frame := raw
+	switch role {
+	case zswitch.RoleEncode:
+		pl = encPl
+	case zswitch.RoleDecode:
+		emits := encPl.Process(0, raw, 0)
+		if len(emits) != 1 {
+			return PerfResult{}, fmt.Errorf("perf: encode emitted %d frames", len(emits))
+		}
+		frame = emits[0].Frame
+		encPl.DrainDigests()
+		var decPl *tofino.Pipeline
+		if _, decPl, err = newPipeline(zswitch.RoleDecode); err != nil {
+			return PerfResult{}, err
+		}
+		if err := zswitch.InstallIDToBasis(decPl, 1, s.Basis, 0); err != nil {
+			return PerfResult{}, err
+		}
+		pl = decPl
+	default:
+		if _, pl, err = newPipeline(zswitch.RoleForward); err != nil {
+			return PerfResult{}, err
+		}
+	}
+
+	scratch := make([]tofino.Emit, 0, 4)
+	now := int64(0)
+	r := measure("switch-"+role.String(), budget, 100, func() {
+		now++
+		scratch = pl.ProcessAppend(now, frame, 0, scratch[:0])
+	})
+	if len(scratch) != 1 {
+		return PerfResult{}, fmt.Errorf("perf: %s emitted %d frames", role, len(scratch))
+	}
+	r.PktsPerS = 1e9 / r.NsPerOp
+	r.MBPerS = float64(len(frame)) / r.NsPerOp * 1e9 / 1e6
+	return r, nil
+}
+
+// perfScenario runs the perf preset once and reports wall-clock event
+// and packet rates plus the run's compression ratio.
+func perfScenario(seed int64, quick bool) (PerfResult, error) {
+	spec, ok := scenario.Preset("perf")
+	if !ok {
+		return PerfResult{}, fmt.Errorf("perf: preset missing")
+	}
+	spec.Seed = seed
+	if quick {
+		for i := range spec.Traffic {
+			spec.Traffic[i].Records = 10_000
+		}
+	}
+	sc, err := scenario.Build(spec)
+	if err != nil {
+		return PerfResult{}, err
+	}
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	rep := sc.Run()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	events := sc.Sim.Scheduled()
+	return PerfResult{
+		Name:        "scenario-perf",
+		Ops:         int(events),
+		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(events),
+		EventsPerS:  float64(events) / elapsed.Seconds(),
+		PktsPerS:    float64(rep.Delivered.Frames) / elapsed.Seconds(),
+		AllocsPerOp: float64(ms1.Mallocs-ms0.Mallocs) / float64(events),
+		Ratio:       rep.CompressionRatio,
+	}, nil
+}

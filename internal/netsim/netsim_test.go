@@ -135,8 +135,8 @@ type noopProgram struct{}
 
 func (noopProgram) Name() string                { return "noop" }
 func (noopProgram) Declare(*tofino.Alloc) error { return nil }
-func (noopProgram) Process(ctx *tofino.Ctx, frame []byte, in tofino.Port) []tofino.Emit {
-	return []tofino.Emit{{Port: in ^ 1, Frame: frame}}
+func (noopProgram) Process(ctx *tofino.Ctx, frame []byte, in tofino.Port, out []tofino.Emit) []tofino.Emit {
+	return append(out, tofino.Emit{Port: in ^ 1, Frame: frame})
 }
 
 // buildHostSwitchHost wires host A — switch — host B and returns them.

@@ -136,3 +136,8 @@ func (s *Sim) RunUntil(deadline Time) {
 
 // Pending reports the number of queued events.
 func (s *Sim) Pending() int { return len(s.heap) }
+
+// Scheduled reports the total number of events scheduled since the
+// simulator was created — the denominator for events-per-second
+// wall-clock measurements of the engine itself.
+func (s *Sim) Scheduled() uint64 { return s.seq }

@@ -43,6 +43,12 @@ type Switch struct {
 	pl    *tofino.Pipeline
 	ports map[tofino.Port]*Endpoint
 
+	// emits is the reused scratch for Pipeline.ProcessAppend; arena
+	// is the current frame block emitted frames are copied into (see
+	// retain).
+	emits []tofino.Emit
+	arena []byte
+
 	// OnDigest, when set, receives digests drained after each
 	// processed packet. The control plane applies its own delivery
 	// latency; the tap itself is immediate.
@@ -74,16 +80,50 @@ func (sw *Switch) ingress(p tofino.Port, frame []byte) {
 	// does with the packet.
 	d := sw.sim.Jitter(sw.cfg.PipelineLatencyNs, sw.cfg.LatencyJitterFrac)
 	sw.sim.After(d, func() {
-		emits := sw.pl.Process(sw.sim.Now(), frame, p)
-		for _, e := range emits {
+		sw.emits = sw.pl.ProcessAppend(sw.sim.Now(), frame, p, sw.emits[:0])
+		for _, e := range sw.emits {
 			out, ok := sw.ports[e.Port]
 			if !ok {
 				continue // unattached port: black hole
 			}
-			out.Send(e.Frame)
+			if sameSlice(e.Frame, frame) {
+				// Forwarded unchanged: the input frame already has
+				// link-delivery lifetime, pass it straight through.
+				out.Send(e.Frame)
+				continue
+			}
+			out.Send(sw.retain(e.Frame))
 		}
 		if sw.OnDigest != nil && sw.pl.PendingDigests() > 0 {
 			sw.OnDigest(sw.pl.DrainDigests())
 		}
 	})
+}
+
+// arenaBlockSize sizes the switch's frame blocks: big enough to
+// amortise thousands of MTU-scale frames per allocation, small enough
+// that retired blocks return to the GC as their in-flight frames die.
+const arenaBlockSize = 64 << 10
+
+// retain copies a frame out of pipeline scratch (valid only until the
+// next ProcessAppend) into the switch's current frame block, giving
+// it the lifetime link delivery needs. One allocation covers
+// thousands of frames instead of one each; a full block is dropped
+// and stays alive only while frames inside it are still in flight.
+func (sw *Switch) retain(frame []byte) []byte {
+	if len(frame) > arenaBlockSize {
+		return append([]byte(nil), frame...)
+	}
+	if len(sw.arena)+len(frame) > cap(sw.arena) {
+		sw.arena = make([]byte, 0, arenaBlockSize)
+	}
+	base := len(sw.arena)
+	sw.arena = append(sw.arena, frame...)
+	return sw.arena[base:len(sw.arena):len(sw.arena)]
+}
+
+// sameSlice reports whether a and b are the identical slice (same
+// base pointer and length).
+func sameSlice(a, b []byte) bool {
+	return len(a) == len(b) && len(a) > 0 && &a[0] == &b[0]
 }

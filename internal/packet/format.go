@@ -1,7 +1,9 @@
 package packet
 
 import (
+	"encoding/binary"
 	"fmt"
+	"slices"
 
 	"zipline/internal/bitvec"
 	"zipline/internal/gd"
@@ -85,63 +87,115 @@ func (f Format) Type3Len() int {
 	return (f.m + f.extra + f.idBits + 7) / 8
 }
 
+// appendBitsMSB appends the low nbits of v to dst MSB-first,
+// left-aligned into ceil(nbits/8) bytes with zero padding bits at the
+// tail — the moral equivalent of Writer.WriteUint followed by Pad,
+// without the Writer. nbits must be ≤ 64.
+func appendBitsMSB(dst []byte, v uint64, nbits int) []byte {
+	nb := (nbits + 7) / 8
+	v <<= uint(nb*8 - nbits)
+	for j := nb - 1; j >= 0; j-- {
+		dst = append(dst, byte(v>>uint(8*j)))
+	}
+	return dst
+}
+
+// putBitsMSB deposits the low nbits of v into dst starting at bit
+// off, MSB first, leaving surrounding bits untouched. nbits ≤ 56.
+func putBitsMSB(dst []byte, off int, v uint64, nbits int) {
+	var tmp [8]byte
+	binary.BigEndian.PutUint64(tmp[:], v<<uint(64-nbits))
+	bitvec.CopyBits(dst, off, tmp[:], 0, nbits)
+}
+
+// readBitsMSB extracts nbits bits of data starting at bit off, MSB
+// first, right-aligned in the result. nbits ≤ 32 (a field may span at
+// most five bytes).
+func readBitsMSB(data []byte, off, nbits int) uint64 {
+	var v uint64
+	end := off + nbits
+	for i := off &^ 7; i < end; i += 8 {
+		v = v<<8 | uint64(data[i>>3])
+	}
+	v >>= uint((8 - end&7) & 7)
+	return v & (1<<uint(nbits) - 1)
+}
+
 // AppendType2 appends the encoded region of a type 2 payload to dst.
 func (f Format) AppendType2(dst []byte, s gd.Split) []byte {
-	w := bitvec.NewWriter(f.Type2Len())
+	return f.AppendType2Bytes(dst, s.Basis.Bytes(), s.Deviation, s.Extra)
+}
+
+// AppendType2Bytes is AppendType2 on a raw basis buffer of exactly
+// ceil(BasisBits/8) bytes (tail padding bits must be zero). With dst
+// capacity to spare it allocates nothing — the switch encode path.
+func (f Format) AppendType2Bytes(dst []byte, basis []byte, deviation uint32, extra uint8) []byte {
 	if f.align {
-		w.WriteUint(uint64(s.Deviation), f.m)
-		w.Pad()
-		w.WriteUint(uint64(s.Extra), 8) // the paper's removable pad byte
-		w.WriteVector(s.Basis)
-		w.Pad()
-	} else {
-		w.WriteUint(uint64(s.Deviation), f.m)
-		w.WriteUint(uint64(s.Extra), f.extra)
-		w.WriteVector(s.Basis)
-		w.Pad()
+		dst = appendBitsMSB(dst, uint64(deviation), f.m)
+		dst = append(dst, extra) // the paper's removable pad byte
+		return append(dst, basis...)
 	}
-	return append(dst, w.Bytes()...)
+	// Packed: [deviation|extra] bit-concatenated, then the basis bits
+	// immediately after, byte-rounded at the very end only.
+	base := len(dst)
+	n := f.Type2Len()
+	dst = slices.Grow(dst, n)[:base+n]
+	buf := dst[base:]
+	clear(buf)
+	lead := f.m + f.extra
+	putBitsMSB(buf, 0, uint64(deviation)<<uint(f.extra)|uint64(extra), lead)
+	bitvec.CopyBits(buf, lead, basis, 0, f.k)
+	return dst
 }
 
 // ParseType2 decodes the encoded region of a type 2 payload,
 // returning the split and the verbatim tail (a sub-slice of payload).
 func (f Format) ParseType2(payload []byte) (gd.Split, []byte, error) {
+	basis, dev, extra, tail, err := f.ParseType2Bytes(payload, nil)
+	if err != nil {
+		return gd.Split{}, nil, err
+	}
+	return gd.Split{
+		Basis:     bitvec.FromBytes(basis, f.k),
+		Deviation: dev,
+		Extra:     extra,
+	}, tail, nil
+}
+
+// ParseType2Bytes decodes the encoded region of a type 2 payload
+// without building a bit vector. In the aligned layout the returned
+// basis aliases payload directly; in the packed layout the basis bits
+// are extracted into basisScratch, whose capacity is reused
+// append-style (pass the previous return value, or nil on first use).
+// Tail padding bits of the basis are not cleared — consumers such as
+// Codec.MergeChunkBytes ignore them.
+func (f Format) ParseType2Bytes(payload, basisScratch []byte) (basis []byte, deviation uint32, extra uint8, tail []byte, err error) {
 	enc := f.Type2Len()
 	if len(payload) < enc {
-		return gd.Split{}, nil, fmt.Errorf("packet: type 2 payload %d bytes, need %d", len(payload), enc)
+		return basisScratch, 0, 0, nil, fmt.Errorf("packet: type 2 payload %d bytes, need %d", len(payload), enc)
 	}
-	r := bitvec.NewReader(payload[:enc])
-	var s gd.Split
-	dev, err := r.ReadUint(f.m)
-	if err != nil {
-		return gd.Split{}, nil, err
-	}
-	s.Deviation = uint32(dev)
+	deviation = uint32(readBitsMSB(payload, 0, f.m))
+	kb := (f.k + 7) / 8
 	if f.align {
-		if err := r.Skip((8 - f.m&7) & 7); err != nil {
-			return gd.Split{}, nil, err
-		}
-		e, err := r.ReadUint(8)
-		if err != nil {
-			return gd.Split{}, nil, err
-		}
+		eOff := (f.m + 7) / 8
+		e := payload[eOff]
 		if e>>uint(f.extra) != 0 {
-			return gd.Split{}, nil, fmt.Errorf("packet: type 2 extra field %#x exceeds %d bits", e, f.extra)
+			return basisScratch, 0, 0, nil, fmt.Errorf("packet: type 2 extra field %#x exceeds %d bits", e, f.extra)
 		}
-		s.Extra = uint8(e)
+		return payload[eOff+1 : eOff+1+kb], deviation, e, payload[enc:], nil
+	}
+	lead := f.m + f.extra
+	extra = uint8(readBitsMSB(payload, f.m, f.extra))
+	if cap(basisScratch) >= kb {
+		basis = basisScratch[:kb]
 	} else {
-		e, err := r.ReadUint(f.extra)
-		if err != nil {
-			return gd.Split{}, nil, err
-		}
-		s.Extra = uint8(e)
+		basis = make([]byte, kb)
 	}
-	basis, err := r.ReadVector(f.k)
-	if err != nil {
-		return gd.Split{}, nil, err
+	bitvec.CopyBits(basis, 0, payload, lead, f.k)
+	if pad := kb*8 - f.k; pad > 0 {
+		basis[kb-1] &^= byte(1<<uint(pad)) - 1
 	}
-	s.Basis = basis
-	return s, payload[enc:], nil
+	return basis, deviation, extra, payload[enc:], nil
 }
 
 // Compressed is the content of a type 3 encoded region: the per-chunk
@@ -153,46 +207,32 @@ type Compressed struct {
 }
 
 // AppendType3 appends the encoded region of a type 3 payload to dst.
+// With dst capacity to spare it allocates nothing.
 func (f Format) AppendType3(dst []byte, c Compressed) []byte {
-	w := bitvec.NewWriter(f.Type3Len())
-	w.WriteUint(uint64(c.Deviation), f.m)
 	if f.align {
-		w.Pad()
+		dst = appendBitsMSB(dst, uint64(c.Deviation), f.m)
+		return appendBitsMSB(dst, uint64(c.Extra)<<uint(f.idBits)|uint64(c.ID), f.extra+f.idBits)
 	}
-	w.WriteUint(uint64(c.Extra), f.extra)
-	w.WriteUint(uint64(c.ID), f.idBits)
-	w.Pad()
-	return append(dst, w.Bytes()...)
+	return appendBitsMSB(dst,
+		uint64(c.Deviation)<<uint(f.extra+f.idBits)|uint64(c.Extra)<<uint(f.idBits)|uint64(c.ID),
+		f.m+f.extra+f.idBits)
 }
 
 // ParseType3 decodes the encoded region of a type 3 payload,
-// returning the compressed record and the verbatim tail.
+// returning the compressed record and the verbatim tail. It does not
+// allocate.
 func (f Format) ParseType3(payload []byte) (Compressed, []byte, error) {
 	enc := f.Type3Len()
 	if len(payload) < enc {
 		return Compressed{}, nil, fmt.Errorf("packet: type 3 payload %d bytes, need %d", len(payload), enc)
 	}
-	r := bitvec.NewReader(payload[:enc])
 	var c Compressed
-	dev, err := r.ReadUint(f.m)
-	if err != nil {
-		return Compressed{}, nil, err
-	}
-	c.Deviation = uint32(dev)
+	c.Deviation = uint32(readBitsMSB(payload, 0, f.m))
+	off := f.m
 	if f.align {
-		if err := r.Skip((8 - f.m&7) & 7); err != nil {
-			return Compressed{}, nil, err
-		}
+		off = (f.m + 7) &^ 7
 	}
-	e, err := r.ReadUint(f.extra)
-	if err != nil {
-		return Compressed{}, nil, err
-	}
-	c.Extra = uint8(e)
-	id, err := r.ReadUint(f.idBits)
-	if err != nil {
-		return Compressed{}, nil, err
-	}
-	c.ID = uint32(id)
+	c.Extra = uint8(readBitsMSB(payload, off, f.extra))
+	c.ID = uint32(readBitsMSB(payload, off+f.extra, f.idBits))
 	return c, payload[enc:], nil
 }

@@ -1,0 +1,35 @@
+package scenario
+
+import (
+	"testing"
+)
+
+// BenchmarkScenarioChain3 measures the end-to-end engine rate: one
+// full chain3 run (build, traffic, control plane, report) per
+// iteration, reporting simulator events/s and delivered frames/s of
+// wall-clock — the whole-system number the dataplane refactor moves.
+func BenchmarkScenarioChain3(b *testing.B) {
+	spec, ok := Preset("chain3")
+	if !ok {
+		b.Fatal("chain3 preset missing")
+	}
+	spec.Traffic[0].Records = 5_000
+	b.ReportAllocs()
+	var events, frames uint64
+	for i := 0; i < b.N; i++ {
+		spec.Seed = int64(i + 1)
+		sc, err := Build(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := sc.Run()
+		if r.Delivered.Frames == 0 {
+			b.Fatal("no traffic delivered")
+		}
+		events += sc.Sim.Scheduled()
+		frames += r.Delivered.Frames
+	}
+	sec := b.Elapsed().Seconds()
+	b.ReportMetric(float64(events)/sec, "events/s")
+	b.ReportMetric(float64(frames)/sec, "frames/s")
+}

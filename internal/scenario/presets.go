@@ -70,6 +70,33 @@ func Preset(name string) (Spec, bool) {
 		spec.Links[2].ExtraLatencyNs = 2_000
 		return spec, true
 
+	case "perf":
+		// Wall-clock measurement scenario: encoder → decoder with
+		// high-rate repeat-heavy sensor traffic, enough records that
+		// packets/sec and events/sec of the engine itself are
+		// measurable. The dataplane spends the run in the steady
+		// (dictionary-warm, allocation-free) state the tentpole
+		// optimises.
+		return Spec{
+			Name: "perf",
+			Hosts: []HostSpec{
+				{Name: "sender", MaxPPS: 5_000_000},
+				{Name: "sink"},
+			},
+			Switches: []SwitchSpec{
+				{Name: "enc", Ports: []PortSpec{{Port: 0, Role: RoleEncode, Out: 1}}},
+				{Name: "dec", Ports: []PortSpec{{Port: 0, Role: RoleDecode, Out: 1}}},
+			},
+			Links: []LinkSpec{
+				{A: "sender", B: "enc:0"},
+				{A: "enc:1", B: "dec:0"},
+				{A: "dec:1", B: "sink"},
+			},
+			Traffic: []TrafficSpec{
+				{From: "sender", To: "sink", Workload: WorkloadSensor, Records: 200_000},
+			},
+		}, true
+
 	case "fanin":
 		// Two edge encoders share one core decoder and one controller:
 		// a basis learned from either sender compresses traffic from
@@ -107,5 +134,5 @@ func Preset(name string) (Spec, bool) {
 
 // PresetNames lists the built-in scenarios in display order.
 func PresetNames() []string {
-	return []string{"single", "chain3", "lossy-chain3", "fanin"}
+	return []string{"single", "chain3", "lossy-chain3", "fanin", "perf"}
 }

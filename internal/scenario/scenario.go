@@ -21,7 +21,13 @@ import (
 	"os"
 	"strconv"
 	"strings"
+
+	"zipline/internal/zswitch"
 )
+
+// MaxPort bounds switch port numbers, mirroring the dataplane's
+// dense per-port dispatch (zswitch.MaxPort).
+const MaxPort = zswitch.MaxPort
 
 // Role names accepted by PortSpec.Role.
 const (
@@ -235,6 +241,9 @@ func (s Spec) Validate() error {
 		for _, p := range sw.Ports {
 			if p.Port < 0 || p.Out < 0 {
 				return fmt.Errorf("switch %q: negative port", sw.Name)
+			}
+			if p.Port > MaxPort || p.Out > MaxPort {
+				return fmt.Errorf("switch %q: port %d exceeds %d", sw.Name, max(p.Port, p.Out), MaxPort)
 			}
 			if seen[p.Port] {
 				return fmt.Errorf("switch %q: port %d declared twice", sw.Name, p.Port)

@@ -33,10 +33,14 @@ type Program interface {
 	Name() string
 	// Declare allocates the program's pipeline resources.
 	Declare(a *Alloc) error
-	// Process handles one packet arriving on ingress and returns the
-	// frames to emit. It must do bounded work: the Ctx enforces at
-	// most one apply per table per pass and forbids recirculation.
-	Process(ctx *Ctx, frame []byte, ingress Port) []Emit
+	// Process handles one packet arriving on ingress, appending the
+	// frames to emit onto out and returning the extended slice. It
+	// must do bounded work: the Ctx enforces at most one apply per
+	// table per pass and forbids recirculation. Emitted frames may
+	// alias program-owned scratch that the next Process call on the
+	// same program reuses; callers that keep a frame longer must copy
+	// it first.
+	Process(ctx *Ctx, frame []byte, ingress Port, out []Emit) []Emit
 }
 
 // Config sizes a pipeline.
@@ -58,17 +62,32 @@ const (
 	DefaultSRAMBudgetBits = 64 << 20 // 64 Mbit
 )
 
-// Pipeline is a loaded program plus its resources. It has no clock of
-// its own: callers pass virtual timestamps in, which keeps the model
+// MaxTables bounds the tables one program may declare: the per-pass
+// applied set is a 64-bit mask, and a real Tofino pipe runs out of
+// match-action stages long before sixty-four tables anyway.
+const MaxTables = 64
+
+// Pipeline is a loaded program plus its resources. Handles resolve to
+// dense indices at Declare time, so the per-packet path indexes flat
+// slices instead of hashing names. It has no clock of its own:
+// callers pass virtual timestamps in, which keeps the model
 // deterministic under the discrete-event simulator.
 type Pipeline struct {
-	cfg      Config
-	prog     Program
-	tables   map[string]*Table
-	regs     map[string][]uint32
-	counters map[string]uint64
-	digests  []Digest
-	sram     int64
+	cfg  Config
+	prog Program
+
+	tables   []*Table
+	regs     [][]uint32
+	counters []uint64
+
+	tableIdx   map[string]int
+	regIdx     map[string]int
+	counterIdx map[string]int
+
+	digests []Digest
+	sram    int64
+
+	ctx Ctx // reused across packets: Process is single-threaded
 }
 
 // Load builds a pipeline: it runs the program's Declare phase and
@@ -85,11 +104,11 @@ func Load(cfg Config, prog Program) (*Pipeline, error) {
 		return nil, fmt.Errorf("tofino: %d ports", cfg.Ports)
 	}
 	p := &Pipeline{
-		cfg:      cfg,
-		prog:     prog,
-		tables:   make(map[string]*Table),
-		regs:     make(map[string][]uint32),
-		counters: make(map[string]uint64),
+		cfg:        cfg,
+		prog:       prog,
+		tableIdx:   make(map[string]int),
+		regIdx:     make(map[string]int),
+		counterIdx: make(map[string]int),
 	}
 	if err := prog.Declare(&Alloc{p: p}); err != nil {
 		return nil, fmt.Errorf("tofino: declaring %s: %w", prog.Name(), err)
@@ -108,11 +127,17 @@ func (p *Pipeline) Config() Config { return p.cfg }
 // resource model.
 func (p *Pipeline) SRAMBits() int64 { return p.sram }
 
-// Process runs one packet through the program at virtual time now.
-func (p *Pipeline) Process(now int64, frame []byte, ingress Port) []Emit {
-	ctx := Ctx{p: p, now: now}
-	out := p.prog.Process(&ctx, frame, ingress)
-	for _, e := range out {
+// ProcessAppend runs one packet through the program at virtual time
+// now, appending the emitted frames onto out and returning the
+// extended slice. With a caller-reused out slice the steady-state
+// path allocates nothing. Emitted frames may alias program scratch
+// valid only until the next ProcessAppend call on this pipeline;
+// callers that retain frames longer must copy them.
+func (p *Pipeline) ProcessAppend(now int64, frame []byte, ingress Port, out []Emit) []Emit {
+	p.ctx = Ctx{p: p, now: now}
+	base := len(out)
+	out = p.prog.Process(&p.ctx, frame, ingress, out)
+	for _, e := range out[base:] {
 		if int(e.Port) < 0 || int(e.Port) >= p.cfg.Ports {
 			panic(fmt.Sprintf("tofino: program %s emitted on invalid port %d", p.prog.Name(), e.Port))
 		}
@@ -120,20 +145,41 @@ func (p *Pipeline) Process(now int64, frame []byte, ingress Port) []Emit {
 	return out
 }
 
+// Process runs one packet and returns durable emissions: every frame
+// is cloned out of program scratch, so the result stays valid
+// indefinitely. Hot paths use ProcessAppend with a reused scratch
+// slice instead.
+func (p *Pipeline) Process(now int64, frame []byte, ingress Port) []Emit {
+	out := p.ProcessAppend(now, frame, ingress, nil)
+	for i := range out {
+		out[i].Frame = append([]byte(nil), out[i].Frame...)
+	}
+	return out
+}
+
 // Table exposes a table to the control plane by name.
 func (p *Pipeline) Table(name string) (*Table, bool) {
-	t, ok := p.tables[name]
-	return t, ok
+	i, ok := p.tableIdx[name]
+	if !ok {
+		return nil, false
+	}
+	return p.tables[i], true
 }
 
 // Counter returns a counter's current value.
-func (p *Pipeline) Counter(name string) uint64 { return p.counters[name] }
+func (p *Pipeline) Counter(name string) uint64 {
+	i, ok := p.counterIdx[name]
+	if !ok {
+		return 0
+	}
+	return p.counters[i]
+}
 
 // Counters returns a copy of all counters.
 func (p *Pipeline) Counters() map[string]uint64 {
-	out := make(map[string]uint64, len(p.counters))
-	for k, v := range p.counters {
-		out[k] = v
+	out := make(map[string]uint64, len(p.counterIdx))
+	for name, i := range p.counterIdx {
+		out[name] = p.counters[i]
 	}
 	return out
 }
@@ -157,16 +203,20 @@ type Alloc struct {
 
 // Table allocates an exact-match table and returns its handle.
 func (a *Alloc) Table(spec TableSpec) (TableHandle, error) {
-	if _, dup := a.p.tables[spec.Name]; dup {
+	if _, dup := a.p.tableIdx[spec.Name]; dup {
 		return TableHandle{}, fmt.Errorf("tofino: duplicate table %q", spec.Name)
+	}
+	if len(a.p.tables) >= MaxTables {
+		return TableHandle{}, fmt.Errorf("tofino: program declares more than %d tables", MaxTables)
 	}
 	t, err := newTable(spec)
 	if err != nil {
 		return TableHandle{}, err
 	}
-	a.p.tables[spec.Name] = t
+	a.p.tableIdx[spec.Name] = len(a.p.tables)
+	a.p.tables = append(a.p.tables, t)
 	a.p.sram += t.sramBits()
-	return TableHandle{name: spec.Name}, nil
+	return TableHandle{name: spec.Name, idx: len(a.p.tables) - 1}, nil
 }
 
 // Register allocates an array of 32-bit registers.
@@ -174,32 +224,48 @@ func (a *Alloc) Register(name string, size int) (RegisterHandle, error) {
 	if size <= 0 {
 		return RegisterHandle{}, fmt.Errorf("tofino: register %s size %d", name, size)
 	}
-	if _, dup := a.p.regs[name]; dup {
+	if _, dup := a.p.regIdx[name]; dup {
 		return RegisterHandle{}, fmt.Errorf("tofino: duplicate register %q", name)
 	}
-	a.p.regs[name] = make([]uint32, size)
+	a.p.regIdx[name] = len(a.p.regs)
+	a.p.regs = append(a.p.regs, make([]uint32, size))
 	a.p.sram += int64(size) * 32
-	return RegisterHandle{name: name}, nil
+	// Register handles are 1-based so the zero RegisterHandle is
+	// invalid rather than silently aliasing the first register.
+	return RegisterHandle{name: name, idx: len(a.p.regs)}, nil
 }
 
 // Counter allocates a named 64-bit counter. Counters are free in the
 // resource model (they live in dedicated stats SRAM on hardware).
 func (a *Alloc) Counter(name string) (CounterHandle, error) {
-	if _, dup := a.p.counters[name]; dup {
+	if _, dup := a.p.counterIdx[name]; dup {
 		return CounterHandle{}, fmt.Errorf("tofino: duplicate counter %q", name)
 	}
-	a.p.counters[name] = 0
-	return CounterHandle{name: name}, nil
+	a.p.counterIdx[name] = len(a.p.counters)
+	a.p.counters = append(a.p.counters, 0)
+	// Counter handles are 1-based so the zero CounterHandle is
+	// invalid rather than silently aliasing the first counter.
+	return CounterHandle{name: name, idx: len(a.p.counters)}, nil
 }
 
-// TableHandle is a program's reference to a declared table.
-type TableHandle struct{ name string }
+// TableHandle is a program's reference to a declared table, resolved
+// to a dense index at Declare time.
+type TableHandle struct {
+	name string
+	idx  int
+}
 
 // RegisterHandle is a program's reference to a declared register.
-type RegisterHandle struct{ name string }
+type RegisterHandle struct {
+	name string
+	idx  int
+}
 
 // CounterHandle is a program's reference to a declared counter.
-type CounterHandle struct{ name string }
+type CounterHandle struct {
+	name string
+	idx  int
+}
 
 // Ctx is the per-packet view of the pipeline given to Process. It
 // enforces the architectural restrictions: each table applies at most
@@ -208,45 +274,64 @@ type CounterHandle struct{ name string }
 type Ctx struct {
 	p       *Pipeline
 	now     int64
-	applied map[string]bool
+	applied uint64 // bitmask over table indices
 }
 
 // Now returns the packet's virtual arrival timestamp in nanoseconds.
 func (c *Ctx) Now() int64 { return c.now }
 
-// Apply looks the key up in a table, at most once per pass.
-func (c *Ctx) Apply(h TableHandle, key string) (any, bool) {
-	if c.applied == nil {
-		c.applied = make(map[string]bool, 4)
-	}
-	if c.applied[h.name] {
-		panic(fmt.Sprintf("tofino: table %q applied twice in one pass (pipelines are feed-forward)", h.name))
-	}
-	c.applied[h.name] = true
-	t, ok := c.p.tables[h.name]
-	if !ok {
+// checkApply enforces the single-apply-per-pass rule and resolves the
+// handle. A handle whose index doesn't match this pipeline's table of
+// the same position belongs to a different Load and panics.
+func (c *Ctx) checkApply(h TableHandle) *Table {
+	if h.idx < 0 || h.idx >= len(c.p.tables) || c.p.tables[h.idx].name != h.name {
 		panic(fmt.Sprintf("tofino: apply of undeclared table %q", h.name))
 	}
-	return t.lookup(key, c.now)
+	bit := uint64(1) << uint(h.idx)
+	if c.applied&bit != 0 {
+		panic(fmt.Sprintf("tofino: table %q applied twice in one pass (pipelines are feed-forward)", h.name))
+	}
+	c.applied |= bit
+	return c.p.tables[h.idx]
+}
+
+// Apply looks the key up in a table, at most once per pass.
+func (c *Ctx) Apply(h TableHandle, key string) (any, bool) {
+	return c.checkApply(h).lookup(key, c.now)
+}
+
+// ApplyBytes is Apply with a byte-slice key: the data-plane match on
+// a header field. It allocates nothing (the map lookup uses the
+// compiler's string-conversion elision).
+func (c *Ctx) ApplyBytes(h TableHandle, key []byte) (any, bool) {
+	return c.checkApply(h).lookupBytes(key, c.now)
 }
 
 // Count increments a counter by n.
 func (c *Ctx) Count(h CounterHandle, n uint64) {
-	if _, ok := c.p.counters[h.name]; !ok {
+	if h.idx < 1 || h.idx > len(c.p.counters) {
 		panic(fmt.Sprintf("tofino: undeclared counter %q", h.name))
 	}
-	c.p.counters[h.name] += n
+	c.p.counters[h.idx-1] += n
+}
+
+// checkReg validates a register handle against this pipeline.
+func (c *Ctx) checkReg(h RegisterHandle) []uint32 {
+	if h.idx < 1 || h.idx > len(c.p.regs) {
+		panic(fmt.Sprintf("tofino: undeclared register %q", h.name))
+	}
+	return c.p.regs[h.idx-1]
 }
 
 // ReadReg reads a register cell.
 func (c *Ctx) ReadReg(h RegisterHandle, idx int) uint32 {
-	return c.p.regs[h.name][idx]
+	return c.checkReg(h)[idx]
 }
 
 // WriteReg writes a register cell (registers, unlike tables, are
 // data-plane writable on Tofino).
 func (c *Ctx) WriteReg(h RegisterHandle, idx int, v uint32) {
-	c.p.regs[h.name][idx] = v
+	c.checkReg(h)[idx] = v
 }
 
 // Digest queues a digest for the control plane.

@@ -23,6 +23,7 @@ package tofino
 
 import (
 	"fmt"
+	"sort"
 )
 
 // Table is an exact-match match-action table. The data plane may only
@@ -98,6 +99,18 @@ func (t *Table) lookup(key string, now int64) (any, bool) {
 	return e.action, true
 }
 
+// lookupBytes is lookup keyed by a byte slice. The map index uses the
+// string(key) conversion directly so the compiler elides the string
+// allocation — the per-packet match costs a hash, not a copy.
+func (t *Table) lookupBytes(key []byte, now int64) (any, bool) {
+	e, ok := t.entries[string(key)]
+	if !ok {
+		return nil, false
+	}
+	e.lastHit = now
+	return e.action, true
+}
+
 // Install adds or replaces an entry. Control-plane API.
 func (t *Table) Install(key string, action any, now int64) error {
 	if _, exists := t.entries[key]; !exists && len(t.entries) >= t.capacity {
@@ -128,8 +141,10 @@ func (t *Table) Get(key string) (any, bool) {
 }
 
 // ExpiredKeys returns the keys whose idle timers have lapsed at time
-// now. The model notifies but does not auto-delete: on TNA the aging
-// notification goes to the control plane, which decides.
+// now, in sorted order (map iteration alone would leak scheduling
+// nondeterminism into the control plane). The model notifies but does
+// not auto-delete: on TNA the aging notification goes to the control
+// plane, which decides.
 func (t *Table) ExpiredKeys(now int64) []string {
 	if t.idleTimeoutNs == 0 {
 		return nil
@@ -140,6 +155,7 @@ func (t *Table) ExpiredKeys(now int64) []string {
 			out = append(out, k)
 		}
 	}
+	sort.Strings(out)
 	return out
 }
 

@@ -35,7 +35,7 @@ func (p *echoProg) Declare(a *Alloc) error {
 	return err
 }
 
-func (p *echoProg) Process(ctx *Ctx, frame []byte, ingress Port) []Emit {
+func (p *echoProg) Process(ctx *Ctx, frame []byte, ingress Port, out []Emit) []Emit {
 	key := string(frame[:4])
 	if _, ok := ctx.Apply(p.tbl, key); ok {
 		ctx.Count(p.hits, 1)
@@ -47,7 +47,7 @@ func (p *echoProg) Process(ctx *Ctx, frame []byte, ingress Port) []Emit {
 		ctx.Apply(p.tbl, key)
 	}
 	ctx.WriteReg(p.reg, 0, ctx.ReadReg(p.reg, 0)+1)
-	return []Emit{{Port: ingress ^ 1, Frame: frame}}
+	return append(out, Emit{Port: ingress ^ 1, Frame: frame})
 }
 
 func load(t *testing.T, prog Program) *Pipeline {
@@ -198,7 +198,7 @@ func (p *tableProg) Declare(a *Alloc) error {
 	p.h, err = a.Table(p.spec)
 	return err
 }
-func (p *tableProg) Process(ctx *Ctx, frame []byte, ingress Port) []Emit { return nil }
+func (p *tableProg) Process(ctx *Ctx, frame []byte, ingress Port, out []Emit) []Emit { return out }
 
 func TestDoubleApplyPanics(t *testing.T) {
 	prog := &echoProg{applyTwice: true}
@@ -225,8 +225,8 @@ type badPortProg struct{}
 
 func (badPortProg) Name() string           { return "badport" }
 func (badPortProg) Declare(a *Alloc) error { return nil }
-func (badPortProg) Process(ctx *Ctx, frame []byte, ingress Port) []Emit {
-	return []Emit{{Port: 99, Frame: frame}}
+func (badPortProg) Process(ctx *Ctx, frame []byte, ingress Port, out []Emit) []Emit {
+	return append(out, Emit{Port: 99, Frame: frame})
 }
 
 func TestDeclareValidation(t *testing.T) {
@@ -258,7 +258,7 @@ func (dupProg) Declare(a *Alloc) error {
 	_, err := a.Table(TableSpec{Name: "t", KeyBits: 8, Capacity: 1})
 	return err
 }
-func (dupProg) Process(ctx *Ctx, frame []byte, ingress Port) []Emit { return nil }
+func (dupProg) Process(ctx *Ctx, frame []byte, ingress Port, out []Emit) []Emit { return out }
 
 func TestRegisterStatePersists(t *testing.T) {
 	prog := &echoProg{}
@@ -366,4 +366,4 @@ func (p *badRegProg) Declare(a *Alloc) error {
 	}
 	return nil
 }
-func (p *badRegProg) Process(ctx *Ctx, frame []byte, ingress Port) []Emit { return nil }
+func (p *badRegProg) Process(ctx *Ctx, frame []byte, ingress Port, out []Emit) []Emit { return out }

@@ -7,10 +7,11 @@ import (
 	"zipline/internal/tofino"
 )
 
-// basisAction is the decoder table's action data: the basis to
-// substitute for the matched identifier.
+// basisAction is the decoder table's action data: the raw bytes of
+// the basis to substitute for the matched identifier, ready for
+// Codec.MergeChunkBytes without an intermediate bit vector.
 type basisAction struct {
-	v *bitvec.Vector
+	b []byte
 }
 
 // InstallBasisToID adds an encoder dictionary entry (basis → id) to a
@@ -21,7 +22,7 @@ func InstallBasisToID(pl *tofino.Pipeline, basis *bitvec.Vector, id uint32, now 
 	if !ok {
 		return fmt.Errorf("zswitch: pipeline has no %s table", TableBasisToID)
 	}
-	return t.Install(basis.Key(), id, now)
+	return t.Install(BasisKey(basis), id, now)
 }
 
 // DeleteBasisToID removes an encoder dictionary entry.
@@ -30,7 +31,7 @@ func DeleteBasisToID(pl *tofino.Pipeline, basis *bitvec.Vector) bool {
 	if !ok {
 		return false
 	}
-	return t.Delete(basis.Key())
+	return t.Delete(BasisKey(basis))
 }
 
 // InstallIDToBasis adds a decoder dictionary entry (id → basis).
@@ -42,7 +43,7 @@ func InstallIDToBasis(pl *tofino.Pipeline, id uint32, basis *bitvec.Vector, now 
 	if !ok {
 		return fmt.Errorf("zswitch: pipeline has no %s table", TableIDToBasis)
 	}
-	return t.Install(IDKey(id), basisAction{v: basis.Clone()}, now)
+	return t.Install(IDKey(id), basisAction{b: append([]byte(nil), basis.Bytes()...)}, now)
 }
 
 // DeleteIDToBasis removes a decoder dictionary entry.

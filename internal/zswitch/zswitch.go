@@ -18,6 +18,15 @@
 // the control plane as digests and mappings come back through the
 // control-plane API, with the latency consequences §7 measures
 // (the 1.77 ms learning delay).
+//
+// The per-packet path is allocation-free in steady state: the basis
+// buffer and the output frame live in program-owned scratch that each
+// Process call reuses, table lookups match on raw header bytes, and
+// counters resolve to dense indices at Declare time — mirroring how
+// the hardware pipeline touches no allocator at line rate. The
+// consequence, as on hardware, is that emitted frames are valid only
+// until the next packet enters the same program; callers that keep a
+// frame longer must copy it (tofino.Pipeline.Process does).
 package zswitch
 
 import (
@@ -25,6 +34,7 @@ import (
 	"fmt"
 
 	"zipline/internal/bch"
+	"zipline/internal/bitvec"
 	"zipline/internal/gd"
 	"zipline/internal/packet"
 	"zipline/internal/tofino"
@@ -57,8 +67,11 @@ func (r Role) String() string {
 // Table and digest names, part of the control-plane contract.
 const (
 	// TableBasisToID is the encoder dictionary (basis → identifier).
+	// Keys are the raw basis bytes (ceil(BasisBits/8), zero tail
+	// padding) — exactly the bits the hardware matches on.
 	TableBasisToID = "basis_to_id"
 	// TableIDToBasis is the decoder dictionary (identifier → basis).
+	// Keys are the 4-byte big-endian identifier (IDKey).
 	TableIDToBasis = "id_to_basis"
 	// DigestNewBasis reports a basis missing from the encoder
 	// dictionary.
@@ -127,16 +140,55 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// MaxPort bounds the port numbers a PortMap may reference: the
+// per-ingress dispatch is a dense slice sized by the largest mapped
+// port, and no modelled chassis has more front-panel ports than this.
+const MaxPort = 4095
+
+// portEntry is the per-ingress-port action, resolved from the Roles
+// and PortMap maps at construction so the per-packet path indexes a
+// dense slice instead of hashing twice.
+type portEntry struct {
+	egress tofino.Port
+	role   Role
+	mapped bool
+}
+
+// counterSet holds the resolved counter handles, one struct field per
+// classification bucket — the Declare-time analogue of P4's
+// compile-time counter identifiers.
+type counterSet struct {
+	rawToType2, rawToType3      tofino.CounterHandle
+	type2ToRaw, type3ToRaw      tofino.CounterHandle
+	forwarded, tooShort         tofino.CounterHandle
+	decodeMiss, digests         tofino.CounterHandle
+	encPayloadIn, encPayloadOut tofino.CounterHandle
+}
+
+// scratch is the program's per-packet working memory, reused across
+// Process calls (the model of the pipeline's PHV and header buffers:
+// fixed resources, no allocator).
+type scratch struct {
+	basis []byte // SplitChunkBytes output / packed type-2 parse buffer
+	frame []byte // output frame arena, one frame per pass
+	idKey [4]byte
+}
+
 // Program is the ZipLine data plane program. Load it into a
-// tofino.Pipeline; it is not usable before that.
+// tofino.Pipeline; it is not usable before that. A Program instance
+// must not be shared across concurrently processing pipelines: its
+// scratch is per-packet state.
 type Program struct {
 	cfg   Config
 	codec *gd.Codec
 	fmt   packet.Format
+	ports []portEntry
 
 	basisToID tofino.TableHandle
 	idToBasis tofino.TableHandle
-	counters  map[string]tofino.CounterHandle
+	ctr       counterSet
+
+	scr scratch
 }
 
 // New builds the program (the compile-time half; resources are bound
@@ -162,7 +214,21 @@ func New(cfg Config) (*Program, error) {
 	if err != nil {
 		return nil, fmt.Errorf("zswitch: %w", err)
 	}
-	return &Program{cfg: cfg, codec: codec, fmt: f}, nil
+	p := &Program{cfg: cfg, codec: codec, fmt: f}
+	maxIngress := -1
+	for in, out := range cfg.PortMap {
+		if in < 0 || out < 0 || int(in) > MaxPort || int(out) > MaxPort {
+			return nil, fmt.Errorf("zswitch: port mapping %d→%d outside [0,%d]", in, out, MaxPort)
+		}
+		if int(in) > maxIngress {
+			maxIngress = int(in)
+		}
+	}
+	p.ports = make([]portEntry, maxIngress+1)
+	for in, out := range cfg.PortMap {
+		p.ports[in] = portEntry{egress: out, role: cfg.Roles[in], mapped: true}
+	}
+	return p, nil
 }
 
 // Name implements tofino.Program.
@@ -200,37 +266,52 @@ func (p *Program) Declare(a *tofino.Alloc) error {
 	}); err != nil {
 		return err
 	}
-	p.counters = make(map[string]tofino.CounterHandle)
-	for _, name := range []string{
-		CounterRawToType2, CounterRawToType3, CounterType2ToRaw,
-		CounterType3ToRaw, CounterForwarded, CounterTooShort,
-		CounterDecodeMiss, CounterDigests,
-		CounterEncPayloadIn, CounterEncPayloadOut,
+	for _, c := range []struct {
+		name string
+		h    *tofino.CounterHandle
+	}{
+		{CounterRawToType2, &p.ctr.rawToType2},
+		{CounterRawToType3, &p.ctr.rawToType3},
+		{CounterType2ToRaw, &p.ctr.type2ToRaw},
+		{CounterType3ToRaw, &p.ctr.type3ToRaw},
+		{CounterForwarded, &p.ctr.forwarded},
+		{CounterTooShort, &p.ctr.tooShort},
+		{CounterDecodeMiss, &p.ctr.decodeMiss},
+		{CounterDigests, &p.ctr.digests},
+		{CounterEncPayloadIn, &p.ctr.encPayloadIn},
+		{CounterEncPayloadOut, &p.ctr.encPayloadOut},
 	} {
-		h, err := a.Counter(name)
-		if err != nil {
+		if *c.h, err = a.Counter(c.name); err != nil {
 			return err
 		}
-		p.counters[name] = h
 	}
 	return nil
 }
 
 // Process implements tofino.Program.
-func (p *Program) Process(ctx *tofino.Ctx, frame []byte, ingress tofino.Port) []tofino.Emit {
-	egress, ok := p.cfg.PortMap[ingress]
-	if !ok {
-		return nil // unmapped port: drop
+func (p *Program) Process(ctx *tofino.Ctx, frame []byte, ingress tofino.Port, out []tofino.Emit) []tofino.Emit {
+	if int(ingress) < 0 || int(ingress) >= len(p.ports) || !p.ports[ingress].mapped {
+		return out // unmapped port: drop
 	}
-	switch p.cfg.Roles[ingress] {
+	pe := p.ports[ingress]
+	switch pe.role {
 	case RoleEncode:
-		return p.encode(ctx, frame, egress)
+		return p.encode(ctx, frame, pe.egress, out)
 	case RoleDecode:
-		return p.decode(ctx, frame, egress)
+		return p.decode(ctx, frame, pe.egress, out)
 	default:
-		ctx.Count(p.counters[CounterForwarded], 1)
-		return []tofino.Emit{{Port: egress, Frame: frame}}
+		ctx.Count(p.ctr.forwarded, 1)
+		return append(out, tofino.Emit{Port: pe.egress, Frame: frame})
 	}
+}
+
+// frameScratch returns the output frame arena, emptied, with capacity
+// for at least n bytes.
+func (p *Program) frameScratch(n int) []byte {
+	if cap(p.scr.frame) < n {
+		p.scr.frame = make([]byte, 0, n)
+	}
+	return p.scr.frame[:0]
 }
 
 // encode is the Figure 1 path. Only frames tagged EtherTypeRaw are
@@ -239,112 +320,126 @@ func (p *Program) Process(ctx *tofino.Ctx, frame []byte, ingress tofino.Port) []
 // this implementation makes the conservative choice of compressing
 // exactly the traffic the decoder can reconstruct losslessly
 // (documented in DESIGN.md).
-func (p *Program) encode(ctx *tofino.Ctx, frame []byte, egress tofino.Port) []tofino.Emit {
+func (p *Program) encode(ctx *tofino.Ctx, frame []byte, egress tofino.Port, out []tofino.Emit) []tofino.Emit {
 	hdr, payload, err := packet.ParseHeader(frame)
 	if err != nil || hdr.EtherType != packet.EtherTypeRaw || len(payload) < p.codec.ChunkBytes() {
 		// Not compressible: forward unchanged.
 		if err == nil && hdr.EtherType == packet.EtherTypeRaw && len(payload) < p.codec.ChunkBytes() {
-			ctx.Count(p.counters[CounterTooShort], 1)
-			ctx.Count(p.counters[CounterEncPayloadIn], uint64(len(payload)))
-			ctx.Count(p.counters[CounterEncPayloadOut], uint64(len(payload)))
+			ctx.Count(p.ctr.tooShort, 1)
+			ctx.Count(p.ctr.encPayloadIn, uint64(len(payload)))
+			ctx.Count(p.ctr.encPayloadOut, uint64(len(payload)))
 		} else {
-			ctx.Count(p.counters[CounterForwarded], 1)
+			ctx.Count(p.ctr.forwarded, 1)
 		}
-		return []tofino.Emit{{Port: egress, Frame: frame}}
+		return append(out, tofino.Emit{Port: egress, Frame: frame})
 	}
-	ctx.Count(p.counters[CounterEncPayloadIn], uint64(len(payload)))
+	ctx.Count(p.ctr.encPayloadIn, uint64(len(payload)))
 
 	chunk := payload[:p.codec.ChunkBytes()]
 	tail := payload[p.codec.ChunkBytes():]
-	s, err := p.codec.SplitChunk(chunk)
+	basis, dev, extra, err := p.codec.SplitChunkBytes(chunk, p.scr.basis)
+	p.scr.basis = basis
 	if err != nil {
 		// Unreachable by construction (chunk length checked above);
 		// treat as forward to stay total.
-		ctx.Count(p.counters[CounterForwarded], 1)
-		ctx.Count(p.counters[CounterEncPayloadOut], uint64(len(payload)))
-		return []tofino.Emit{{Port: egress, Frame: frame}}
+		ctx.Count(p.ctr.forwarded, 1)
+		ctx.Count(p.ctr.encPayloadOut, uint64(len(payload)))
+		return append(out, tofino.Emit{Port: egress, Frame: frame})
 	}
 
-	if act, hit := ctx.Apply(p.basisToID, s.Basis.Key()); hit {
+	if act, hit := ctx.ApplyBytes(p.basisToID, basis); hit {
 		id := act.(uint32)
-		out := make([]byte, 0, packet.HeaderLen+p.fmt.Type3Len()+len(tail))
-		out = packet.AppendHeader(out, packet.Header{
+		buf := p.frameScratch(packet.HeaderLen + p.fmt.Type3Len() + len(tail))
+		buf = packet.AppendHeader(buf, packet.Header{
 			Dst: hdr.Dst, Src: hdr.Src, EtherType: packet.EtherTypeCompressed,
 		})
-		out = p.fmt.AppendType3(out, packet.Compressed{
-			Deviation: s.Deviation, Extra: s.Extra, ID: id,
+		buf = p.fmt.AppendType3(buf, packet.Compressed{
+			Deviation: dev, Extra: extra, ID: id,
 		})
-		out = append(out, tail...)
-		ctx.Count(p.counters[CounterRawToType3], 1)
-		ctx.Count(p.counters[CounterEncPayloadOut], uint64(len(out)-packet.HeaderLen))
-		return []tofino.Emit{{Port: egress, Frame: out}}
+		buf = append(buf, tail...)
+		p.scr.frame = buf
+		ctx.Count(p.ctr.rawToType3, 1)
+		ctx.Count(p.ctr.encPayloadOut, uint64(len(buf)-packet.HeaderLen))
+		return append(out, tofino.Emit{Port: egress, Frame: buf})
 	}
 
 	// Unknown basis: report to the control plane and emit type 2.
-	ctx.Digest(DigestNewBasis, s.Basis.Bytes())
-	ctx.Count(p.counters[CounterDigests], 1)
-	out := make([]byte, 0, packet.HeaderLen+p.fmt.Type2Len()+len(tail))
-	out = packet.AppendHeader(out, packet.Header{
+	ctx.Digest(DigestNewBasis, basis)
+	ctx.Count(p.ctr.digests, 1)
+	buf := p.frameScratch(packet.HeaderLen + p.fmt.Type2Len() + len(tail))
+	buf = packet.AppendHeader(buf, packet.Header{
 		Dst: hdr.Dst, Src: hdr.Src, EtherType: packet.EtherTypeUncompressed,
 	})
-	out = p.fmt.AppendType2(out, s)
-	out = append(out, tail...)
-	ctx.Count(p.counters[CounterRawToType2], 1)
-	ctx.Count(p.counters[CounterEncPayloadOut], uint64(len(out)-packet.HeaderLen))
-	return []tofino.Emit{{Port: egress, Frame: out}}
+	buf = p.fmt.AppendType2Bytes(buf, basis, dev, extra)
+	buf = append(buf, tail...)
+	p.scr.frame = buf
+	ctx.Count(p.ctr.rawToType2, 1)
+	ctx.Count(p.ctr.encPayloadOut, uint64(len(buf)-packet.HeaderLen))
+	return append(out, tofino.Emit{Port: egress, Frame: buf})
 }
 
 // decode is the Figure 2 path.
-func (p *Program) decode(ctx *tofino.Ctx, frame []byte, egress tofino.Port) []tofino.Emit {
+func (p *Program) decode(ctx *tofino.Ctx, frame []byte, egress tofino.Port, out []tofino.Emit) []tofino.Emit {
 	hdr, payload, err := packet.ParseHeader(frame)
 	if err != nil {
-		return nil
+		return out
 	}
 	var (
-		s    gd.Split
-		tail []byte
-		cnt  string
+		basis []byte
+		dev   uint32
+		extra uint8
+		tail  []byte
+		cnt   tofino.CounterHandle
 	)
 	switch hdr.Type() {
 	case packet.TypeUncompressed:
-		s, tail, err = p.fmt.ParseType2(payload)
+		basis, dev, extra, tail, err = p.fmt.ParseType2Bytes(payload, p.scr.basis)
 		if err != nil {
-			return nil
+			return out
 		}
-		cnt = CounterType2ToRaw
+		if !p.fmt.Aligned() {
+			p.scr.basis = basis // packed layout parses into the scratch
+		}
+		cnt = p.ctr.type2ToRaw
 	case packet.TypeCompressed:
 		var c packet.Compressed
 		c, tail, err = p.fmt.ParseType3(payload)
 		if err != nil {
-			return nil
+			return out
 		}
-		act, hit := ctx.Apply(p.idToBasis, IDKey(c.ID))
+		binary.BigEndian.PutUint32(p.scr.idKey[:], c.ID)
+		act, hit := ctx.ApplyBytes(p.idToBasis, p.scr.idKey[:])
 		if !hit {
 			// The two-phase install protocol makes this impossible
 			// in steady state; count and drop if it ever happens.
-			ctx.Count(p.counters[CounterDecodeMiss], 1)
-			return nil
+			ctx.Count(p.ctr.decodeMiss, 1)
+			return out
 		}
-		basis := act.(basisAction)
-		s = gd.Split{Basis: basis.v, Deviation: c.Deviation, Extra: c.Extra}
-		cnt = CounterType3ToRaw
+		basis = act.(basisAction).b
+		dev, extra = c.Deviation, c.Extra
+		cnt = p.ctr.type3ToRaw
 	default:
-		ctx.Count(p.counters[CounterForwarded], 1)
-		return []tofino.Emit{{Port: egress, Frame: frame}}
+		ctx.Count(p.ctr.forwarded, 1)
+		return append(out, tofino.Emit{Port: egress, Frame: frame})
 	}
 
-	out := make([]byte, 0, packet.HeaderLen+p.codec.ChunkBytes()+len(tail))
-	out = packet.AppendHeader(out, packet.Header{
+	buf := p.frameScratch(packet.HeaderLen + p.codec.ChunkBytes() + len(tail))
+	buf = packet.AppendHeader(buf, packet.Header{
 		Dst: hdr.Dst, Src: hdr.Src, EtherType: packet.EtherTypeRaw,
 	})
-	out, err = p.codec.MergeChunk(s, out)
+	buf, err = p.codec.MergeChunkBytes(basis, dev, extra, buf)
 	if err != nil {
-		return nil
+		return out
 	}
-	out = append(out, tail...)
-	ctx.Count(p.counters[cnt], 1)
-	return []tofino.Emit{{Port: egress, Frame: out}}
+	buf = append(buf, tail...)
+	p.scr.frame = buf
+	ctx.Count(cnt, 1)
+	return append(out, tofino.Emit{Port: egress, Frame: buf})
 }
+
+// BasisKey renders a basis as the raw-byte table key used by
+// TableBasisToID: the basis bytes themselves, no framing.
+func BasisKey(basis *bitvec.Vector) string { return string(basis.Bytes()) }
 
 // IDKey renders a dictionary identifier as the table key string used
 // by TableIDToBasis.

@@ -306,9 +306,11 @@ func TestInstallOnWrongPipeline(t *testing.T) {
 
 type nopProgram struct{}
 
-func (nopProgram) Name() string                                                        { return "nop" }
-func (nopProgram) Declare(a *tofino.Alloc) error                                       { return nil }
-func (nopProgram) Process(ctx *tofino.Ctx, frame []byte, in tofino.Port) []tofino.Emit { return nil }
+func (nopProgram) Name() string                  { return "nop" }
+func (nopProgram) Declare(a *tofino.Alloc) error { return nil }
+func (nopProgram) Process(ctx *tofino.Ctx, frame []byte, in tofino.Port, out []tofino.Emit) []tofino.Emit {
+	return out
+}
 
 func TestBadConfigRejected(t *testing.T) {
 	if _, err := New(Config{M: 99}); err == nil {
