@@ -6,10 +6,18 @@
 // Usage:
 //
 //	zipline-bench [-run all|table1|table2|fig3|fig4|fig5|learning|ablations|perf] [-quick] [-seed N] [-json PATH]
+//	zipline-bench -compare old.json new.json [-tolerance 0.15]
 //
 // -quick scales the datasets and windows down (≈30× faster) for smoke
 // runs; the full run uses the paper-scale parameters recorded in
 // EXPERIMENTS.md.
+//
+// -compare diffs two perf artifacts (the committed BENCH_*.json
+// baseline against a fresh bench-perf.json) and exits non-zero when
+// any measured path's throughput fell more than -tolerance (default
+// 0.15) below the baseline — the CI perf-regression gate. A baseline
+// entry missing from the fresh run also fails; to retire or re-anchor
+// a path, update the committed baseline in the same PR.
 //
 // The perf experiment measures the software dataplane itself — chunk
 // codec MB/s, CRC throughput, per-role switch pkts/s through the
@@ -23,7 +31,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -51,14 +58,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 	quick := fs.Bool("quick", false, "scaled-down datasets and windows")
 	seed := fs.Int64("seed", 1, "base seed for synthetic data and simulation jitter")
 	jsonPath := fs.String("json", "", "write collected measurements (perf, compression ratios) as JSON to this path")
+	comparePath := fs.String("compare", "", "baseline perf JSON; the fresh JSON follows as a positional argument")
+	tolerance := fs.Float64("tolerance", 0.15, "allowed fractional throughput drop in -compare mode")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *comparePath != "" {
+		// `-compare old.json new.json -tolerance 0.2`: the fresh path
+		// is positional, so re-parse whatever follows it for trailing
+		// flags.
+		rest := fs.Args()
+		if len(rest) == 0 || strings.HasPrefix(rest[0], "-") {
+			fmt.Fprintln(stderr, "zipline-bench: -compare needs the fresh perf JSON as a positional argument")
+			return 2
+		}
+		if err := fs.Parse(rest[1:]); err != nil {
+			return 2
+		}
+		return runCompare(*comparePath, rest[0], *tolerance, stdout, stderr)
 	}
 
 	want := func(name string) bool { return *which == "all" || *which == name }
 	start := time.Now()
 	ran := 0
-	rep := &jsonReport{Seed: *seed, Quick: *quick}
+	rep := &experiments.BenchArtifact{Seed: *seed, Quick: *quick}
 
 	steps := []struct {
 		name string
@@ -89,7 +113,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	if *jsonPath != "" {
-		if err := rep.write(*jsonPath); err != nil {
+		if err := rep.WriteFile(*jsonPath); err != nil {
 			fmt.Fprintf(stderr, "zipline-bench: writing %s: %v\n", *jsonPath, err)
 			return 1
 		}
@@ -99,35 +123,48 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-// jsonReport is the -json artifact: the perf trajectory entry format
-// (BENCH_*.json).
-type jsonReport struct {
-	Seed  int64 `json:"seed"`
-	Quick bool  `json:"quick"`
-	// Perf holds dataplane measurements (ns/op, MB/s, pkts/s,
-	// events/s, allocs/op) from the perf experiment.
-	Perf []experiments.PerfResult `json:"perf,omitempty"`
-	// CompressionRatios holds the Figure 3 ratio table when fig3 ran.
-	CompressionRatios []ratioEntry `json:"compression_ratios,omitempty"`
-}
-
-type ratioEntry struct {
-	Dataset string  `json:"dataset"`
-	Case    string  `json:"case"`
-	Ratio   float64 `json:"ratio"`
-}
-
-func (r *jsonReport) write(path string) error {
-	data, err := json.MarshalIndent(r, "", "  ")
+// runCompare is the perf-regression gate: diff a fresh perf artifact
+// against the committed baseline and fail on throughput regressions
+// past the tolerance.
+func runCompare(oldPath, newPath string, tolerance float64, stdout, stderr io.Writer) int {
+	oldArt, err := experiments.LoadBenchArtifact(oldPath)
 	if err != nil {
-		return err
+		fmt.Fprintf(stderr, "zipline-bench: baseline: %v\n", err)
+		return 2
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	newArt, err := experiments.LoadBenchArtifact(newPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "zipline-bench: fresh run: %v\n", err)
+		return 2
+	}
+	deltas, regressed := experiments.ComparePerf(oldArt.Perf, newArt.Perf, tolerance)
+	fmt.Fprintf(stdout, "perf gate: %s vs %s (tolerance %.0f%%)\n", oldPath, newPath, tolerance*100)
+	fmt.Fprintf(stdout, "%-20s %-14s %14s %14s %9s\n", "path", "metric", "baseline", "fresh", "change")
+	for _, d := range deltas {
+		verdict := ""
+		if d.Missing {
+			verdict = "  MISSING FROM FRESH RUN"
+			fmt.Fprintf(stdout, "%-20s %-14s %14.0f %14s %9s%s\n", d.Name, d.Metric, d.Old, "-", "-", verdict)
+			continue
+		}
+		if d.Regressed {
+			verdict = "  REGRESSION"
+		}
+		fmt.Fprintf(stdout, "%-20s %-14s %14.0f %14.0f %+8.1f%%%s\n",
+			d.Name, d.Metric, d.Old, d.New, d.Change*100, verdict)
+	}
+	if regressed {
+		fmt.Fprintf(stdout, "\nPERF REGRESSION: at least one path dropped >%.0f%% below %s\n", tolerance*100, oldPath)
+		fmt.Fprintln(stdout, "(intended? regenerate the baseline with `zipline-bench -run perf -json` and commit it)")
+		return 1
+	}
+	fmt.Fprintf(stdout, "\nall paths within %.0f%% of the baseline\n", tolerance*100)
+	return 0
 }
 
 // runPerf measures the software dataplane and prints the rows the
 // tentpole optimised; the same rows land in the -json artifact.
-func runPerf(w io.Writer, quick bool, seed int64, rep *jsonReport) error {
+func runPerf(w io.Writer, quick bool, seed int64, rep *experiments.BenchArtifact) error {
 	header(w, "Perf: software dataplane (zero-allocation hot paths)")
 	rows, err := experiments.PerfSuite(seed, quick)
 	if err != nil {
@@ -197,7 +234,7 @@ var paperFig3 = map[string]map[string]string{
 	},
 }
 
-func runFig3(w io.Writer, quick bool, seed int64, rep *jsonReport) error {
+func runFig3(w io.Writer, quick bool, seed int64, rep *experiments.BenchArtifact) error {
 	header(w, "Figure 3: Resulting payload size after processing (ZipLine vs gzip)")
 	sensorCfg := trace.SensorConfig{Seed: seed}
 	snap, glitch, err := fig3SensorNoise()
@@ -241,7 +278,7 @@ func runFig3(w io.Writer, quick bool, seed int64, rep *jsonReport) error {
 				fmt.Fprintf(w, "  %-18s %12s %-8s %-8s %s\n", c.Name, "n/a", "n/a", paper, c.Detail)
 				continue
 			}
-			rep.CompressionRatios = append(rep.CompressionRatios, ratioEntry{
+			rep.CompressionRatios = append(rep.CompressionRatios, experiments.RatioEntry{
 				Dataset: ds.tr.Name, Case: c.Name, Ratio: c.Ratio,
 			})
 			fmt.Fprintf(w, "  %-18s %12.1f %-8.2f %-8s %s\n",

@@ -8,8 +8,13 @@
 //
 //	zipline-sim -preset lossy-chain3 [-seed N] [-records N] [-duration MS] [-json]
 //	zipline-sim -scenario spec.json [-json]
+//	zipline-sim -preset chain3 -trace sensor.pcap        # replay a tracegen capture
 //	zipline-sim -preset chain3 -dump-spec   > my-scenario.json
 //	zipline-sim -list
+//	zipline-sim sweep -spec sweep.json -workers 4 -out matrix.json
+//
+// The sweep subcommand (see sweep.go) expands a declarative sweep
+// spec into a grid of scenarios and runs them concurrently.
 //
 // The same seed always produces the identical report, so a saved
 // report is a regression fixture for the whole engine. To reproduce
@@ -61,12 +66,16 @@ func main() {
 
 // run is the testable entry point with a single exit path.
 func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) > 0 && args[0] == "sweep" {
+		return runSweep(args[1:], stdout, stderr)
+	}
 	fs := flag.NewFlagSet("zipline-sim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	presetName := fs.String("preset", "lossy-chain3", "built-in scenario (see -list)")
 	specPath := fs.String("scenario", "", "JSON scenario spec (overrides -preset)")
 	seed := fs.Int64("seed", 0, "override the scenario seed")
 	records := fs.Int("records", 0, "override every traffic flow's record count")
+	tracePath := fs.String("trace", "", "replay this pcap (e.g. tracegen output) as every flow's workload")
 	durationMs := fs.Int64("duration", 0, "override the bounded run length in milliseconds")
 	asJSON := fs.Bool("json", false, "emit the report as JSON")
 	dumpSpec := fs.Bool("dump-spec", false, "print the selected scenario's spec as JSON and exit")
@@ -104,6 +113,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *records > 0 {
 		for i := range spec.Traffic {
 			spec.Traffic[i].Records = *records
+		}
+	}
+	if *tracePath != "" {
+		for i := range spec.Traffic {
+			spec.Traffic[i].Workload = scenario.WorkloadTrace
+			spec.Traffic[i].Trace = *tracePath
 		}
 	}
 	if *durationMs > 0 {

@@ -1,0 +1,152 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSweepWorkersByteIdentical: the acceptance bar — the smoke
+// preset's matrix must be byte-identical between -workers 1 and
+// -workers 4 under the same seed.
+func TestSweepWorkersByteIdentical(t *testing.T) {
+	runSweepOnce := func(workers string) string {
+		var out, errb bytes.Buffer
+		if code := run([]string{"sweep", "-preset", "smoke", "-workers", workers, "-json"}, &out, &errb); code != 0 {
+			t.Fatalf("exit %d: %s", code, errb.String())
+		}
+		return out.String()
+	}
+	serial := runSweepOnce("1")
+	if parallel := runSweepOnce("4"); parallel != serial {
+		t.Fatalf("workers=1 and workers=4 matrices differ:\n%s\n---\n%s", serial, parallel)
+	}
+	if again := runSweepOnce("4"); again != serial {
+		t.Fatal("same-seed rerun produced a different matrix")
+	}
+}
+
+// TestSweepOutFile: -out writes the matrix and reports the cell count.
+func TestSweepOutFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "matrix.json")
+	var out, errb bytes.Buffer
+	if code := run([]string{"sweep", "-preset", "smoke", "-workers", "2", "-out", path}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "4 cells") {
+		t.Fatalf("summary missing: %q", out.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var matrix struct {
+		Sweep string `json:"sweep"`
+		Cells []struct {
+			Index  int `json:"index"`
+			Report struct {
+				Events uint64 `json:"events"`
+			} `json:"report"`
+			Derived struct {
+				CompressionRatio float64 `json:"compression_ratio"`
+			} `json:"derived"`
+		} `json:"cells"`
+	}
+	if err := json.Unmarshal(data, &matrix); err != nil {
+		t.Fatal(err)
+	}
+	if matrix.Sweep != "smoke" || len(matrix.Cells) != 4 {
+		t.Fatalf("matrix = %s with %d cells", matrix.Sweep, len(matrix.Cells))
+	}
+	for i, c := range matrix.Cells {
+		if c.Index != i {
+			t.Errorf("cell %d out of order (index %d)", i, c.Index)
+		}
+		if c.Report.Events == 0 || c.Derived.CompressionRatio <= 0 {
+			t.Errorf("cell %d: empty columns: %+v", i, c)
+		}
+	}
+}
+
+// TestSweepDumpSpecRoundTrip: -dump-spec output loads back through
+// -spec and runs.
+func TestSweepDumpSpecRoundTrip(t *testing.T) {
+	var dumped, errb bytes.Buffer
+	if code := run([]string{"sweep", "-preset", "smoke", "-dump-spec"}, &dumped, &errb); code != 0 {
+		t.Fatalf("dump exit %d: %s", code, errb.String())
+	}
+	path := filepath.Join(t.TempDir(), "sweep.json")
+	if err := os.WriteFile(path, dumped.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	errb.Reset()
+	if code := run([]string{"sweep", "-spec", path, "-workers", "2"}, &out, &errb); code != 0 {
+		t.Fatalf("run exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "4 cells") {
+		t.Fatalf("unexpected matrix text:\n%s", out.String())
+	}
+}
+
+// TestSweepListAndBadPreset: -list names every preset and the param
+// vocabulary; unknown presets exit 2.
+func TestSweepListAndBadPreset(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"sweep", "-list"}, &out, &errb); code != 0 {
+		t.Fatalf("-list exit %d", code)
+	}
+	for _, want := range []string{"loss-sensitivity", "dict-size", "smoke", "params:", "loss_prob"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("-list missing %s:\n%s", want, out.String())
+		}
+	}
+	if code := run([]string{"sweep", "-preset", "nope"}, &out, &errb); code != 2 {
+		t.Fatalf("bad preset exit = %d, want 2", code)
+	}
+}
+
+// TestSweepTraceRejectsPresetAxis: -records/-trace overrides mutate
+// the base scenario, which a whole-topology preset axis would then
+// silently replace — the combination must be a usage error, not a
+// sweep that ignores the flags.
+func TestSweepTraceRejectsPresetAxis(t *testing.T) {
+	spec := `{
+	  "name": "preset-axis",
+	  "preset": "chain3",
+	  "axes": [{"param": "preset", "values": ["single", "chain3"]}]
+	}`
+	path := filepath.Join(t.TempDir(), "sweep.json")
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"sweep", "-spec", path, "-records", "500"}, &out, &errb); code != 2 {
+		t.Fatalf("exit = %d, want 2:\n%s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "preset axis") {
+		t.Fatalf("stderr = %q", errb.String())
+	}
+	// Without the conflicting flags the same spec runs.
+	errb.Reset()
+	if code := run([]string{"sweep", "-spec", path, "-workers", "2"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+}
+
+// TestSweepSeedOverride: -seed changes the matrix.
+func TestSweepSeedOverride(t *testing.T) {
+	runWithSeed := func(seed string) string {
+		var out, errb bytes.Buffer
+		if code := run([]string{"sweep", "-preset", "smoke", "-workers", "2", "-seed", seed, "-json"}, &out, &errb); code != 0 {
+			t.Fatalf("exit %d: %s", code, errb.String())
+		}
+		return out.String()
+	}
+	if runWithSeed("1") == runWithSeed("2") {
+		t.Fatal("seed override inert")
+	}
+}

@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// BenchArtifact is the machine-readable measurement file zipline-bench
+// -json writes — the repo's perf trajectory (BENCH_*.json at the root
+// is the committed baseline; CI regenerates a fresh one per run and
+// diffs the two with ComparePerf).
+type BenchArtifact struct {
+	Seed  int64 `json:"seed"`
+	Quick bool  `json:"quick"`
+	// Perf holds dataplane measurements (ns/op, MB/s, pkts/s,
+	// events/s, allocs/op) from the perf experiment.
+	Perf []PerfResult `json:"perf,omitempty"`
+	// CompressionRatios holds the Figure 3 ratio table when fig3 ran.
+	CompressionRatios []RatioEntry `json:"compression_ratios,omitempty"`
+}
+
+// RatioEntry is one Figure 3 compression-ratio measurement.
+type RatioEntry struct {
+	Dataset string  `json:"dataset"`
+	Case    string  `json:"case"`
+	Ratio   float64 `json:"ratio"`
+}
+
+// LoadBenchArtifact reads a BENCH_*.json / bench-perf.json file.
+func LoadBenchArtifact(path string) (BenchArtifact, error) {
+	var a BenchArtifact
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return a, err
+	}
+	if err := json.Unmarshal(data, &a); err != nil {
+		return a, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return a, nil
+}
+
+// WriteFile writes the artifact as indented JSON.
+func (a BenchArtifact) WriteFile(path string) error {
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// PerfDelta is one baseline-vs-fresh comparison row.
+type PerfDelta struct {
+	// Name is the measured path (PerfResult.Name).
+	Name string `json:"name"`
+	// Metric names the throughput column compared (pkts_per_s,
+	// mb_per_s, events_per_s, or ops_per_s derived from ns/op).
+	Metric string `json:"metric"`
+	// Old and New are the metric values (higher is better).
+	Old float64 `json:"old"`
+	New float64 `json:"new"`
+	// Change is (new−old)/old; negative means slower.
+	Change float64 `json:"change"`
+	// Regressed marks rows past the tolerance, and baseline rows
+	// missing from the fresh run.
+	Regressed bool `json:"regressed"`
+	// Missing marks a baseline entry the fresh run did not produce.
+	Missing bool `json:"missing"`
+}
+
+// throughput picks the comparison metric for one result: the most
+// specific throughput figure it carries, falling back to inverse
+// latency. All are higher-is-better.
+func throughput(r PerfResult) (string, float64) {
+	switch {
+	case r.PktsPerS > 0:
+		return "pkts_per_s", r.PktsPerS
+	case r.MBPerS > 0:
+		return "mb_per_s", r.MBPerS
+	case r.EventsPerS > 0:
+		return "events_per_s", r.EventsPerS
+	case r.NsPerOp > 0:
+		return "ops_per_s", 1e9 / r.NsPerOp
+	}
+	return "ops_per_s", 0
+}
+
+// metricValue reads the named throughput metric from a result, so
+// baseline and fresh rows always compare the same column.
+func metricValue(r PerfResult, metric string) float64 {
+	switch metric {
+	case "pkts_per_s":
+		return r.PktsPerS
+	case "mb_per_s":
+		return r.MBPerS
+	case "events_per_s":
+		return r.EventsPerS
+	default:
+		if r.NsPerOp > 0 {
+			return 1e9 / r.NsPerOp
+		}
+		return 0
+	}
+}
+
+// ComparePerf diffs a fresh perf run against a committed baseline:
+// one delta per baseline entry, in baseline order, flagging every
+// path whose throughput fell more than tolerance (fraction, e.g. 0.15)
+// below the baseline and every baseline path the fresh run lost.
+// Fresh-only entries are ignored (new measurements are not
+// regressions). The second result reports whether anything regressed.
+func ComparePerf(old, fresh []PerfResult, tolerance float64) ([]PerfDelta, bool) {
+	byName := make(map[string]PerfResult, len(fresh))
+	for _, r := range fresh {
+		byName[r.Name] = r
+	}
+	var deltas []PerfDelta
+	regressed := false
+	for _, o := range old {
+		metric, ov := throughput(o)
+		d := PerfDelta{Name: o.Name, Metric: metric, Old: ov}
+		n, ok := byName[o.Name]
+		if !ok {
+			d.Missing, d.Regressed = true, true
+		} else {
+			nv := metricValue(n, metric)
+			d.New = nv
+			if ov > 0 {
+				d.Change = (nv - ov) / ov
+			}
+			d.Regressed = nv < ov*(1-tolerance)
+		}
+		regressed = regressed || d.Regressed
+		deltas = append(deltas, d)
+	}
+	return deltas, regressed
+}

@@ -189,3 +189,50 @@ func (h *Host) StreamPaced(start, stop Time, pps float64, next func(i uint64) []
 		h.sim.After(h.sim.Jitter(h.cfg.TxLatencyNs, h.cfg.LatencyJitterFrac), tick)
 	})
 }
+
+// StreamTimed replays frames at recorded departure offsets — the
+// trace-replay path, where inter-frame gaps come from a capture file
+// instead of a packets-per-second pacer. offsetAt returns frame i's
+// recorded offset from the stream start (offsets must be
+// non-decreasing; ok=false ends the stream); next builds frame i (nil
+// also ends the stream) and is called in the same event that
+// transmits it, so generator-side accounting always matches what went
+// on the wire, exactly as in StreamPaced. A frame whose recorded
+// departure has already passed — or whose NIC is still serialising
+// the previous frame — goes out as soon as the wire frees up, so a
+// trace captured faster than the link plays back at line rate. stop
+// windows the flow like StreamPaced (0 = unbounded): no frame departs
+// at or after it.
+func (h *Host) StreamTimed(start, stop Time, offsetAt func(i uint64) (Time, bool), next func(i uint64) []byte) {
+	var i uint64
+	var step func()
+	step = func() {
+		off, ok := offsetAt(i)
+		if !ok {
+			return
+		}
+		sendAt := start + off
+		if now := h.sim.Now(); sendAt < now {
+			sendAt = now
+		}
+		if wire := h.sim.Now() + h.nic.QueueDelay(); wire > sendAt {
+			sendAt = wire
+		}
+		h.sim.At(sendAt, func() {
+			if stop > 0 && h.sim.Now() >= stop {
+				return
+			}
+			frame := next(i)
+			if frame == nil {
+				return
+			}
+			i++
+			h.nic.Send(frame)
+			step()
+		})
+	}
+	h.sim.At(start, func() {
+		// Like StreamPaced, only the first frame pays the host TX cost.
+		h.sim.After(h.sim.Jitter(h.cfg.TxLatencyNs, h.cfg.LatencyJitterFrac), step)
+	})
+}

@@ -252,6 +252,8 @@ func (sc *Scenario) attachTraffic(idx int, tr TrafficSpec, chunkBytes int) error
 	case WorkloadDNS:
 		ds := trace.DNS(trace.DNSConfig{Queries: records, Seed: seed})
 		payload = ds.Record
+	case WorkloadTrace:
+		return sc.attachTraceTraffic(tr)
 	default:
 		return fmt.Errorf("unknown workload %q", tr.Workload)
 	}

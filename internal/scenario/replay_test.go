@@ -1,0 +1,213 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"zipline/internal/packet"
+	"zipline/internal/pcap"
+	"zipline/internal/trace"
+)
+
+// writePcap captures a trace dataset the way cmd/tracegen does.
+func writePcap(t *testing.T, tr *trace.Trace, nsPerPacket int64) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "trace.pcap")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	w, err := pcap.NewWriter(f, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := packet.MAC{0x02, 0x5A, 0, 0, 0, 0x01}
+	dst := packet.MAC{0x02, 0x5A, 0, 0, 0, 0x02}
+	if err := tr.WritePcap(w, src, dst, nsPerPacket); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestTraceReplayMatchesSensorWorkload: replaying a pcap of the sensor
+// dataset must produce the byte-identical report to generating the
+// same dataset in-process — the trace workload is a first-class peer
+// of the synthetic generators, not an approximation.
+func TestTraceReplayMatchesSensorWorkload(t *testing.T) {
+	const records = 3_000
+	spec := preset(t, "chain3")
+	spec.Seed = 1 // make the workload seed derivation explicit below
+	spec.Traffic[0].Records = records
+
+	synthetic := mustBuild(t, spec).Run()
+
+	// The sensor flow at traffic index 0 derives seed base+1×7919; a
+	// capture of that exact dataset replayed through the same
+	// topology must be indistinguishable.
+	ds := trace.Sensor(trace.SensorConfig{Records: records, Seed: spec.Seed + 7919})
+	replaySpec := preset(t, "chain3")
+	replaySpec.Traffic[0] = TrafficSpec{
+		From: "sender", To: "sink",
+		Workload: WorkloadTrace, Trace: writePcap(t, ds, 2_000),
+		Records: records,
+	}
+	replayed := mustBuild(t, replaySpec).Run()
+
+	if !reflect.DeepEqual(synthetic, replayed) {
+		aj, _ := json.Marshal(synthetic)
+		bj, _ := json.Marshal(replayed)
+		t.Fatalf("replayed trace diverged from in-process generator:\n%s\n%s", aj, bj)
+	}
+}
+
+// TestTraceReplayWraps: records beyond the capture length cycle back
+// to the start.
+func TestTraceReplayWraps(t *testing.T) {
+	ds := trace.Sensor(trace.SensorConfig{Records: 100, Seed: 3})
+	spec := preset(t, "single")
+	spec.Traffic = []TrafficSpec{{
+		From: "sender", To: "sink",
+		Workload: WorkloadTrace, Trace: writePcap(t, ds, 2_000),
+		Records: 250,
+	}}
+	r := mustBuild(t, spec).Run()
+	if r.Offered.Frames != 250 {
+		t.Fatalf("offered %d frames, want 250 (100-frame capture wrapped)", r.Offered.Frames)
+	}
+	if r.Delivered.Frames != 250 {
+		t.Fatalf("delivered %d of 250", r.Delivered.Frames)
+	}
+}
+
+// TestTraceTiming: with trace_timing the capture's inter-frame gaps
+// pace the replay, so a 1 ms-spaced capture takes ≈N ms of virtual
+// time where PPS pacing would take microseconds.
+func TestTraceTiming(t *testing.T) {
+	const frames = 5
+	ds := trace.Sensor(trace.SensorConfig{Records: frames, Seed: 3})
+	pcapPath := writePcap(t, ds, 1_000_000) // 1 ms apart
+
+	spec := preset(t, "single")
+	spec.Traffic = []TrafficSpec{{
+		From: "sender", To: "sink",
+		Workload: WorkloadTrace, Trace: pcapPath, TraceTiming: true,
+	}}
+	timed := mustBuild(t, spec).Run()
+	if timed.Offered.Frames != frames {
+		t.Fatalf("offered %d frames, want %d", timed.Offered.Frames, frames)
+	}
+	if timed.ElapsedMs < 4.0 {
+		t.Fatalf("timed replay finished in %.3f ms, want ≥ 4 (recorded gaps ignored?)", timed.ElapsedMs)
+	}
+
+	spec.Traffic[0].TraceTiming = false
+	paced := mustBuild(t, spec).Run()
+	if paced.ElapsedMs >= timed.ElapsedMs {
+		t.Fatalf("PPS-paced replay (%.3f ms) not faster than recorded-gap replay (%.3f ms)",
+			paced.ElapsedMs, timed.ElapsedMs)
+	}
+}
+
+// TestTraceTimingStopWindow: a burst capture (all recorded offsets 0)
+// replayed with trace_timing is clamped to wire availability, and the
+// StopNs window must still cut it off in virtual time — only the
+// frame already in flight may straggle past the boundary.
+func TestTraceTimingStopWindow(t *testing.T) {
+	const frames = 200
+	ds := trace.Sensor(trace.SensorConfig{Records: frames, Seed: 3})
+	pcapPath := writePcap(t, ds, 0) // every offset 0: pure burst
+
+	spec := preset(t, "single")
+	spec.Traffic = []TrafficSpec{{
+		From: "sender", To: "sink",
+		Workload: WorkloadTrace, Trace: pcapPath, TraceTiming: true,
+		StopNs: 2_000,
+	}}
+	r := mustBuild(t, spec).Run()
+	if r.Offered.Frames == 0 {
+		t.Fatal("window closed before any frame left")
+	}
+	if r.Offered.Frames >= frames {
+		t.Fatalf("offered %d frames: StopNs ignored under wire-clamped burst replay", r.Offered.Frames)
+	}
+}
+
+// TestTraceValidation: spec-level trace errors are caught by Validate,
+// and file-level ones by Build.
+func TestTraceValidation(t *testing.T) {
+	spec := preset(t, "single")
+	spec.Traffic = []TrafficSpec{{From: "sender", To: "sink", Workload: WorkloadTrace}}
+	if err := spec.Validate(); err == nil {
+		t.Error("trace workload without a path validated")
+	}
+	spec.Traffic[0].Workload = WorkloadSensor
+	spec.Traffic[0].Trace = "x.pcap"
+	if err := spec.Validate(); err == nil {
+		t.Error("sensor workload with a trace path validated")
+	}
+	spec.Traffic[0] = TrafficSpec{From: "sender", To: "sink", Workload: WorkloadTrace, Trace: filepath.Join(t.TempDir(), "missing.pcap")}
+	if _, err := Build(spec); err == nil {
+		t.Error("missing pcap built")
+	}
+
+	// An out-of-order capture (merged multi-source pcap) violates the
+	// replay's non-decreasing-offset contract and must fail at build.
+	unordered := filepath.Join(t.TempDir(), "unordered.pcap")
+	f, err := os.Create(unordered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := pcap.NewWriter(f, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := packet.Frame(packet.Header{EtherType: packet.EtherTypeRaw}, make([]byte, 32))
+	for _, ts := range []int64{2_000, 1_000} {
+		if err := w.WritePacket(ts, frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	spec.Traffic[0].Trace = unordered
+	if _, err := Build(spec); err == nil || !strings.Contains(err.Error(), "backwards") {
+		t.Errorf("out-of-order capture built: %v", err)
+	}
+}
+
+// TestReportJSONStable: the report must round-trip through JSON to
+// identical bytes (no map-keyed sections, stable field order) — the
+// property that makes sweep matrices diffable.
+func TestReportJSONStable(t *testing.T) {
+	r := mustBuild(t, preset(t, "lossy-chain3")).Run()
+	if r.Events == 0 {
+		t.Fatal("report events counter empty")
+	}
+	a, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(a, &back); err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.MarshalIndent(back, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("report JSON not stable under round-trip:\n%s\n---\n%s", a, b)
+	}
+	for _, key := range []string{`"events"`, `"raw_to_type3"`, `"enc_payload_in"`} {
+		if !bytes.Contains(a, []byte(key)) {
+			t.Errorf("report JSON missing %s:\n%s", key, a)
+		}
+	}
+}

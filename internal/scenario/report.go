@@ -65,6 +65,9 @@ type Report struct {
 	Scenario  string  `json:"scenario"`
 	Seed      int64   `json:"seed"`
 	ElapsedMs float64 `json:"elapsed_ms"`
+	// Events is the simulator's total scheduled-event count
+	// (Sim.Scheduled) — the engine-load column of sweep matrices.
+	Events uint64 `json:"events"`
 
 	Offered   TrafficTotals `json:"offered"`
 	Delivered TrafficTotals `json:"delivered"`
@@ -93,6 +96,7 @@ func (sc *Scenario) report() Report {
 		Scenario:  sc.Spec.Name,
 		Seed:      sc.Spec.Seed,
 		ElapsedMs: float64(sc.Sim.Now()) / 1e6,
+		Events:    sc.Sim.Scheduled(),
 		Offered:   TrafficTotals{Frames: sc.offeredFrames, PayloadBytes: sc.offeredPayload},
 	}
 	elapsedNs := float64(sc.Sim.Now())

@@ -49,6 +49,10 @@ const (
 	WorkloadSensor = "sensor"
 	// WorkloadDNS replays the campus-DNS dataset (§7).
 	WorkloadDNS = "dns"
+	// WorkloadTrace replays the payloads of a pcap capture
+	// (TrafficSpec.Trace) — the artifact cmd/tracegen emits and the
+	// paper replays at the switch.
+	WorkloadTrace = "trace"
 )
 
 // Spec declares one simulation scenario. The zero values of most
@@ -155,6 +159,15 @@ type TrafficSpec struct {
 	// Seed salts this flow's generator (default: scenario seed + flow
 	// index).
 	Seed int64 `json:"seed,omitempty"`
+	// Trace is the pcap file replayed when Workload is "trace". Each
+	// captured frame contributes its Ethernet payload; Records beyond
+	// the capture wrap around to the start.
+	Trace string `json:"trace,omitempty"`
+	// TraceTiming replays frames at the capture's recorded inter-frame
+	// gaps instead of PPS pacing (Records then caps at the capture
+	// length instead of wrapping). Only meaningful with Workload
+	// "trace".
+	TraceTiming bool `json:"trace_timing,omitempty"`
 }
 
 // DefaultTrafficRecords bounds flows that leave Records zero.
@@ -297,7 +310,7 @@ func (s Spec) Validate() error {
 		}
 	}
 
-	workloads := map[string]bool{WorkloadRepeat: true, WorkloadRandom: true, WorkloadSensor: true, WorkloadDNS: true}
+	workloads := map[string]bool{WorkloadRepeat: true, WorkloadRandom: true, WorkloadSensor: true, WorkloadDNS: true, WorkloadTrace: true}
 	for i, tr := range s.Traffic {
 		if names[tr.From] != "host" {
 			return fmt.Errorf("traffic %d: unknown source host %q", i, tr.From)
@@ -310,6 +323,12 @@ func (s Spec) Validate() error {
 		}
 		if tr.Records < 0 {
 			return fmt.Errorf("traffic %d: negative record count", i)
+		}
+		if tr.Workload == WorkloadTrace && tr.Trace == "" {
+			return fmt.Errorf("traffic %d: trace workload needs a pcap path", i)
+		}
+		if tr.Workload != WorkloadTrace && (tr.Trace != "" || tr.TraceTiming) {
+			return fmt.Errorf("traffic %d: trace/trace_timing only apply to the trace workload", i)
 		}
 	}
 

@@ -1,0 +1,73 @@
+package sweep
+
+// Preset returns a built-in sweep. Each is a copy, so callers may
+// mutate freely (the CLI applies flag overrides on top).
+func Preset(name string) (Spec, bool) {
+	switch name {
+	case "loss-sensitivity":
+		// The paper's loss-sensitivity family: the chain topology with
+		// the compressed hop degraded from lossless to 10 % loss.
+		// Delivery rate falls with loss while the learning delay stays
+		// pinned to the control-plane model (BfRt writes don't
+		// traverse the data path) — the claim §7 makes for one
+		// operating point, swept across the axis.
+		return Spec{
+			Name:   "loss-sensitivity",
+			Preset: "chain3",
+			Axes: []Axis{
+				{Param: "records", Values: Nums(10_000)},
+				{Param: "loss_prob", Values: Nums(0, 0.001, 0.01, 0.02, 0.05, 0.1)},
+			},
+		}, true
+
+	case "dict-size":
+		// The dictionary-size family (paper Figure 3 / ablation A3):
+		// compression ratio of the sensor workload as the identifier
+		// width — and so the encoder dictionary capacity 2^id_bits —
+		// shrinks below the workload's working set. LRU pressure turns
+		// type-3 hits back into type-2 traffic.
+		return Spec{
+			Name:   "dict-size",
+			Preset: "single",
+			Axes: []Axis{
+				{Param: "records", Values: Nums(40_000)},
+				{Param: "id_bits", Values: Nums(6, 8, 10, 12, 15)},
+			},
+		}, true
+
+	case "ttl":
+		// Dictionary aging: a bounded run with traffic that stops
+		// early, swept across TTLs. Short TTLs expire the learned
+		// mappings (identifiers return to the pool), long ones keep
+		// them warm.
+		return Spec{
+			Name:   "ttl",
+			Preset: "single",
+			Axes: []Axis{
+				{Param: "records", Values: Nums(4_000)},
+				{Param: "duration_ms", Values: Nums(40)},
+				{Param: "ttl_ms", Values: Nums(2, 5, 10, 50)},
+			},
+		}, true
+
+	case "smoke":
+		// The CI grid: 2×2 cells small enough to run twice per push,
+		// asserting the matrix is byte-identical across runs and
+		// worker counts.
+		return Spec{
+			Name:   "smoke",
+			Preset: "chain3",
+			Axes: []Axis{
+				{Param: "records", Values: Nums(2_000)},
+				{Param: "loss_prob", Values: Nums(0, 0.01)},
+				{Param: "id_bits", Values: Nums(8, 15)},
+			},
+		}, true
+	}
+	return Spec{}, false
+}
+
+// PresetNames lists the built-in sweeps in display order.
+func PresetNames() []string {
+	return []string{"loss-sensitivity", "dict-size", "ttl", "smoke"}
+}

@@ -65,21 +65,23 @@ func ExpiredBases(pl *tofino.Pipeline, now int64) []string {
 	return t.ExpiredKeys(now)
 }
 
-// Stats is a snapshot of the program's classification counters.
+// Stats is a snapshot of the program's classification counters. The
+// JSON field names are stable (scenario reports and sweep matrices
+// embed this struct and must diff cleanly).
 type Stats struct {
-	RawToType2 uint64
-	RawToType3 uint64
-	Type2ToRaw uint64
-	Type3ToRaw uint64
-	Forwarded  uint64
-	TooShort   uint64
-	DecodeMiss uint64
-	Digests    uint64
+	RawToType2 uint64 `json:"raw_to_type2"`
+	RawToType3 uint64 `json:"raw_to_type3"`
+	Type2ToRaw uint64 `json:"type2_to_raw"`
+	Type3ToRaw uint64 `json:"type3_to_raw"`
+	Forwarded  uint64 `json:"forwarded"`
+	TooShort   uint64 `json:"too_short"`
+	DecodeMiss uint64 `json:"decode_miss"`
+	Digests    uint64 `json:"digests"`
 	// EncPayloadIn/EncPayloadOut count payload bytes entering and
 	// leaving the encode role for raw traffic; their ratio is the
 	// hop's exact compression ratio.
-	EncPayloadIn  uint64
-	EncPayloadOut uint64
+	EncPayloadIn  uint64 `json:"enc_payload_in"`
+	EncPayloadOut uint64 `json:"enc_payload_out"`
 }
 
 // ReadStats snapshots the counters of a loaded pipeline.
