@@ -305,7 +305,7 @@ func BenchmarkParallelWriter(b *testing.B) {
 			b.SetBytes(int64(len(data)))
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				pw, err := zipline.NewParallelWriter(io.Discard, zipline.Config{}, workers)
+				pw, err := zipline.NewWriter(io.Discard, zipline.WithWorkers(workers))
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -323,19 +323,114 @@ func BenchmarkParallelWriter(b *testing.B) {
 // BenchmarkParallelReader measures sharded decode throughput.
 func BenchmarkParallelReader(b *testing.B) {
 	data := benchStreamData(8 << 20)
-	comp, err := zipline.CompressBytesParallel(data, zipline.Config{}, 4)
+	var buf bytes.Buffer
+	pw, err := zipline.NewWriter(&buf, zipline.WithWorkers(4))
 	if err != nil {
 		b.Fatal(err)
 	}
+	if _, err := pw.Write(data); err != nil {
+		b.Fatal(err)
+	}
+	if err := pw.Close(); err != nil {
+		b.Fatal(err)
+	}
+	comp := buf.Bytes()
 	b.SetBytes(int64(len(data)))
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		pr, err := zipline.NewParallelReader(bytes.NewReader(comp))
+		pr, err := zipline.NewReader(bytes.NewReader(comp), zipline.WithWorkers(0))
 		if err != nil {
 			b.Fatal(err)
 		}
 		if n, err := io.Copy(io.Discard, pr); err != nil || n != int64(len(data)) {
 			b.Fatalf("copy: n=%d err=%v", n, err)
+		}
+	}
+}
+
+// benchDict trains a dictionary covering benchStreamData's bases
+// (single-bit glitches land in the same Hamming ball, so a prefix
+// covers the whole trace).
+func benchDict(b *testing.B) *zipline.Dict {
+	b.Helper()
+	dict, err := zipline.TrainDict(benchStreamData(1<<16), zipline.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return dict
+}
+
+// BenchmarkEncodeAll measures the pooled one-shot encode path with a
+// warm shared dictionary — the short-stream gateway hot path. Expect
+// 0 allocs/op in steady state.
+func BenchmarkEncodeAll(b *testing.B) {
+	data := benchStreamData(64 << 10)
+	enc, err := zipline.NewWriter(nil, zipline.WithDict(benchDict(b)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var comp []byte
+	comp = enc.EncodeAll(data, comp[:0]) // warmup: pool setup is not steady state
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		comp = enc.EncodeAll(data, comp[:0])
+	}
+	if len(comp) == 0 {
+		b.Fatal("empty output")
+	}
+}
+
+// BenchmarkDecodeAll measures the pooled one-shot decode path.
+func BenchmarkDecodeAll(b *testing.B) {
+	data := benchStreamData(64 << 10)
+	dict := benchDict(b)
+	enc, err := zipline.NewWriter(nil, zipline.WithDict(dict))
+	if err != nil {
+		b.Fatal(err)
+	}
+	dec, err := zipline.NewReader(nil, zipline.WithDict(dict))
+	if err != nil {
+		b.Fatal(err)
+	}
+	comp := enc.EncodeAll(data, nil)
+	var back []byte
+	back, err = dec.DecodeAll(comp, back) // warmup: pool setup is not steady state
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		back, err = dec.DecodeAll(comp, back[:0])
+		if err != nil || len(back) != len(data) {
+			b.Fatalf("decode: %d bytes, %v", len(back), err)
+		}
+	}
+}
+
+// BenchmarkWriterReset measures a pooled Writer re-serving streams
+// through Reset with a warm shared dictionary. Expect 0 allocs/op —
+// pinned by TestWriterResetZeroAllocs.
+func BenchmarkWriterReset(b *testing.B) {
+	data := benchStreamData(64 << 10)
+	zw, err := zipline.NewWriter(io.Discard, zipline.WithDict(benchDict(b)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		zw.Reset(io.Discard)
+		if _, err := zw.Write(data); err != nil {
+			b.Fatal(err)
+		}
+		if err := zw.Close(); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -2,9 +2,15 @@
 // deduplication.
 //
 //	zipline -c [-m 8] [-idbits 15] < input > output.zl
-//	zipline -c -p 8 < input > output.zl   # parallel (v2 container)
+//	zipline -c -p 8 < input > output.zl          # parallel (v2 container)
 //	zipline -d < output.zl > input
 //	zipline -stats -c < input > /dev/null
+//
+// A fleet sharing a pre-trained basis dictionary (v3 container):
+//
+//	zipline -train -dict basis.zld < corpus      # train and write the dict
+//	zipline -c -dict basis.zld < input > output.zl
+//	zipline -d -dict basis.zld < output.zl > input
 package main
 
 import (
@@ -29,15 +35,23 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	compress := fs.Bool("c", false, "compress stdin to stdout")
 	decompress := fs.Bool("d", false, "decompress stdin to stdout")
+	train := fs.Bool("train", false, "train a shared dictionary from stdin and write it to the -dict path")
 	m := fs.Int("m", 8, "Hamming parameter (3..15): chunks are 2^m bits")
 	idBits := fs.Int("idbits", 15, "dictionary identifier width in bits (1..24)")
-	workers := fs.Int("p", 1, "parallel workers for -c: >1 compresses with the sharded v2 container, 0 = all CPUs (decompression always follows the stream's shard count)")
+	workers := fs.Int("p", 1, "parallel workers for -c: >1 compresses with the sharded container, 0 = all CPUs (decompression always follows the stream's shard count)")
+	dictPath := fs.String("dict", "", "shared dictionary file: output of -train, input of -c/-d (its training configuration overrides -m/-idbits)")
 	showStats := fs.Bool("stats", false, "print chunk statistics to stderr")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if *compress == *decompress {
-		fmt.Fprintln(stderr, "zipline: exactly one of -c or -d is required")
+	modes := 0
+	for _, on := range []bool{*compress, *decompress, *train} {
+		if on {
+			modes++
+		}
+	}
+	if modes != 1 {
+		fmt.Fprintln(stderr, "zipline: exactly one of -c, -d or -train is required")
 		fs.Usage()
 		return 2
 	}
@@ -46,35 +60,74 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return 2
 	}
 	cfg := zipline.Config{M: *m, IDBits: *idBits}
-	if err := pipe(stdin, stdout, stderr, *compress, cfg, *workers, *showStats); err != nil {
+	var err error
+	if *train {
+		err = trainDict(stdin, *dictPath, cfg)
+	} else {
+		err = pipe(stdin, stdout, stderr, *compress, cfg, *workers, *dictPath, *showStats)
+	}
+	if err != nil {
 		fmt.Fprintln(stderr, "zipline:", err)
 		return 1
 	}
 	return 0
 }
 
-func pipe(stdin io.Reader, stdout, stderr io.Writer, compress bool, cfg zipline.Config, workers int, showStats bool) error {
+// trainDict builds a shared dictionary from the corpus on stdin and
+// writes its serialized form to path.
+func trainDict(stdin io.Reader, path string, cfg zipline.Config) error {
+	if path == "" {
+		return fmt.Errorf("-train needs -dict PATH to write the dictionary to")
+	}
+	corpus, err := io.ReadAll(stdin)
+	if err != nil {
+		return err
+	}
+	dict, err := zipline.TrainDict(corpus, cfg)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, dict.Bytes(), 0o644)
+}
+
+// loadDict reads a dictionary trained by -train; an empty path means
+// no dictionary.
+func loadDict(path string) (*zipline.Dict, error) {
+	if path == "" {
+		return nil, nil
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return zipline.LoadDict(raw)
+}
+
+// pipe streams stdin to stdout through one Writer or Reader — the
+// serial and parallel paths are the same code, selected by options.
+func pipe(stdin io.Reader, stdout, stderr io.Writer, compress bool, cfg zipline.Config, workers int, dictPath string, showStats bool) error {
 	in := bufio.NewReaderSize(stdin, 1<<20)
 	out := bufio.NewWriterSize(stdout, 1<<20)
+
+	dict, err := loadDict(dictPath)
+	if err != nil {
+		return err
+	}
+	opts := []zipline.Option{zipline.WithDict(dict)}
+	if dict == nil {
+		// The dictionary carries its training configuration; flags
+		// select one only when no dictionary is in play.
+		opts = append(opts, zipline.WithConfig(cfg))
+	}
 
 	var n int64
 	var stats *zipline.StreamStats
 	if compress {
-		var zw io.WriteCloser
-		if workers == 1 {
-			sw, err := zipline.NewWriter(out, cfg)
-			if err != nil {
-				return err
-			}
-			zw, stats = sw, &sw.Stats
-		} else {
-			pw, err := zipline.NewParallelWriter(out, cfg, workers)
-			if err != nil {
-				return err
-			}
-			zw, stats = pw, &pw.Stats
+		zw, err := zipline.NewWriter(out, append(opts, zipline.WithWorkers(workers))...)
+		if err != nil {
+			return err
 		}
-		var err error
+		stats = &zw.Stats
 		if n, err = io.Copy(zw, in); err != nil {
 			zw.Close() // release parallel workers; the copy error wins
 			return err
@@ -83,10 +136,11 @@ func pipe(stdin io.Reader, stdout, stderr io.Writer, compress bool, cfg zipline.
 			return err
 		}
 	} else {
-		zr, err := zipline.NewParallelReader(in)
+		zr, err := zipline.NewReader(in, append(opts, zipline.WithWorkers(0))...)
 		if err != nil {
 			return err
 		}
+		defer zr.Close()
 		if n, err = io.Copy(out, zr); err != nil {
 			return err
 		}

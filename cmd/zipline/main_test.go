@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -84,5 +86,52 @@ func TestDecompressGarbageFails(t *testing.T) {
 	var out, errw bytes.Buffer
 	if code := run([]string{"-d"}, strings.NewReader("this is not a zipline stream"), &out, &errw); code == 0 {
 		t.Fatal("garbage decoded successfully")
+	}
+}
+
+func TestTrainAndDictRoundTrip(t *testing.T) {
+	chunk := make([]byte, 32)
+	rand.New(rand.NewSource(4)).Read(chunk)
+	corpus := bytes.Repeat(chunk, 4_000)
+	dictPath := filepath.Join(t.TempDir(), "basis.zld")
+
+	var out, errw bytes.Buffer
+	if code := run([]string{"-train", "-dict", dictPath}, bytes.NewReader(corpus), &out, &errw); code != 0 {
+		t.Fatalf("train exit %d: %s", code, errw.String())
+	}
+	if _, err := os.Stat(dictPath); err != nil {
+		t.Fatalf("dictionary not written: %v", err)
+	}
+
+	var comp, back bytes.Buffer
+	if code := run([]string{"-c", "-dict", dictPath, "-stats"}, bytes.NewReader(corpus), &comp, &errw); code != 0 {
+		t.Fatalf("compress exit %d: %s", code, errw.String())
+	}
+	// Every chunk is pre-trained: zero misses from the first byte.
+	if !strings.Contains(errw.String(), "misses=0") {
+		t.Fatalf("warm dictionary missed: %q", errw.String())
+	}
+	errw.Reset()
+	if code := run([]string{"-d", "-dict", dictPath}, bytes.NewReader(comp.Bytes()), &back, &errw); code != 0 {
+		t.Fatalf("decompress exit %d: %s", code, errw.String())
+	}
+	if !bytes.Equal(back.Bytes(), corpus) {
+		t.Fatal("dict round trip failed")
+	}
+	// Without the dictionary the stream is rejected, not misdecoded.
+	var out2 bytes.Buffer
+	errw.Reset()
+	if code := run([]string{"-d"}, bytes.NewReader(comp.Bytes()), &out2, &errw); code == 0 {
+		t.Fatal("dictless decode of a dict-framed stream exited 0")
+	}
+	if !strings.Contains(errw.String(), "dictionary") {
+		t.Fatalf("rejection did not name the dictionary: %q", errw.String())
+	}
+}
+
+func TestTrainNeedsDictPath(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-train"}, strings.NewReader(strings.Repeat("x", 64)), &out, &errw); code == 0 {
+		t.Fatal("-train without -dict exited 0")
 	}
 }

@@ -1,0 +1,148 @@
+package zipline
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sort"
+
+	"zipline/internal/bitvec"
+	"zipline/internal/gd"
+)
+
+// Dict is a pre-trained basis dictionary — the paper's warm-dictionary
+// regime, where a fleet of compression points starts from shared
+// learned state instead of learning every basis per stream. A Dict is
+// immutable after construction and safe to share read-only across any
+// number of concurrent Writers, Readers and EncodeAll/DecodeAll calls:
+// its bases occupy the low identifiers [0, Len()) of every encoder and
+// decoder that uses it, and the remaining identifier space keeps the
+// usual per-stream LRU behaviour.
+//
+// Streams written with a Dict record its identity (ID and entry count)
+// in the container header; a Reader must be handed the same Dict via
+// WithDict or it rejects the stream with ErrDictRequired /
+// ErrDictMismatch.
+type Dict struct {
+	cfg    Config // defaults applied
+	frozen *gd.Frozen
+	raw    []byte // serialized form
+	id     uint32 // crc32(raw)
+}
+
+// Serialized dictionary format:
+//
+//	"ZLDT" | version u8 | m u8 | idBits u8 | t u8 | u32le count |
+//	count × basis (ceil(BasisBits/8) bytes each, MSB-first packed)
+const (
+	dictMagic   = "ZLDT"
+	dictVersion = 1
+)
+
+// TrainDict builds a dictionary from a sample corpus: the corpus is
+// chunked at the configuration's chunk size, bases are counted, and
+// the most frequent ones (ties broken by first appearance, so
+// training is deterministic) are frozen — at most half the identifier
+// space, leaving the rest for per-stream dynamic learning.
+func TrainDict(corpus []byte, cfg Config) (*Dict, error) {
+	cfg = cfg.withDefaults()
+	codec, err := NewCodec(cfg)
+	if err != nil {
+		return nil, err
+	}
+	cs := codec.ChunkSize()
+	if len(corpus) < cs {
+		return nil, fmt.Errorf("zipline: training corpus of %d bytes is smaller than one %d-byte chunk", len(corpus), cs)
+	}
+	count := make(map[string]int)
+	var order []string // first-appearance order
+	var s Split
+	for off := 0; off+cs <= len(corpus); off += cs {
+		if err := codec.SplitInto(corpus[off:off+cs], &s); err != nil {
+			return nil, err
+		}
+		key := string(s.Basis)
+		if count[key] == 0 {
+			order = append(order, key)
+		}
+		count[key]++
+	}
+	// Most frequent first; SliceStable keeps first-appearance order
+	// within equal counts.
+	sort.SliceStable(order, func(i, j int) bool { return count[order[i]] > count[order[j]] })
+	maxBases := (1 << cfg.IDBits) / 2
+	if maxBases < 1 {
+		maxBases = 1
+	}
+	if len(order) > maxBases {
+		order = order[:maxBases]
+	}
+	basisBytes := (codec.BasisBits() + 7) / 8
+	raw := make([]byte, 0, 12+len(order)*basisBytes)
+	raw = append(raw, dictMagic...)
+	raw = append(raw, dictVersion, byte(cfg.M), byte(cfg.IDBits), byte(cfg.T))
+	raw = binary.LittleEndian.AppendUint32(raw, uint32(len(order)))
+	for _, key := range order {
+		raw = append(raw, key...)
+	}
+	return newDict(cfg, codec, order, raw)
+}
+
+// LoadDict parses a dictionary serialized by Dict.Bytes.
+func LoadDict(data []byte) (*Dict, error) {
+	if len(data) < 12 || string(data[:4]) != dictMagic {
+		return nil, fmt.Errorf("zipline: not a dictionary (bad magic)")
+	}
+	if data[4] != dictVersion {
+		return nil, fmt.Errorf("zipline: unsupported dictionary version %d", data[4])
+	}
+	cfg := Config{M: int(data[5]), IDBits: int(data[6]), T: int(data[7])}
+	codec, err := NewCodec(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("zipline: dictionary header: %w", err)
+	}
+	cfg = codec.cfg
+	n := int(binary.LittleEndian.Uint32(data[8:12]))
+	if n < 1 || n >= 1<<cfg.IDBits {
+		return nil, fmt.Errorf("zipline: dictionary of %d bases does not fit %d-bit identifiers", n, cfg.IDBits)
+	}
+	basisBytes := (codec.BasisBits() + 7) / 8
+	if len(data) != 12+n*basisBytes {
+		return nil, fmt.Errorf("zipline: dictionary is %d bytes, want %d for %d bases", len(data), 12+n*basisBytes, n)
+	}
+	bases := make([]string, n)
+	for i := 0; i < n; i++ {
+		bases[i] = string(data[12+i*basisBytes : 12+(i+1)*basisBytes])
+	}
+	return newDict(cfg, codec, bases, append([]byte(nil), data...))
+}
+
+// newDict assembles the shared frozen table and content identity.
+func newDict(cfg Config, codec *Codec, bases []string, raw []byte) (*Dict, error) {
+	vecs := make([]*bitvec.Vector, len(bases))
+	for i, key := range bases {
+		vecs[i] = bitvec.FromBytes([]byte(key), codec.BasisBits())
+	}
+	frozen := gd.NewFrozen(vecs)
+	if frozen.Len() != len(bases) {
+		return nil, fmt.Errorf("zipline: dictionary holds duplicate bases")
+	}
+	return &Dict{cfg: cfg, frozen: frozen, raw: raw, id: crc32.ChecksumIEEE(raw)}, nil
+}
+
+// Bytes returns the serialized dictionary, suitable for LoadDict on
+// any peer that should decode this fleet's streams.
+func (d *Dict) Bytes() []byte { return append([]byte(nil), d.raw...) }
+
+// ID is the dictionary's content identity (CRC-32 of the serialized
+// form) — the value streams record so readers can verify they hold
+// the right dictionary.
+func (d *Dict) ID() uint32 { return d.id }
+
+// Len returns the number of pre-trained bases.
+func (d *Dict) Len() int { return d.frozen.Len() }
+
+// Config returns the GD configuration the dictionary was trained at
+// (with defaults applied). Writers and Readers using the dict inherit
+// it.
+func (d *Dict) Config() Config { return d.cfg }

@@ -57,6 +57,39 @@ func run(w io.Writer) error {
 		bases[string(s.Basis)]++
 	}
 	fmt.Fprintf(w, "distinct bases: %d (dictionary holds %d)\n", len(bases), 1<<15)
+
+	// Gateway regime: a resolver terminates many short flows, each
+	// compressed one-shot. Cold, every flow re-learns the popular
+	// names; with a dictionary pre-trained on the first hour, every
+	// flow starts warm (the paper's shared-memory deployment).
+	firstHour := queries[:len(queries)/24/32*32] // chunk-aligned cut
+	dict, err := zipline.TrainDict(firstHour, zipline.Config{})
+	if err != nil {
+		return err
+	}
+	cold, err := zipline.NewWriter(nil)
+	if err != nil {
+		return err
+	}
+	warm, err := zipline.NewWriter(nil, zipline.WithDict(dict))
+	if err != nil {
+		return err
+	}
+	const flowBytes = 50 * 32 // 50 queries per flow
+	var coldBytes, warmBytes, flowCount int
+	for off := len(firstHour); off+flowBytes <= len(queries); off += flowBytes {
+		flow := queries[off : off+flowBytes]
+		coldBytes += len(cold.EncodeAll(flow, nil))
+		warmBytes += len(warm.EncodeAll(flow, nil))
+		flowCount++
+	}
+	fmt.Fprintf(w, "short flows (%d x %d B): cold %.1f%%, shared dict %.1f%% of original\n",
+		flowCount, flowBytes,
+		100*float64(coldBytes)/float64(flowCount*flowBytes),
+		100*float64(warmBytes)/float64(flowCount*flowBytes))
+	if warmBytes >= coldBytes {
+		return fmt.Errorf("shared dictionary did not help: %d >= %d", warmBytes, coldBytes)
+	}
 	return nil
 }
 

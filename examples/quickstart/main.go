@@ -42,16 +42,23 @@ func run(w io.Writer) error {
 	}
 	fmt.Fprintf(w, "lossless   : %v\n\n", bytes.Equal(back, chunk))
 
-	// Stream level: compress a repetitive sensor log.
+	// Stream level: compress a repetitive sensor log through the
+	// one-shot API. A Writer built over a nil destination serves
+	// EncodeAll only — reusable, pooled and safe for concurrent use.
 	var log100 []byte
 	for i := 0; i < 100; i++ {
 		log100 = append(log100, chunk...)
 	}
-	compressed, err := zipline.CompressBytes(log100, zipline.Config{})
+	enc, err := zipline.NewWriter(nil)
 	if err != nil {
 		return err
 	}
-	restored, err := zipline.DecompressBytes(compressed)
+	compressed := enc.EncodeAll(log100, nil)
+	dec, err := zipline.NewReader(nil)
+	if err != nil {
+		return err
+	}
+	restored, err := dec.DecodeAll(compressed, nil)
 	if err != nil {
 		return err
 	}

@@ -3,6 +3,7 @@ package zipline
 import (
 	"bytes"
 	"io"
+	"sync"
 	"testing"
 )
 
@@ -34,10 +35,109 @@ func FuzzDecompressBytes(f *testing.F) {
 	if comp, err := CompressBytesParallel([]byte("v2 tail-only"), Config{M: 5}, 4); err == nil {
 		f.Add(comp)
 	}
+	// Dictionary-framed v3 containers: the dictless decoder must
+	// reject them cleanly (ErrDictRequired), and mutated dict frames —
+	// truncated header, flipped dict-ID — must never panic it.
+	if comp := fuzzDictStream(); comp != nil {
+		f.Add(comp)
+		f.Add(append([]byte(nil), comp[:14]...)) // truncated inside the dict frame
+		mut := append([]byte(nil), comp...)
+		mut[12] ^= 0xFF // dict-ID byte
+		f.Add(mut)
+		mut = append([]byte(nil), comp...)
+		mut[9] = 0xFE // unknown header flags
+		f.Add(mut)
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		out, err := DecompressBytes(data)
 		if err == nil && len(out) > 1<<26 {
 			t.Fatalf("implausible expansion: %d bytes", len(out))
+		}
+	})
+}
+
+// fuzzDictStream builds a deterministic dictionary-framed stream for
+// the decoder corpora.
+func fuzzDictStream() []byte {
+	corpus := sensorLikeData(1<<14, 77)
+	dict, err := TrainDict(corpus, Config{})
+	if err != nil {
+		return nil
+	}
+	zw, err := NewWriter(nil, WithDict(dict))
+	if err != nil {
+		return nil
+	}
+	return zw.EncodeAll(corpus[:4096], nil)
+}
+
+// fuzzDictFor caches one trained dictionary per Hamming parameter so
+// the fuzzer spends its budget on encode/decode, not on re-training.
+var fuzzDicts sync.Map // m -> *Dict
+
+func fuzzDictFor(m int) (*Dict, error) {
+	if d, ok := fuzzDicts.Load(m); ok {
+		return d.(*Dict), nil
+	}
+	dict, err := TrainDict(sensorLikeData(1<<13, 7), Config{M: m})
+	if err != nil {
+		return nil, err
+	}
+	fuzzDicts.Store(m, dict)
+	return dict, nil
+}
+
+// FuzzEncodeAllDecodeAll: the one-shot path must round-trip every
+// input under several configurations, with and without a shared
+// dictionary, and must agree byte-for-byte with the streaming writer.
+func FuzzEncodeAllDecodeAll(f *testing.F) {
+	f.Add([]byte(nil), uint8(8), false)
+	f.Add([]byte("one-shot"), uint8(3), true)
+	f.Add(bytes.Repeat([]byte{0xAB}, 500), uint8(5), true)
+	f.Add(bytes.Repeat([]byte("abcdefgh"), 64), uint8(12), false)
+	f.Fuzz(func(t *testing.T, data []byte, m uint8, useDict bool) {
+		cfg := Config{M: int(m%13) + 3}
+		opts := []Option{WithConfig(cfg)}
+		if useDict {
+			dict, err := fuzzDictFor(cfg.M)
+			if err != nil {
+				t.Fatalf("train: %v", err)
+			}
+			opts = append(opts, WithDict(dict))
+		}
+		zw, err := NewWriter(nil, opts...)
+		if err != nil {
+			t.Fatalf("writer: %v", err)
+		}
+		zr, err := NewReader(nil, opts...)
+		if err != nil {
+			t.Fatalf("reader: %v", err)
+		}
+		comp := zw.EncodeAll(data, nil)
+		// Twice, to cover the pooled steady state.
+		if again := zw.EncodeAll(data, nil); !bytes.Equal(comp, again) {
+			t.Fatal("pooled EncodeAll is not deterministic")
+		}
+		var buf bytes.Buffer
+		sw, err := NewWriter(&buf, opts...)
+		if err != nil {
+			t.Fatalf("stream writer: %v", err)
+		}
+		if _, err := sw.Write(data); err != nil {
+			t.Fatalf("stream write: %v", err)
+		}
+		if err := sw.Close(); err != nil {
+			t.Fatalf("stream close: %v", err)
+		}
+		if !bytes.Equal(comp, buf.Bytes()) {
+			t.Fatal("EncodeAll differs from the streaming writer")
+		}
+		back, err := zr.DecodeAll(comp, nil)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if !bytes.Equal(back, data) {
+			t.Fatalf("round trip failed for cfg %+v dict=%v", cfg, useDict)
 		}
 	})
 }

@@ -2,10 +2,12 @@ package experiments
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 	"runtime"
 	"time"
 
+	"zipline"
 	"zipline/internal/gd"
 	"zipline/internal/packet"
 	"zipline/internal/scenario"
@@ -131,6 +133,91 @@ func PerfSuite(seed int64, quick bool) ([]PerfResult, error) {
 		return nil, err
 	}
 	out = append(out, res)
+
+	// Reusable encoder API: one-shot EncodeAll/DecodeAll and the
+	// pooled Reset+re-encode cycle, all against a shared pre-trained
+	// dictionary (the short-stream gateway hot path).
+	api, err := perfEncoderAPI(rng.Int63(), budget)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, api...)
+	return out, nil
+}
+
+// perfEncoderAPI measures the package-level reusable encoder surface:
+// EncodeAll and DecodeAll through their per-call pools, and a pooled
+// Writer re-serving streams via Reset. The workload is a 64 KiB
+// sensor-shaped payload whose bases are all frozen in a shared Dict,
+// so the rows capture the warm steady state (pooled-reset-encode is
+// pinned at 0 allocs/op by the root alloc-regression test).
+func perfEncoderAPI(seed int64, budget time.Duration) ([]PerfResult, error) {
+	rng := rand.New(rand.NewSource(seed))
+	bases := make([][]byte, 8)
+	for i := range bases {
+		bases[i] = make([]byte, 32)
+		rng.Read(bases[i])
+	}
+	payload := make([]byte, 0, 64<<10)
+	for len(payload) < 64<<10 {
+		// Single-bit glitches keep the basis (Hamming ball), the
+		// workload GD is built for.
+		chunk := append([]byte(nil), bases[rng.Intn(len(bases))]...)
+		chunk[rng.Intn(32)] ^= 1 << uint(rng.Intn(8))
+		payload = append(payload, chunk...)
+	}
+	dict, err := zipline.TrainDict(payload, zipline.Config{})
+	if err != nil {
+		return nil, err
+	}
+	enc, err := zipline.NewWriter(io.Discard, zipline.WithDict(dict))
+	if err != nil {
+		return nil, err
+	}
+	dec, err := zipline.NewReader(nil, zipline.WithDict(dict))
+	if err != nil {
+		return nil, err
+	}
+
+	var out []PerfResult
+	var comp []byte
+	r := measure("encodeall-64k", budget, 20, func() {
+		comp = enc.EncodeAll(payload, comp[:0])
+	})
+	r.MBPerS = float64(len(payload)) / r.NsPerOp * 1e9 / 1e6
+	r.Ratio = float64(len(comp)) / float64(len(payload))
+	out = append(out, r)
+
+	var back []byte
+	var derr error
+	r = measure("decodeall-64k", budget, 20, func() {
+		back, derr = dec.DecodeAll(comp, back[:0])
+	})
+	if derr != nil {
+		return nil, derr
+	}
+	if len(back) != len(payload) {
+		return nil, fmt.Errorf("perf: DecodeAll returned %d bytes, want %d", len(back), len(payload))
+	}
+	r.MBPerS = float64(len(payload)) / r.NsPerOp * 1e9 / 1e6
+	out = append(out, r)
+
+	var werr error
+	r = measure("pooled-reset-encode", budget, 20, func() {
+		enc.Reset(io.Discard)
+		if _, err := enc.Write(payload); err != nil {
+			werr = err
+			return
+		}
+		if err := enc.Close(); err != nil {
+			werr = err
+		}
+	})
+	if werr != nil {
+		return nil, werr
+	}
+	r.MBPerS = float64(len(payload)) / r.NsPerOp * 1e9 / 1e6
+	out = append(out, r)
 	return out, nil
 }
 

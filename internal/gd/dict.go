@@ -26,7 +26,46 @@ type Dictionary struct {
 	freed    []uint32                 // ids returned by Remove, LIFO
 	next     uint32                   // first never-allocated id
 	keyBuf   []byte                   // scratch for allocation-free lookups
+
+	// frozen is an optional immutable prefix shared read-only with any
+	// number of other dictionaries (the pre-trained basis dictionary of
+	// a compressor fleet). Frozen entries own identifiers [0, base) and
+	// are never evicted, refreshed or removed; dynamic entries start at
+	// base and behave exactly as before.
+	frozen *Frozen
+	base   uint32 // first dynamic id == frozen.Len()
 }
+
+// Frozen is an immutable basis→identifier mapping: identifiers are
+// assigned densely in insertion order at construction and never change.
+// A Frozen is safe for concurrent use by any number of Dictionaries —
+// all its state is written once in NewFrozen and only read afterwards.
+type Frozen struct {
+	byKey map[string]uint32
+	bases []*bitvec.Vector
+}
+
+// NewFrozen builds a frozen dictionary from bases, assigning ids
+// 0..n-1 in order. Duplicate bases keep their first id; the vectors
+// are cloned, so the caller's slices stay free to mutate.
+func NewFrozen(bases []*bitvec.Vector) *Frozen {
+	f := &Frozen{byKey: make(map[string]uint32, len(bases))}
+	for _, b := range bases {
+		k := b.Key()
+		if _, dup := f.byKey[k]; dup {
+			continue
+		}
+		f.byKey[k] = uint32(len(f.bases))
+		f.bases = append(f.bases, b.Clone())
+	}
+	return f
+}
+
+// Len returns the number of frozen entries.
+func (f *Frozen) Len() int { return len(f.bases) }
+
+// Basis returns the basis for a frozen identifier.
+func (f *Frozen) Basis(id uint32) *bitvec.Vector { return f.bases[id] }
 
 type dictEntry struct {
 	key   string
@@ -53,8 +92,44 @@ func NewDictionary(idBits int) *Dictionary {
 	}
 }
 
+// NewDictionaryFrozen creates a dictionary whose identifier space
+// starts with the shared frozen prefix: ids [0, frozen.Len()) resolve
+// through frozen (read-only, never evicted), and the remaining
+// capacity behaves as a normal LRU dictionary. frozen may be nil.
+// Because the prefix is only ever read, one Frozen can back any
+// number of concurrent dictionaries.
+func NewDictionaryFrozen(idBits int, frozen *Frozen) *Dictionary {
+	d := NewDictionary(idBits)
+	if frozen != nil && frozen.Len() > 0 {
+		if frozen.Len() >= d.capacity {
+			panic(fmt.Sprintf("gd: frozen dictionary of %d entries leaves no dynamic room in 2^%d ids", frozen.Len(), idBits))
+		}
+		d.frozen = frozen
+		d.base = uint32(frozen.Len())
+		d.next = d.base
+	}
+	return d
+}
+
+// Reset drops every dynamic mapping while keeping the frozen prefix
+// and all allocated storage (map buckets, id table, key scratch), so a
+// pooled encoder can re-serve a new stream without allocating.
+func (d *Dictionary) Reset() {
+	clear(d.byKey)
+	for i := range d.byID {
+		d.byID[i] = nil
+	}
+	d.byID = d.byID[:0]
+	d.order.Init()
+	d.freed = d.freed[:0]
+	d.next = d.base
+}
+
 // IDBits returns the identifier width in bits.
 func (d *Dictionary) IDBits() int { return d.idBits }
+
+// FrozenLen returns the size of the shared frozen prefix (0 without one).
+func (d *Dictionary) FrozenLen() int { return int(d.base) }
 
 // Capacity returns the number of identifier slots, 2^IDBits.
 func (d *Dictionary) Capacity() int { return d.capacity }
@@ -73,9 +148,16 @@ func (d *Dictionary) fillKeyBuf(basis *bitvec.Vector) {
 }
 
 // Lookup returns the identifier for a basis if present, refreshing
-// its recency (a data-plane hit resets the TNA idle timer).
+// its recency (a data-plane hit resets the TNA idle timer). Frozen
+// entries hit without a recency update — they are never evicted, so
+// they carry no position in the LRU order.
 func (d *Dictionary) Lookup(basis *bitvec.Vector) (uint32, bool) {
 	d.fillKeyBuf(basis)
+	if d.frozen != nil {
+		if id, ok := d.frozen.byKey[string(d.keyBuf)]; ok {
+			return id, true
+		}
+	}
 	el, ok := d.byKey[string(d.keyBuf)]
 	if !ok {
 		return 0, false
@@ -88,6 +170,9 @@ func (d *Dictionary) Lookup(basis *bitvec.Vector) (uint32, bool) {
 // does not refresh recency: decoders follow the encoder's mapping
 // rather than maintaining their own.
 func (d *Dictionary) LookupID(id uint32) (*bitvec.Vector, bool) {
+	if id < d.base {
+		return d.frozen.bases[id], true
+	}
 	if id >= uint32(len(d.byID)) || d.byID[id] == nil {
 		return nil, false
 	}
@@ -99,6 +184,10 @@ func (d *Dictionary) LookupID(id uint32) (*bitvec.Vector, bool) {
 // decoder's replay of an encoder hit, the dominant operation on the
 // decode hot path.
 func (d *Dictionary) LookupIDTouch(id uint32) (*bitvec.Vector, bool) {
+	if id < d.base {
+		// Mirrors the encoder: frozen hits carry no recency.
+		return d.frozen.bases[id], true
+	}
 	if id >= uint32(len(d.byID)) || d.byID[id] == nil {
 		return nil, false
 	}
@@ -113,6 +202,12 @@ func (d *Dictionary) LookupIDTouch(id uint32) (*bitvec.Vector, bool) {
 // that is already present just refreshes it.
 func (d *Dictionary) Insert(basis *bitvec.Vector) (id uint32, evicted *bitvec.Vector) {
 	d.fillKeyBuf(basis)
+	if d.frozen != nil {
+		// A frozen basis is already permanently mapped.
+		if fid, ok := d.frozen.byKey[string(d.keyBuf)]; ok {
+			return fid, nil
+		}
+	}
 	if el, ok := d.byKey[string(d.keyBuf)]; ok {
 		d.order.MoveToFront(el)
 		return el.Value.(*dictEntry).id, nil

@@ -1,6 +1,7 @@
 package gd
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -173,4 +174,107 @@ func TestNewDictionaryPanicsOnBadWidth(t *testing.T) {
 		}
 	}()
 	NewDictionary(0)
+}
+
+func TestFrozenPrefixLookupAndInsert(t *testing.T) {
+	fa, fb := bv(t, "0001"), bv(t, "0010")
+	frozen := NewFrozen([]*bitvec.Vector{fa, fb, fa}) // duplicate keeps first id
+	if frozen.Len() != 2 {
+		t.Fatalf("frozen len = %d, want 2 (dup collapsed)", frozen.Len())
+	}
+	d := NewDictionaryFrozen(2, frozen) // 4 slots: 2 frozen + 2 dynamic
+	if d.FrozenLen() != 2 {
+		t.Fatalf("frozen prefix = %d", d.FrozenLen())
+	}
+	if id, ok := d.Lookup(fb); !ok || id != 1 {
+		t.Fatalf("frozen lookup = %d,%v want 1,true", id, ok)
+	}
+	// Inserting a frozen basis maps to its permanent id, no dynamic slot.
+	if id, ev := d.Insert(fa); id != 0 || ev != nil {
+		t.Fatalf("frozen insert = %d,%v", id, ev)
+	}
+	if d.Len() != 0 {
+		t.Fatalf("dynamic len = %d after frozen insert", d.Len())
+	}
+	// Dynamic inserts start past the frozen prefix.
+	x, y, z := bv(t, "0100"), bv(t, "1000"), bv(t, "1100")
+	if id, _ := d.Insert(x); id != 2 {
+		t.Fatalf("first dynamic id = %d, want 2", id)
+	}
+	if id, _ := d.Insert(y); id != 3 {
+		t.Fatalf("second dynamic id = %d, want 3", id)
+	}
+	// Pool exhausted: eviction recycles a dynamic id, never a frozen one.
+	id, evicted := d.Insert(z)
+	if id != 2 || evicted == nil || !evicted.Equal(x) {
+		t.Fatalf("eviction = id %d evicted %v, want dynamic id 2 evicting x", id, evicted)
+	}
+	for fid, want := range []*bitvec.Vector{fa, fb} {
+		got, ok := d.LookupID(uint32(fid))
+		if !ok || !got.Equal(want) {
+			t.Fatalf("frozen id %d lost after eviction", fid)
+		}
+		got, ok = d.LookupIDTouch(uint32(fid))
+		if !ok || !got.Equal(want) {
+			t.Fatalf("frozen id %d lost via touch", fid)
+		}
+	}
+}
+
+func TestFrozenDictionaryReset(t *testing.T) {
+	frozen := NewFrozen([]*bitvec.Vector{bv(t, "0001")})
+	d := NewDictionaryFrozen(2, frozen)
+	x := bv(t, "0100")
+	id1, _ := d.Insert(x)
+	d.Reset()
+	if d.Len() != 0 {
+		t.Fatalf("dynamic len = %d after Reset", d.Len())
+	}
+	if _, ok := d.Lookup(x); ok {
+		t.Fatal("dynamic entry survived Reset")
+	}
+	if id, ok := d.Lookup(bv(t, "0001")); !ok || id != 0 {
+		t.Fatal("frozen entry lost in Reset")
+	}
+	// Identifier assignment replays identically after Reset.
+	id2, _ := d.Insert(x)
+	if id2 != id1 {
+		t.Fatalf("post-Reset id %d != pre-Reset id %d", id2, id1)
+	}
+}
+
+var errFrozenLookup = errors.New("frozen lookup returned wrong basis")
+
+func TestFrozenSharedAcrossDictionariesConcurrently(t *testing.T) {
+	bases := make([]*bitvec.Vector, 64)
+	rng := rand.New(rand.NewSource(31))
+	for i := range bases {
+		b := bitvec.New(16)
+		for j := 0; j < 16; j++ {
+			b.Set(j, rng.Intn(2) == 1)
+		}
+		bases[i] = b
+	}
+	frozen := NewFrozen(bases)
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func(seed int64) {
+			d := NewDictionaryFrozen(8, frozen)
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 2000; i++ {
+				b := bases[rng.Intn(len(bases))]
+				id, ok := d.Lookup(b)
+				if !ok || !frozen.Basis(id).Equal(b) {
+					done <- errFrozenLookup
+					return
+				}
+			}
+			done <- nil
+		}(int64(g))
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
 }

@@ -4,30 +4,32 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
-	"runtime"
 	"sync"
 
 	"zipline/internal/bitvec"
 )
 
-// Parallel streaming engine (container version 2).
+// Parallel streaming engine (container versions 2 and 3).
 //
-// ParallelWriter splits its input into large fixed-size segments and
-// fans them out to N workers, pgzip-style. Worker w owns basis
-// dictionary shard w and encodes segments seq ≡ w (mod N) in order, so
-// each shard's identifier assignment evolves deterministically; a
-// collector goroutine emits the encoded groups strictly in segment
-// order under the v2 framing (stream.go), which records the shard per
-// group. ParallelReader runs the mirror image: a pump goroutine reads
-// groups in order and dispatches each to its shard's decode worker,
-// and Read reassembles the decoded segments in stream order.
+// A Writer configured with WithWorkers(n > 1) splits its input into
+// large fixed-size segments and fans them out to n workers,
+// pgzip-style. Worker w owns basis dictionary shard w and encodes
+// segments seq ≡ w (mod n) in order, so each shard's identifier
+// assignment evolves deterministically; a collector goroutine emits
+// the encoded groups strictly in segment order under the grouped
+// framing (stream.go), which records the shard per group. A Reader
+// configured with WithWorkers(n > 1) runs the mirror image: a pump
+// goroutine reads groups in order and dispatches each to its shard's
+// decode worker, and Read reassembles the decoded segments in stream
+// order.
 //
 // Sharding trades a little compression for parallelism: each shard
 // only learns from the segments it encodes, so cross-shard duplicate
-// bases are stored once per shard. With segments of 128 KiB the loss
-// is small on the paper's workloads, and throughput scales with
-// cores — the software analogue of ZipLine running one GD pipeline
-// per switch port.
+// bases are stored once per shard — unless a shared pre-trained Dict
+// (WithDict) puts the hot bases in every shard from the first chunk.
+// With segments of 128 KiB the loss is small on the paper's
+// workloads, and throughput scales with cores — the software analogue
+// of ZipLine running one GD pipeline per switch port.
 
 // defaultSegmentBytes is the input segment handed to each worker. It
 // is a multiple of every valid chunk size (chunks are 2^(M-3) ≤ 4096
@@ -35,10 +37,10 @@ import (
 // keep per-shard dictionaries warm.
 const defaultSegmentBytes = 128 << 10
 
-// maxShards is the widest shard count the v2 header can record.
+// maxShards is the widest shard count the container header can record.
 const maxShards = 255
 
-// pwJob carries one input segment through a ParallelWriter worker.
+// pwJob carries one input segment through an encode worker.
 type pwJob struct {
 	seq   uint32
 	shard uint8
@@ -49,101 +51,116 @@ type pwJob struct {
 	done  chan struct{}
 }
 
-// ParallelWriter compresses a byte stream with GD across multiple
-// goroutines, emitting the version-2 sharded container. It implements
-// io.WriteCloser; Close flushes the tail and trailer and must be
-// called for the stream to be readable — including after a Write
-// error, where it releases the worker and collector goroutines.
-// Methods must not be called concurrently; Stats is valid after
-// Close.
-type ParallelWriter struct {
-	w       io.Writer
+// parEngine is the sharded encode engine behind a Writer with
+// workers > 1. Its goroutines and channels are started lazily on the
+// first dispatched segment and torn down by close/reset, so a pooled
+// Writer holds no goroutines between streams; the segment and block
+// pools persist across streams.
+type parEngine struct {
 	codec   *Codec
+	dict    *Dict
 	shards  int
 	segSize int
 
-	pending []byte
-	seq     uint32
-	closed  bool
-
+	running       bool
 	jobs          []chan *pwJob
 	order         chan *pwJob
 	collectorDone chan struct{}
+
+	w     io.Writer    // destination, latched at start
+	stats *StreamStats // -> Writer.Stats, latched at start
+
+	pending []byte // partial input segment
+	seq     uint32
 
 	bufPool   sync.Pool // segment input buffers
 	blockPool sync.Pool // *bitvec.Writer block buffers
 
 	mu   sync.Mutex
 	werr error // first encode/write error, set by the collector
-
-	// Stats accumulate over the writer's lifetime (valid after Close).
-	Stats StreamStats
 }
 
-// NewParallelWriter builds a parallel compressing writer with the
-// given configuration and worker count (0 selects GOMAXPROCS, capped
-// at 255). The container header is written immediately. workers == 1
-// still produces a valid v2 stream with a single shard.
-func NewParallelWriter(w io.Writer, cfg Config, workers int) (*ParallelWriter, error) {
-	codec, err := NewCodec(cfg)
-	if err != nil {
-		return nil, err
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > maxShards {
-		workers = maxShards
-	}
+func newParEngine(codec *Codec, set settings) *parEngine {
 	cs := codec.ChunkSize()
 	segSize := defaultSegmentBytes
 	if rem := segSize % cs; rem != 0 {
 		segSize += cs - rem
 	}
-	pw := &ParallelWriter{
-		w:             w,
-		codec:         codec,
-		shards:        workers,
-		segSize:       segSize,
-		jobs:          make([]chan *pwJob, workers),
-		order:         make(chan *pwJob, 2*workers),
-		collectorDone: make(chan struct{}),
-	}
-	pw.bufPool.New = func() any { return make([]byte, 0, segSize) }
-	pw.blockPool.New = func() any { return bitvec.NewWriter(segSize/cs*4 + 256) }
-
-	hdr := append(streamHeader(streamV2, codec.cfg), byte(workers), 0, 0, 0)
-	if _, err := w.Write(hdr); err != nil {
-		return nil, err
-	}
-	for i := range pw.jobs {
-		pw.jobs[i] = make(chan *pwJob, 2)
-		go pw.worker(i)
-	}
-	go pw.collect()
-	return pw, nil
+	pe := &parEngine{codec: codec, dict: set.dict, shards: set.workers, segSize: segSize}
+	pe.bufPool.New = func() any { return make([]byte, 0, segSize) }
+	pe.blockPool.New = func() any { return bitvec.NewWriter(segSize/cs*4 + 256) }
+	return pe
 }
 
-func (pw *ParallelWriter) setErr(err error) {
-	pw.mu.Lock()
-	if pw.werr == nil {
-		pw.werr = err
+func (pe *parEngine) setErr(err error) {
+	pe.mu.Lock()
+	if pe.werr == nil {
+		pe.werr = err
 	}
-	pw.mu.Unlock()
+	pe.mu.Unlock()
 }
 
-func (pw *ParallelWriter) error() error {
-	pw.mu.Lock()
-	defer pw.mu.Unlock()
-	return pw.werr
+func (pe *parEngine) error() error {
+	pe.mu.Lock()
+	defer pe.mu.Unlock()
+	return pe.werr
 }
 
-// worker encodes this shard's segments in arrival order against the
-// shard's persistent dictionary.
-func (pw *ParallelWriter) worker(shard int) {
-	enc := newBlockEncoder(pw.codec)
-	cs := pw.codec.ChunkSize()
-	for job := range pw.jobs[shard] {
+// start spins up the workers and collector for one stream.
+func (pe *parEngine) start(zw *Writer) {
+	if pe.running {
+		return
+	}
+	pe.running = true
+	pe.w, pe.stats = zw.w, &zw.Stats
+	pe.jobs = make([]chan *pwJob, pe.shards)
+	pe.order = make(chan *pwJob, 2*pe.shards)
+	pe.collectorDone = make(chan struct{})
+	for i := range pe.jobs {
+		pe.jobs[i] = make(chan *pwJob, 2)
+		go pe.worker(pe.jobs[i])
+	}
+	go pe.collect(pe.order, pe.collectorDone)
+}
+
+// shutdown closes the job channels and waits for the collector, so
+// every goroutine has exited and every in-flight group is accounted
+// for when it returns.
+func (pe *parEngine) shutdown() {
+	if !pe.running {
+		return
+	}
+	pe.running = false
+	for _, ch := range pe.jobs {
+		close(ch)
+	}
+	close(pe.order)
+	<-pe.collectorDone
+	pe.jobs, pe.order, pe.collectorDone = nil, nil, nil
+}
+
+// reset returns the engine to its pre-stream state (Writer.Reset).
+func (pe *parEngine) reset() {
+	pe.shutdown()
+	if pe.pending != nil {
+		pe.bufPool.Put(pe.pending[:0])
+		pe.pending = nil
+	}
+	pe.seq = 0
+	pe.mu.Lock()
+	pe.werr = nil
+	pe.mu.Unlock()
+}
+
+// worker encodes one shard's segments in arrival order against the
+// shard's persistent dictionary (seeded with the shared Dict when one
+// is configured). The job channel is passed in because shutdown may
+// clear the engine's channel slice before a freshly spawned worker
+// gets scheduled.
+func (pe *parEngine) worker(jobs <-chan *pwJob) {
+	enc := newBlockEncoder(pe.codec, pe.dict)
+	cs := pe.codec.ChunkSize()
+	for job := range jobs {
 		enc.block, enc.stats = job.block, &job.stats
 		for off := 0; off < len(job.data) && job.err == nil; off += cs {
 			job.err = enc.encodeChunk(job.data[off : off+cs])
@@ -154,81 +171,83 @@ func (pw *ParallelWriter) worker(shard int) {
 
 // collect writes finished groups to the underlying writer in segment
 // order. It keeps draining after a failure so dispatchers never block.
-func (pw *ParallelWriter) collect() {
-	defer close(pw.collectorDone)
+func (pe *parEngine) collect(order <-chan *pwJob, done chan<- struct{}) {
+	defer close(done)
 	failed := false
-	for job := range pw.order {
+	for job := range order {
 		<-job.done
 		if !failed {
 			err := job.err
 			if err == nil {
-				err = pw.writeGroup(job)
+				err = pe.writeGroup(job)
 			}
 			if err != nil {
-				pw.setErr(err)
+				pe.setErr(err)
 				failed = true
 			} else {
-				pw.Stats.add(job.stats)
+				pe.stats.add(job.stats)
 			}
 		}
 		job.block.Reset()
-		pw.blockPool.Put(job.block)
-		pw.bufPool.Put(job.data[:0])
+		pe.blockPool.Put(job.block)
+		pe.bufPool.Put(job.data[:0])
 	}
 }
 
-func (pw *ParallelWriter) writeGroup(job *pwJob) error {
+func (pe *parEngine) writeGroup(job *pwJob) error {
 	var hdr [16]byte
 	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(job.block.Bytes())))
 	binary.LittleEndian.PutUint32(hdr[4:], uint32(job.block.Len()))
 	binary.LittleEndian.PutUint32(hdr[8:], job.seq)
 	hdr[12] = job.shard
-	if _, err := pw.w.Write(hdr[:]); err != nil {
+	if _, err := pe.w.Write(hdr[:]); err != nil {
 		return err
 	}
-	_, err := pw.w.Write(job.block.Bytes())
+	_, err := pe.w.Write(job.block.Bytes())
 	return err
 }
 
 // dispatch hands a chunk-aligned segment to its shard's worker and
-// registers it with the collector.
-func (pw *ParallelWriter) dispatch(seg []byte) {
-	shard := int(pw.seq) % pw.shards
+// registers it with the collector, starting the engine if needed.
+func (pe *parEngine) dispatch(zw *Writer, seg []byte) {
+	pe.start(zw)
+	shard := int(pe.seq) % pe.shards
 	job := &pwJob{
-		seq:   pw.seq,
+		seq:   pe.seq,
 		shard: uint8(shard),
 		data:  seg,
-		block: pw.blockPool.Get().(*bitvec.Writer),
+		block: pe.blockPool.Get().(*bitvec.Writer),
 		done:  make(chan struct{}),
 	}
-	pw.seq++
-	pw.order <- job
-	pw.jobs[shard] <- job
+	pe.seq++
+	pe.order <- job
+	pe.jobs[shard] <- job
 }
 
-// Write implements io.Writer.
-func (pw *ParallelWriter) Write(p []byte) (int, error) {
-	if pw.closed {
-		return 0, fmt.Errorf("zipline: write after Close")
+// parWrite is Writer.Write for workers > 1.
+func (zw *Writer) parWrite(p []byte) (int, error) {
+	pe := zw.par
+	if err := pe.error(); err != nil {
+		return 0, err
 	}
-	if err := pw.error(); err != nil {
+	if err := zw.writeHeader(); err != nil {
 		return 0, err
 	}
 	n := len(p)
 	for len(p) > 0 {
-		if pw.pending == nil {
-			pw.pending = pw.bufPool.Get().([]byte)
+		if pe.pending == nil {
+			pe.pending = pe.bufPool.Get().([]byte)
 		}
-		take := min(pw.segSize-len(pw.pending), len(p))
-		pw.pending = append(pw.pending, p[:take]...)
+		take := min(pe.segSize-len(pe.pending), len(p))
+		pe.pending = append(pe.pending, p[:take]...)
 		p = p[take:]
-		if len(pw.pending) == pw.segSize {
-			pw.dispatch(pw.pending)
-			pw.pending = nil
+		if len(pe.pending) == pe.segSize {
+			pe.dispatch(zw, pe.pending)
+			pe.pending = nil
 			// Re-check the latch per segment so a large Write stops
 			// segmenting (and the workers stop encoding) as soon as
 			// the collector records a failure, not at the next call.
-			if err := pw.error(); err != nil {
+			if err := pe.error(); err != nil {
 				return n - len(p), err
 			}
 		}
@@ -236,65 +255,57 @@ func (pw *ParallelWriter) Write(p []byte) (int, error) {
 	return n, nil
 }
 
-// Close dispatches the final partial segment, waits for every worker,
-// then writes the tail and trailer groups. It does not close the
-// underlying writer.
-func (pw *ParallelWriter) Close() error {
-	if pw.closed {
-		return pw.error()
-	}
-	pw.closed = true
+// parClose is Writer.Close for workers > 1: it dispatches the final
+// partial segment, waits for every worker, then writes the tail and
+// trailer groups.
+func (zw *Writer) parClose() error {
+	pe := zw.par
 	var tail []byte
-	if len(pw.pending) > 0 {
-		cs := pw.codec.ChunkSize()
-		full := len(pw.pending) / cs * cs
+	if len(pe.pending) > 0 {
+		cs := zw.codec.ChunkSize()
+		full := len(pe.pending) / cs * cs
 		// The sub-chunk remainder must outlive the recycled buffer.
-		tail = append([]byte(nil), pw.pending[full:]...)
+		tail = append([]byte(nil), pe.pending[full:]...)
 		if full > 0 {
-			pw.dispatch(pw.pending[:full])
+			pe.dispatch(zw, pe.pending[:full]) // collector recycles the buffer
+		} else {
+			pe.bufPool.Put(pe.pending[:0])
 		}
-		pw.pending = nil
+		pe.pending = nil
 	}
-	for _, ch := range pw.jobs {
-		close(ch)
-	}
-	close(pw.order)
-	<-pw.collectorDone
-	if err := pw.error(); err != nil {
+	pe.shutdown()
+	if err := pe.error(); err != nil {
 		return err
 	}
-	// Record tail/trailer write failures too, so a later Close (e.g. a
-	// deferred one after an unchecked explicit Close) repeats the
-	// error instead of reporting success on a truncated stream.
-	if err := pw.finish(tail); err != nil {
-		pw.setErr(err)
+	if err := zw.writeHeader(); err != nil { // empty stream: nothing dispatched
 		return err
 	}
-	return nil
+	return zw.parFinish(tail)
 }
 
-// finish writes the tail group (if any) and the trailer.
-func (pw *ParallelWriter) finish(tail []byte) error {
+// parFinish writes the tail group (if any) and the trailer.
+func (zw *Writer) parFinish(tail []byte) error {
 	if len(tail) > 0 {
-		pw.Stats.TailBytes = uint64(len(tail))
+		zw.Stats.TailBytes = uint64(len(tail))
 		body := appendTailBlock(make([]byte, 0, 3+len(tail)), tail)
-		var hdr [16]byte
+		hdr := zw.scratch[:16]
+		for i := range hdr {
+			hdr[i] = 0
+		}
 		binary.LittleEndian.PutUint32(hdr[0:], uint32(len(body)))
 		binary.LittleEndian.PutUint32(hdr[4:], uint32(len(body)*8)|tailBlockFlag)
-		binary.LittleEndian.PutUint32(hdr[8:], pw.seq)
-		if _, err := pw.w.Write(hdr[:]); err != nil {
+		binary.LittleEndian.PutUint32(hdr[8:], zw.par.seq)
+		if _, err := zw.w.Write(hdr); err != nil {
 			return err
 		}
-		if _, err := pw.w.Write(body); err != nil {
+		if _, err := zw.w.Write(body); err != nil {
 			return err
 		}
 	}
-	var trailer [16]byte
-	_, err := pw.w.Write(trailer[:])
-	return err
+	return zw.writeTrailer()
 }
 
-// prJob carries one group through a ParallelReader worker.
+// prJob carries one group through a decode worker.
 type prJob struct {
 	body   []byte
 	bitLen int
@@ -310,14 +321,12 @@ var closedChan = func() chan struct{} {
 	return ch
 }()
 
-// ParallelReader decompresses a stream with one decode worker per
-// shard. Version-1 (serial) streams are handled transparently by an
-// embedded serial Reader. Methods must not be called concurrently;
-// Stats is valid once Read has returned io.EOF.
-type ParallelReader struct {
-	serial *Reader // non-nil for v1 streams
-
+// parReader decodes a sharded stream with one worker per shard — the
+// engine a Reader with workers > 1 starts once the header reveals a
+// grouped multi-shard container.
+type parReader struct {
 	codec  *Codec
+	dict   *Dict
 	shards int
 	jobs   []chan *prJob
 	order  chan *prJob
@@ -336,57 +345,37 @@ type ParallelReader struct {
 
 	cur    []byte
 	curBuf []byte // full backing of cur, recycled when drained
-	err    error
-
-	// Stats accumulate over the reader's lifetime.
-	Stats StreamStats
 }
 
-// NewParallelReader opens a compressed stream, reading and validating
-// its header immediately (unlike NewReader, which defers to the first
-// Read).
-func NewParallelReader(r io.Reader) (*ParallelReader, error) {
-	version, codec, shards, err := parseStreamHeader(r)
-	if err != nil {
-		return nil, err
-	}
-	if version == streamV1 {
-		// Serial container: delegate to a Reader that starts past the
-		// already-parsed header.
-		zr := &Reader{
-			r:       r,
-			codec:   codec,
-			version: version,
-			started: true,
-			decs:    make([]*blockDecoder, shards),
-		}
-		return &ParallelReader{serial: zr}, nil
-	}
-	pr := &ParallelReader{
-		codec:      codec,
-		shards:     shards,
-		jobs:       make([]chan *prJob, shards),
-		order:      make(chan *prJob, 2*shards),
+// newParReader starts the decode workers and the pump for the stream
+// whose header zr has just parsed.
+func newParReader(zr *Reader) *parReader {
+	pr := &parReader{
+		codec:      zr.codec,
+		dict:       zr.streamDict,
+		shards:     zr.shards,
+		jobs:       make([]chan *prJob, zr.shards),
+		order:      make(chan *prJob, 2*zr.shards),
 		stop:       make(chan struct{}),
-		shardStats: make([]StreamStats, shards),
+		shardStats: make([]StreamStats, zr.shards),
 	}
 	for i := range pr.jobs {
 		pr.jobs[i] = make(chan *prJob, 2)
 		go pr.worker(i)
 	}
-	go pr.pump(r)
-	return pr, nil
+	go pr.pump(zr.r)
+	return pr
 }
 
 // worker decodes this shard's groups in arrival order against the
 // shard's persistent dictionary. The dictionary is built on the first
 // group so a corrupt header's shard count cannot force up-front
 // allocation of hundreds of full-capacity dictionaries.
-func (pr *ParallelReader) worker(shard int) {
+func (pr *parReader) worker(shard int) {
 	var dec *blockDecoder
 	for job := range pr.jobs[shard] {
 		if dec == nil {
-			dec = newBlockDecoder(pr.codec, &pr.shardStats[shard])
+			dec = newBlockDecoder(pr.codec, &pr.shardStats[shard], pr.dict)
 		}
 		var out []byte
 		if b, _ := pr.outPool.Get().([]byte); b != nil {
@@ -403,7 +392,7 @@ func (pr *ParallelReader) worker(shard int) {
 
 // pump reads groups in stream order, dispatching each to its shard's
 // worker and to the in-order queue Read consumes from.
-func (pr *ParallelReader) pump(r io.Reader) {
+func (pr *parReader) pump(r io.Reader) {
 	defer func() {
 		for _, ch := range pr.jobs {
 			close(ch)
@@ -412,7 +401,7 @@ func (pr *ParallelReader) pump(r io.Reader) {
 	}()
 	var nextSeq uint32
 	for {
-		byteLen, bitWord, shard, err := readBlockHeader(r, streamV2, &nextSeq)
+		byteLen, bitWord, shard, err := readBlockHeader(r, true, &nextSeq)
 		if err != nil {
 			pr.pumpErr = err
 			return
@@ -463,16 +452,8 @@ func (pr *ParallelReader) pump(r io.Reader) {
 	}
 }
 
-// Read implements io.Reader.
-func (pr *ParallelReader) Read(p []byte) (int, error) {
-	if pr.serial != nil {
-		n, err := pr.serial.Read(p)
-		pr.Stats = pr.serial.Stats
-		return n, err
-	}
-	if pr.err != nil {
-		return 0, pr.err
-	}
+// read is Reader.Read for the parallel decode path.
+func (pr *parReader) read(zr *Reader, p []byte) (int, error) {
 	for len(pr.cur) == 0 {
 		if pr.curBuf != nil {
 			pr.outPool.Put(pr.curBuf[:0])
@@ -481,18 +462,18 @@ func (pr *ParallelReader) Read(p []byte) (int, error) {
 		job, ok := <-pr.order
 		if !ok {
 			if pr.pumpErr != nil {
-				pr.err = pr.pumpErr
+				zr.err = pr.pumpErr
 			} else {
-				pr.err = io.EOF
-				pr.finalizeStats()
+				zr.err = io.EOF
+				pr.finalizeStats(zr)
 			}
-			return 0, pr.err
+			return 0, zr.err
 		}
 		<-job.done
 		if job.err != nil {
-			pr.err = job.err
+			zr.err = job.err
 			pr.release()
-			return 0, pr.err
+			return 0, zr.err
 		}
 		pr.cur, pr.curBuf = job.out, job.out
 	}
@@ -501,39 +482,79 @@ func (pr *ParallelReader) Read(p []byte) (int, error) {
 	return n, nil
 }
 
-// finalizeStats folds the per-shard counters into Stats once the
-// whole stream has been consumed (every job's done channel has been
-// observed, so the workers' writes are visible).
-func (pr *ParallelReader) finalizeStats() {
-	pr.Stats = StreamStats{TailBytes: pr.pumpTail}
+// finalizeStats folds the per-shard counters into the Reader's Stats
+// once the whole stream has been consumed (every job's done channel
+// has been observed, so the workers' writes are visible).
+func (pr *parReader) finalizeStats(zr *Reader) {
+	zr.Stats = StreamStats{TailBytes: pr.pumpTail}
 	for _, s := range pr.shardStats {
-		pr.Stats.add(s)
+		zr.Stats.add(s)
 	}
 }
 
 // release unblocks the pump so its goroutine can exit early.
-func (pr *ParallelReader) release() {
+func (pr *parReader) release() {
 	pr.once.Do(func() { close(pr.stop) })
 }
 
-// Close releases the reader's goroutines without consuming the rest
-// of the stream. It never fails; the error return satisfies
-// io.ReadCloser.
-func (pr *ParallelReader) Close() error {
-	if pr.serial != nil {
-		return nil
+// ParallelWriter is the sharded writer type of the pre-options API.
+//
+// Deprecated: ParallelWriter is now an alias for Writer — construct
+// with NewWriter(w, cfg, WithWorkers(n)).
+type ParallelWriter = Writer
+
+// NewParallelWriter builds a parallel compressing writer with the
+// given configuration and worker count (0 selects GOMAXPROCS, capped
+// at 255). As before, the container header is written immediately, so
+// destination errors still surface at construction.
+//
+// Deprecated: use NewWriter(w, cfg, WithWorkers(workers)), which
+// defers the header to the first Write/Close so the Writer can be
+// pooled. Note that workers == 1 now selects the serial (version-1)
+// container, which every Reader decodes.
+func NewParallelWriter(w io.Writer, cfg Config, workers int) (*ParallelWriter, error) {
+	if workers < 0 {
+		workers = 0
 	}
-	pr.release()
-	if pr.err == nil {
-		pr.err = fmt.Errorf("zipline: reader closed")
+	zw, err := NewWriter(w, cfg, WithWorkers(workers))
+	if err != nil {
+		return nil, err
 	}
-	return nil
+	if err := zw.writeHeader(); err != nil {
+		return nil, err
+	}
+	return zw, nil
+}
+
+// ParallelReader is the sharded reader type of the pre-options API.
+//
+// Deprecated: ParallelReader is now an alias for Reader — construct
+// with NewReader(r, WithWorkers(n)).
+type ParallelReader = Reader
+
+// NewParallelReader opens a compressed stream with concurrent shard
+// decoding, reading and validating its header immediately (unlike
+// NewReader, which defers to the first Read).
+//
+// Deprecated: use NewReader(r, WithWorkers(0)).
+func NewParallelReader(r io.Reader) (*ParallelReader, error) {
+	zr, err := NewReader(r, WithWorkers(0))
+	if err != nil {
+		return nil, err
+	}
+	// The pre-options constructor surfaced header errors eagerly.
+	if err := zr.start(); err != nil {
+		return nil, err
+	}
+	return zr, nil
 }
 
 // CompressBytesParallel compresses data in one call using workers
-// parallel encoders (0 selects GOMAXPROCS); the result is a v2
-// sharded stream readable by Reader, ParallelReader or
-// DecompressBytes.
+// parallel encoders (0 selects GOMAXPROCS); the result is readable by
+// any Reader configuration.
+//
+// Deprecated: use NewWriter with WithWorkers, or a pooled
+// (*Writer).EncodeAll for short streams.
 func CompressBytesParallel(data []byte, cfg Config, workers int) ([]byte, error) {
 	var buf appendWriter
 	pw, err := NewParallelWriter(&buf, cfg, workers)

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 
 	"zipline/internal/bitvec"
 	"zipline/internal/gd"
@@ -33,8 +34,9 @@ import (
 // in lockstep on both sides without any side channel — the streaming
 // analogue of the control-plane protocol.
 //
-// Version 2 is the parallel (sharded) container written by
-// ParallelWriter. The 8-byte header above is followed by
+// Version 2 is the parallel (sharded) container written when a Writer
+// is configured with WithWorkers(n > 1). The 8-byte header above is
+// followed by
 //
 //	u8 shards | u8 reserved ×3
 //
@@ -51,14 +53,43 @@ import (
 // the groups are decoded serially or by per-shard workers. The tail
 // marker and the all-zero trailer group work as in version 1. Record
 // payloads are identical across versions.
+//
+// Version 3 is the dictionary-framed container written when a Writer
+// is configured with WithDict. It uses the version-2 group framing
+// (shards == 1 for a serial writer) but the second extension byte
+// carries flags, and flagDict appends
+//
+//	u32le dictID | u32le dictBases
+//
+// identifying the shared pre-trained dictionary (Dict.ID / Dict.Len)
+// whose bases occupy identifiers [0, dictBases) of every shard. A
+// reader that was not handed the same Dict rejects the stream with
+// ErrDictRequired or ErrDictMismatch instead of misdecoding.
 const (
 	streamMagic = "ZLGD"
-	streamV1    = 1 // serial container, written by Writer
-	streamV2    = 2 // sharded container, written by ParallelWriter
+	streamV1    = 1 // serial container
+	streamV2    = 2 // sharded container (WithWorkers > 1)
+	streamV3    = 3 // dictionary-framed sharded container (WithDict)
 )
+
+// flagDict marks a version-3 stream that records its pre-trained
+// dictionary in the extended header.
+const flagDict = 1 << 0
 
 // ErrCorrupt reports an undecodable stream.
 var ErrCorrupt = errors.New("zipline: corrupt stream")
+
+// ErrDictRequired reports a dictionary-framed stream offered to a
+// Reader that holds no dictionary (pass the fleet's Dict via
+// WithDict).
+var ErrDictRequired = errors.New("zipline: stream requires a pre-trained dictionary")
+
+// ErrDictMismatch reports a dictionary-framed stream whose recorded
+// dictionary identity does not match the Reader's WithDict.
+var ErrDictMismatch = errors.New("zipline: dictionary does not match stream")
+
+// errReaderClosed poisons reads after Close.
+var errReaderClosed = errors.New("zipline: reader closed")
 
 const (
 	defaultBlockBytes = 64 << 10
@@ -69,11 +100,12 @@ const (
 // tailBlockFlag marks the bitLen word of a raw tail block.
 const tailBlockFlag = 1 << 31
 
-// blockEncoder is the reusable encode unit shared by the serial
-// Writer and every ParallelWriter worker: it turns fixed-size chunks
-// into bit-packed records against one basis dictionary. The block and
-// stats destinations are fields so a worker can repoint them at the
-// current job while the dictionary persists across jobs.
+// blockEncoder is the reusable encode unit shared by the serial path
+// and every parallel worker: it turns fixed-size chunks into
+// bit-packed records against one basis dictionary (optionally seeded
+// with a shared frozen Dict). The block and stats destinations are
+// fields so a worker can repoint them at the current job while the
+// dictionary persists across jobs.
 type blockEncoder struct {
 	codec *Codec
 	dict  *gd.Dictionary
@@ -82,8 +114,18 @@ type blockEncoder struct {
 	split gd.Split // scratch reused across chunks
 }
 
-func newBlockEncoder(codec *Codec) *blockEncoder {
-	return &blockEncoder{codec: codec, dict: gd.NewDictionary(codec.cfg.IDBits)}
+func newBlockEncoder(codec *Codec, d *Dict) *blockEncoder {
+	dict := newStreamDictionary(codec, d)
+	return &blockEncoder{codec: codec, dict: dict}
+}
+
+// newStreamDictionary builds the per-stream basis dictionary, seeded
+// with the shared frozen prefix when a Dict is in play.
+func newStreamDictionary(codec *Codec, d *Dict) *gd.Dictionary {
+	if d != nil {
+		return gd.NewDictionaryFrozen(codec.cfg.IDBits, d.frozen)
+	}
+	return gd.NewDictionary(codec.cfg.IDBits)
 }
 
 // encodeChunk appends one chunk's record to the current block.
@@ -119,8 +161,8 @@ type blockDecoder struct {
 	stats *StreamStats
 }
 
-func newBlockDecoder(codec *Codec, stats *StreamStats) *blockDecoder {
-	return &blockDecoder{codec: codec, dict: gd.NewDictionary(codec.cfg.IDBits), stats: stats}
+func newBlockDecoder(codec *Codec, stats *StreamStats, d *Dict) *blockDecoder {
+	return &blockDecoder{codec: codec, dict: newStreamDictionary(codec, d), stats: stats}
 }
 
 // decodeRecords replays one block of records, appending the decoded
@@ -198,18 +240,48 @@ func appendTailBlock(dst, tail []byte) []byte {
 	return append(dst, tail...)
 }
 
-// Writer compresses a byte stream with GD. It buffers at most one
-// chunk of input plus one output block. Close flushes the tail and
-// the trailer; the stream is unreadable without it.
+// Writer compresses a byte stream with GD. One type serves every
+// operating mode, selected by Options at construction:
+//
+//   - WithWorkers(1) (the default) encodes serially on the caller's
+//     goroutine, buffering at most one chunk of input plus one output
+//     block.
+//   - WithWorkers(n > 1) fans input segments out to n workers with one
+//     basis-dictionary shard each, emitting the version-2 container.
+//   - WithDict shares a pre-trained basis dictionary across all shards
+//     and records it in the (version-3) container.
+//
+// Close flushes the tail and the trailer; the stream is unreadable
+// without it. A finished Writer can be handed a new stream with Reset,
+// re-serving from a pool without re-allocating its dictionary, block
+// buffer or (with a warm Dict) anything at all. Streaming methods must
+// not be called concurrently; EncodeAll may be called from any number
+// of goroutines at any time.
 type Writer struct {
-	w   io.Writer
-	enc *blockEncoder
+	w     io.Writer
+	set   settings
+	codec *Codec
 
-	pending     []byte // partial input chunk
+	// Serial engine (workers == 1).
+	enc     *blockEncoder
+	pending []byte // partial input chunk
+
+	// Sharded engine (workers > 1), started lazily on first dispatch.
+	par *parEngine
+
+	grouped bool   // 16-byte group framing (v2/v3)
+	seq     uint32 // next group sequence number (serial grouped path)
+
 	wroteHeader bool
 	closed      bool
+	closeErr    error
 
-	// Stats accumulate over the writer's lifetime.
+	scratch [24]byte // header/trailer assembly, keeps flushes alloc-free
+
+	ePool sync.Pool // pooled one-shot encoders for EncodeAll
+
+	// Stats accumulate over the current stream (valid after Close for
+	// workers > 1; Reset clears them). EncodeAll does not touch Stats.
 	Stats StreamStats
 }
 
@@ -229,16 +301,71 @@ func (s *StreamStats) add(o StreamStats) {
 	s.TailBytes += o.TailBytes
 }
 
-// NewWriter builds a compressing writer with the given configuration.
-func NewWriter(w io.Writer, cfg Config) (*Writer, error) {
-	codec, err := NewCodec(cfg)
+// NewWriter builds a compressing writer. Options select the operating
+// point (WithConfig), concurrency (WithWorkers) and shared dictionary
+// (WithDict); a bare Config is accepted as an option for
+// compatibility with the pre-options signature. w may be nil for a
+// Writer used only through EncodeAll.
+func NewWriter(w io.Writer, opts ...Option) (*Writer, error) {
+	set, err := resolveOptions(opts)
 	if err != nil {
 		return nil, err
 	}
-	zw := &Writer{w: w, enc: newBlockEncoder(codec)}
+	codec, err := NewCodec(set.cfg)
+	if err != nil {
+		return nil, err
+	}
+	set.cfg = codec.cfg
+	if set.workers > 1 {
+		zw := &Writer{w: w, set: set, codec: codec, grouped: true}
+		zw.par = newParEngine(codec, set)
+		return zw, nil
+	}
+	return newSerialWriter(w, set, codec), nil
+}
+
+// newSerialWriter assembles the single-shard engine around an
+// existing codec (shared by NewWriter and the EncodeAll pool).
+func newSerialWriter(w io.Writer, set settings, codec *Codec) *Writer {
+	zw := &Writer{w: w, set: set, codec: codec, grouped: set.dict != nil}
+	zw.enc = newBlockEncoder(codec, set.dict)
 	zw.enc.block = bitvec.NewWriter(defaultBlockBytes + 256)
 	zw.enc.stats = &zw.Stats
-	return zw, nil
+	return zw
+}
+
+// version returns the container version this writer emits.
+func (zw *Writer) version() uint8 {
+	switch {
+	case zw.set.dict != nil:
+		return streamV3
+	case zw.set.workers > 1:
+		return streamV2
+	default:
+		return streamV1
+	}
+}
+
+// Reset discards the current stream state and directs the writer at a
+// new destination, keeping every allocation: the basis dictionary
+// (cleared back to its frozen prefix), the block buffer, and — for
+// workers > 1 — the segment and block pools. A pooled Writer re-serves
+// short streams with zero steady-state allocations when its
+// dictionary is warm.
+func (zw *Writer) Reset(w io.Writer) {
+	if zw.par != nil {
+		zw.par.reset()
+	}
+	zw.w = w
+	zw.pending = zw.pending[:0]
+	zw.seq = 0
+	zw.wroteHeader, zw.closed = false, false
+	zw.closeErr = nil
+	zw.Stats = StreamStats{}
+	if zw.enc != nil {
+		zw.enc.block.Reset()
+		zw.enc.dict.Reset()
+	}
 }
 
 // Write implements io.Writer.
@@ -246,11 +373,17 @@ func (zw *Writer) Write(p []byte) (int, error) {
 	if zw.closed {
 		return 0, fmt.Errorf("zipline: write after Close")
 	}
+	if zw.w == nil {
+		return 0, fmt.Errorf("zipline: Writer has no destination (NewWriter(nil, ...) serves EncodeAll only)")
+	}
+	if zw.par != nil {
+		return zw.parWrite(p)
+	}
 	if err := zw.writeHeader(); err != nil {
 		return 0, err
 	}
 	n := len(p)
-	cs := zw.enc.codec.ChunkSize()
+	cs := zw.codec.ChunkSize()
 	// Drain the pending partial chunk first.
 	if len(zw.pending) > 0 {
 		need := cs - len(zw.pending)
@@ -275,18 +408,33 @@ func (zw *Writer) Write(p []byte) (int, error) {
 	return n, nil
 }
 
-// streamHeader assembles the 8-byte container header.
-func streamHeader(version uint8, cfg Config) []byte {
-	return []byte{streamMagic[0], streamMagic[1], streamMagic[2], streamMagic[3],
-		version, byte(cfg.M), byte(cfg.IDBits), byte(cfg.T)}
-}
-
+// writeHeader emits the container header (with the v2/v3 extension
+// and dict frame as configured) from the writer's scratch, so the
+// steady-state pooled path allocates nothing.
 func (zw *Writer) writeHeader() error {
 	if zw.wroteHeader {
 		return nil
 	}
 	zw.wroteHeader = true
-	_, err := zw.w.Write(streamHeader(streamV1, zw.enc.codec.cfg))
+	cfg := zw.codec.cfg
+	b := append(zw.scratch[:0], streamMagic...)
+	b = append(b, zw.version(), byte(cfg.M), byte(cfg.IDBits), byte(cfg.T))
+	if zw.grouped {
+		shards := 1
+		if zw.par != nil {
+			shards = zw.par.shards
+		}
+		var flags byte
+		if zw.set.dict != nil {
+			flags |= flagDict
+		}
+		b = append(b, byte(shards), flags, 0, 0)
+		if zw.set.dict != nil {
+			b = binary.LittleEndian.AppendUint32(b, zw.set.dict.id)
+			b = binary.LittleEndian.AppendUint32(b, uint32(zw.set.dict.Len()))
+		}
+	}
+	_, err := zw.w.Write(b)
 	return err
 }
 
@@ -300,15 +448,27 @@ func (zw *Writer) encodeChunk(chunk []byte) error {
 	return nil
 }
 
+// blockHeader assembles a block (v1) or group (v2/v3) header in the
+// writer's scratch, consuming a sequence number in grouped mode.
+func (zw *Writer) blockHeader(byteLen, bitWord uint32) []byte {
+	binary.LittleEndian.PutUint32(zw.scratch[0:], byteLen)
+	binary.LittleEndian.PutUint32(zw.scratch[4:], bitWord)
+	if !zw.grouped {
+		return zw.scratch[:8]
+	}
+	binary.LittleEndian.PutUint32(zw.scratch[8:], zw.seq)
+	zw.seq++
+	zw.scratch[12], zw.scratch[13], zw.scratch[14], zw.scratch[15] = 0, 0, 0, 0
+	return zw.scratch[:16]
+}
+
 func (zw *Writer) flushBlock() error {
 	block := zw.enc.block
 	if block.Len() == 0 {
 		return nil
 	}
-	var hdr [8]byte
-	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(block.Bytes())))
-	binary.LittleEndian.PutUint32(hdr[4:], uint32(block.Len()))
-	if _, err := zw.w.Write(hdr[:]); err != nil {
+	hdr := zw.blockHeader(uint32(len(block.Bytes())), uint32(block.Len()))
+	if _, err := zw.w.Write(hdr); err != nil {
 		return err
 	}
 	if _, err := zw.w.Write(block.Bytes()); err != nil {
@@ -319,12 +479,27 @@ func (zw *Writer) flushBlock() error {
 }
 
 // Close flushes buffered records, the input tail and the stream
-// trailer. It does not close the underlying writer.
+// trailer. It does not close the underlying writer. Close is
+// idempotent: repeated calls return the first close error, so a
+// deferred Close after an unchecked explicit one cannot report
+// success on a truncated stream.
 func (zw *Writer) Close() error {
 	if zw.closed {
-		return nil
+		return zw.closeErr
 	}
 	zw.closed = true
+	if zw.w == nil {
+		return nil // EncodeAll-only writer, nothing buffered
+	}
+	if zw.par != nil {
+		zw.closeErr = zw.parClose()
+	} else {
+		zw.closeErr = zw.closeSerial()
+	}
+	return zw.closeErr
+}
+
+func (zw *Writer) closeSerial() error {
 	if err := zw.writeHeader(); err != nil {
 		return err
 	}
@@ -338,42 +513,110 @@ func (zw *Writer) Close() error {
 		}
 		zw.Stats.TailBytes = uint64(len(zw.pending))
 		body := appendTailBlock(make([]byte, 0, 3+len(zw.pending)), zw.pending)
-		var hdr [8]byte
-		binary.LittleEndian.PutUint32(hdr[0:], uint32(len(body)))
-		binary.LittleEndian.PutUint32(hdr[4:], uint32(len(body)*8)|tailBlockFlag)
-		if _, err := zw.w.Write(hdr[:]); err != nil {
+		hdr := zw.blockHeader(uint32(len(body)), uint32(len(body)*8)|tailBlockFlag)
+		if _, err := zw.w.Write(hdr); err != nil {
 			return err
 		}
 		if _, err := zw.w.Write(body); err != nil {
 			return err
 		}
 	}
-	var trailer [8]byte
-	_, err := zw.w.Write(trailer[:])
+	return zw.writeTrailer()
+}
+
+// writeTrailer emits the all-zero end-of-stream block/group.
+func (zw *Writer) writeTrailer() error {
+	n := 8
+	if zw.grouped {
+		n = 16
+	}
+	for i := 0; i < n; i++ {
+		zw.scratch[i] = 0
+	}
+	_, err := zw.w.Write(zw.scratch[:n])
 	return err
 }
 
-// Reader decompresses a stream produced by Writer or ParallelWriter
-// (it understands both container versions). It implements io.Reader.
+// Reader decompresses a stream produced by any Writer configuration —
+// it understands all three container versions, following the stream's
+// recorded shard count and dictionary identity. It implements
+// io.Reader. With WithWorkers(n > 1), sharded streams are decoded by
+// one worker per shard; Close then releases those workers without
+// draining the stream. Like Writer, a Reader can be pooled: Reset
+// points it at a new stream and, on the serial decode path, reuses
+// its shard decoders (dictionaries included) whenever the next header
+// matches the last; the parallel engine is rebuilt per stream.
+// Streaming methods must not be called concurrently; DecodeAll may be
+// called from any number of goroutines.
 type Reader struct {
-	r       io.Reader
-	codec   *Codec
-	version uint8
-	decs    []*blockDecoder // one per shard; v1 streams have one
-	nextSeq uint32
+	r   io.Reader
+	set settings
+
+	codec      *Codec
+	version    uint8
+	shards     int
+	grouped    bool
+	streamDict *Dict // set.dict, when the stream records it
+
+	decs     []*blockDecoder // one per shard (serial decode path)
+	decCodec *Codec          // codec decs were built against (Reset reuse)
+	decDict  *Dict           // dict decs were built against (Reset reuse)
+	nextSeq  uint32
+
+	par *parReader // per-shard decode workers (workers > 1)
 
 	out     []byte // decoded bytes not yet read
 	done    bool
 	started bool
+	err     error // sticky: decode failure, io.EOF, or errReaderClosed
 
-	// Stats accumulate over the reader's lifetime.
+	dPool sync.Pool // pooled one-shot decoders for DecodeAll
+
+	// Stats accumulate over the reader's lifetime (for workers > 1,
+	// valid once Read has returned io.EOF). DecodeAll does not touch
+	// Stats.
 	Stats StreamStats
 }
 
 // NewReader opens a compressed stream, reading and validating its
-// header lazily on first Read.
-func NewReader(r io.Reader) (*Reader, error) {
-	return &Reader{r: r}, nil
+// header lazily on first Read. Options: WithWorkers enables
+// concurrent shard decoding, WithDict supplies the shared dictionary
+// a version-3 stream requires. r may be nil for a Reader used only
+// through DecodeAll.
+func NewReader(r io.Reader, opts ...Option) (*Reader, error) {
+	set, err := resolveOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Reader{r: r, set: set}, nil
+}
+
+// Reset discards the current stream state and directs the reader at a
+// new stream. On the serial decode path, shard decoders (and their
+// dictionaries) are kept and reused when the next stream's header
+// matches the last one, so a pooled Reader re-serves
+// same-configuration streams without rebuilding its dictionaries.
+//
+// After Close or Reset of a partially consumed workers > 1 stream,
+// the released pump goroutine may still be blocked in a read on the
+// old source (Go cannot interrupt a blocking Read); its read position
+// is then undefined, so do not hand that same source's remaining
+// bytes to another reader. Fully drained streams, and any in-memory
+// or file source, are unaffected.
+func (zr *Reader) Reset(r io.Reader) {
+	if zr.par != nil {
+		zr.par.release()
+		zr.par = nil
+	}
+	zr.r = r
+	zr.version, zr.shards = 0, 0
+	zr.grouped = false
+	zr.streamDict = nil
+	zr.nextSeq = 0
+	zr.out = nil
+	zr.done, zr.started = false, false
+	zr.err = nil
+	zr.Stats = StreamStats{}
 }
 
 func (zr *Reader) start() error {
@@ -381,63 +624,150 @@ func (zr *Reader) start() error {
 		return nil
 	}
 	zr.started = true
-	version, codec, shards, err := parseStreamHeader(zr.r)
+	if zr.r == nil {
+		return fmt.Errorf("zipline: Reader has no source (NewReader(nil, ...) serves DecodeAll only)")
+	}
+	info, err := parseStreamHeader(zr.r, zr.codec)
 	if err != nil {
 		return err
 	}
-	zr.version, zr.codec = version, codec
-	// Shard decoders are created lazily on first use; together with
-	// insert-proportional Dictionary sizing this keeps decoder memory
-	// tied to real stream content, not to the attacker-controlled
-	// shards and idBits header bytes.
-	zr.decs = make([]*blockDecoder, shards)
+	var dict *Dict
+	if info.hasDict {
+		d := zr.set.dict
+		if d == nil {
+			return fmt.Errorf("%w: stream was encoded against dictionary %#08x (%d bases)",
+				ErrDictRequired, info.dictID, info.dictLen)
+		}
+		if d.id != info.dictID || uint32(d.Len()) != info.dictLen || d.cfg != info.codec.cfg {
+			return fmt.Errorf("%w: stream wants %#08x (%d bases), holding %#08x (%d bases)",
+				ErrDictMismatch, info.dictID, info.dictLen, d.id, d.Len())
+		}
+		dict = d
+	}
+	zr.codec = info.codec
+	zr.version, zr.shards, zr.grouped = info.version, info.shards, info.grouped
+	zr.streamDict = dict
+	if zr.set.workers > 1 && info.shards > 1 && info.grouped {
+		// Concurrent decode: the parReader workers own their decoders;
+		// the serial slice stays untouched for a later serial stream.
+		zr.par = newParReader(zr)
+		return nil
+	}
+	// Serial decode. Shard decoders are created lazily on first use;
+	// together with insert-proportional Dictionary sizing this keeps
+	// decoder memory tied to real stream content, not to the
+	// attacker-controlled shards and idBits header bytes. A pooled
+	// Reset keeps the previous stream's decoders when the header
+	// matches.
+	if zr.decCodec != nil && zr.decCodec.cfg == info.codec.cfg && len(zr.decs) == info.shards && zr.decDict == dict {
+		for _, dec := range zr.decs {
+			if dec != nil {
+				dec.dict.Reset()
+			}
+		}
+	} else {
+		zr.decCodec = info.codec
+		zr.decs = make([]*blockDecoder, info.shards)
+		zr.decDict = dict
+	}
 	return nil
 }
 
+// headerInfo is a parsed container header.
+type headerInfo struct {
+	version uint8
+	codec   *Codec
+	shards  int
+	grouped bool
+	hasDict bool
+	dictID  uint32
+	dictLen uint32
+}
+
 // parseStreamHeader reads and validates the container header — magic,
-// version, codec configuration and (v2) shard count. It is the single
-// authority both Reader and ParallelReader open streams with, so the
-// two decoders accept exactly the same headers.
-func parseStreamHeader(r io.Reader) (version uint8, codec *Codec, shards int, err error) {
+// version, codec configuration, (v2/v3) shard count and (v3) dict
+// identity. It is the single authority every decode path opens
+// streams with, so serial and parallel decoders accept exactly the
+// same headers. prev, when non-nil and matching the header's
+// configuration, is reused instead of building a fresh codec — the
+// pooled-reader steady state skips the transform-table setup.
+func parseStreamHeader(r io.Reader, prev *Codec) (headerInfo, error) {
+	var info headerInfo
 	var hdr [8]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return 0, nil, 0, fmt.Errorf("%w: header: %v", ErrCorrupt, err)
+		return info, fmt.Errorf("%w: header: %v", ErrCorrupt, err)
 	}
 	if string(hdr[:4]) != streamMagic {
-		return 0, nil, 0, fmt.Errorf("%w: bad magic %q", ErrCorrupt, hdr[:4])
+		return info, fmt.Errorf("%w: bad magic %q", ErrCorrupt, hdr[:4])
 	}
-	version = hdr[4]
-	if version != streamV1 && version != streamV2 {
-		return 0, nil, 0, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, version)
+	info.version = hdr[4]
+	if info.version < streamV1 || info.version > streamV3 {
+		return info, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, info.version)
 	}
-	codec, cerr := NewCodec(Config{M: int(hdr[5]), IDBits: int(hdr[6]), T: int(hdr[7])})
-	if cerr != nil {
-		return 0, nil, 0, fmt.Errorf("%w: %v", ErrCorrupt, cerr)
+	cfg := Config{M: int(hdr[5]), IDBits: int(hdr[6]), T: int(hdr[7])}
+	if prev != nil && prev.cfg == cfg {
+		info.codec = prev
+	} else {
+		codec, cerr := NewCodec(cfg)
+		if cerr != nil {
+			return info, fmt.Errorf("%w: %v", ErrCorrupt, cerr)
+		}
+		info.codec = codec
 	}
-	shards = 1
-	if version == streamV2 {
+	codec := info.codec
+	info.shards = 1
+	if info.version >= streamV2 {
+		info.grouped = true
 		var ext [4]byte
 		if _, err := io.ReadFull(r, ext[:]); err != nil {
-			return 0, nil, 0, fmt.Errorf("%w: v2 header: %v", ErrCorrupt, err)
+			return info, fmt.Errorf("%w: extended header: %v", ErrCorrupt, err)
 		}
-		shards = int(ext[0])
-		if shards == 0 {
-			return 0, nil, 0, fmt.Errorf("%w: zero shards", ErrCorrupt)
+		info.shards = int(ext[0])
+		if info.shards == 0 {
+			return info, fmt.Errorf("%w: zero shards", ErrCorrupt)
+		}
+		if info.version == streamV3 {
+			flags := ext[1]
+			if flags&^byte(flagDict) != 0 {
+				return info, fmt.Errorf("%w: unknown header flags %#02x", ErrCorrupt, flags)
+			}
+			if flags&flagDict != 0 {
+				var df [8]byte
+				if _, err := io.ReadFull(r, df[:]); err != nil {
+					return info, fmt.Errorf("%w: dictionary frame: %v", ErrCorrupt, err)
+				}
+				info.hasDict = true
+				info.dictID = binary.LittleEndian.Uint32(df[0:])
+				info.dictLen = binary.LittleEndian.Uint32(df[4:])
+				if info.dictLen == 0 || info.dictLen >= 1<<codec.cfg.IDBits {
+					return info, fmt.Errorf("%w: dictionary of %d bases does not fit %d-bit identifiers",
+						ErrCorrupt, info.dictLen, codec.cfg.IDBits)
+				}
+			}
 		}
 	}
-	return version, codec, shards, nil
+	return info, nil
 }
 
 // Read implements io.Reader.
 func (zr *Reader) Read(p []byte) (int, error) {
+	if zr.err != nil {
+		return 0, zr.err
+	}
 	if err := zr.start(); err != nil {
+		zr.err = err
 		return 0, err
+	}
+	if zr.par != nil {
+		return zr.par.read(zr, p)
 	}
 	for len(zr.out) == 0 {
 		if zr.done {
+			zr.err = io.EOF
 			return 0, io.EOF
 		}
 		if err := zr.readBlock(); err != nil {
+			zr.err = err
 			return 0, err
 		}
 	}
@@ -446,8 +776,23 @@ func (zr *Reader) Read(p []byte) (int, error) {
 	return n, nil
 }
 
+// Close releases the reader's resources — for workers > 1 its decode
+// goroutines, without consuming the rest of the stream — and poisons
+// further reads. It never fails; the error return satisfies
+// io.ReadCloser. See Reset for the state of a partially consumed
+// source after an early Close.
+func (zr *Reader) Close() error {
+	if zr.par != nil {
+		zr.par.release()
+	}
+	if zr.err == nil {
+		zr.err = errReaderClosed
+	}
+	return nil
+}
+
 func (zr *Reader) readBlock() error {
-	byteLen, bitWord, shard, err := readBlockHeader(zr.r, zr.version, &zr.nextSeq)
+	byteLen, bitWord, shard, err := readBlockHeader(zr.r, zr.grouped, &zr.nextSeq)
 	if err != nil {
 		return err
 	}
@@ -469,14 +814,33 @@ func (zr *Reader) readBlock() error {
 		return nil
 	}
 	if zr.decs[shard] == nil {
-		zr.decs[shard] = newBlockDecoder(zr.codec, &zr.Stats)
+		zr.decs[shard] = newBlockDecoder(zr.codec, &zr.Stats, zr.streamDict)
 	}
 	zr.out, err = zr.decs[shard].decodeRecords(body, int(bitWord), zr.out)
 	return err
 }
 
+// decodeAllInto drains the whole stream, appending decoded bytes to
+// dst — the one-shot engine behind DecodeAll. On error dst is
+// returned unextended.
+func (zr *Reader) decodeAllInto(dst []byte) ([]byte, error) {
+	if err := zr.start(); err != nil {
+		return dst, err
+	}
+	zr.out = dst
+	for !zr.done {
+		if err := zr.readBlock(); err != nil {
+			zr.out = nil
+			return dst, err
+		}
+	}
+	out := zr.out
+	zr.out = nil
+	return out, nil
+}
+
 // classifyGroup applies the shared accept rules for a group body in
-// either container version: tail groups are validated and their bytes
+// any container version: tail groups are validated and their bytes
 // returned (aliasing body); record groups get their shard and bit
 // length bounds checked. Keeping one validator means the serial and
 // parallel decoders accept exactly the same streams.
@@ -494,13 +858,14 @@ func classifyGroup(bitWord uint32, shard uint8, shards int, body []byte) (tail [
 	return nil, false, nil
 }
 
-// readBlockHeader reads and validates one block (v1) or group (v2)
+// readBlockHeader reads and validates one block (v1) or group (v2/v3)
 // header, returning the payload length, the bit-length word and the
-// shard. nextSeq tracks the expected v2 sequence number.
-func readBlockHeader(r io.Reader, version uint8, nextSeq *uint32) (byteLen, bitWord uint32, shard uint8, err error) {
+// shard. nextSeq tracks the expected sequence number of grouped
+// containers.
+func readBlockHeader(r io.Reader, grouped bool, nextSeq *uint32) (byteLen, bitWord uint32, shard uint8, err error) {
 	var hdr [16]byte
 	n := 8
-	if version == streamV2 {
+	if grouped {
 		n = 16
 	}
 	if _, err := io.ReadFull(r, hdr[:n]); err != nil {
@@ -508,7 +873,7 @@ func readBlockHeader(r io.Reader, version uint8, nextSeq *uint32) (byteLen, bitW
 	}
 	byteLen = binary.LittleEndian.Uint32(hdr[0:])
 	bitWord = binary.LittleEndian.Uint32(hdr[4:])
-	if version == streamV2 {
+	if grouped {
 		if byteLen == 0 {
 			return 0, 0, 0, nil
 		}
@@ -525,7 +890,9 @@ func readBlockHeader(r io.Reader, version uint8, nextSeq *uint32) (byteLen, bitW
 	return byteLen, bitWord, shard, nil
 }
 
-// CompressBytes compresses data in one call.
+// CompressBytes compresses data in one call through the serial path.
+// For repeated one-shot encodes, a pooled (*Writer).EncodeAll avoids
+// the per-call setup.
 func CompressBytes(data []byte, cfg Config) ([]byte, error) {
 	var buf appendWriter
 	zw, err := NewWriter(&buf, cfg)
@@ -541,8 +908,10 @@ func CompressBytes(data []byte, cfg Config) ([]byte, error) {
 	return buf.b, nil
 }
 
-// DecompressBytes decompresses a stream produced by CompressBytes,
-// Writer or ParallelWriter in one call.
+// DecompressBytes decompresses a stream produced by any Writer
+// configuration in one call. For repeated one-shot decodes, a pooled
+// (*Reader).DecodeAll avoids the per-call setup. Dictionary-framed
+// streams need a Reader carrying the Dict (WithDict) instead.
 func DecompressBytes(data []byte) ([]byte, error) {
 	zr, err := NewReader(bytes.NewReader(data))
 	if err != nil {

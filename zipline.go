@@ -11,7 +11,13 @@
 //     (basis, deviation, extra) and Merge it back losslessly.
 //   - Writer/Reader: streaming GD compression of arbitrary byte
 //     streams with an LRU basis dictionary, the file/IoT-gateway use
-//     case of the GD literature the paper builds on.
+//     case of the GD literature the paper builds on. One reusable
+//     pair serves every mode, selected by functional options:
+//     WithWorkers picks serial or sharded-parallel engines, WithDict
+//     shares a pre-trained basis dictionary (TrainDict) across any
+//     number of encoders, Reset re-serves a pooled instance with zero
+//     steady-state allocations, and EncodeAll/DecodeAll are the
+//     concurrency-safe one-shot paths for short streams.
 //   - SimulateLink: the full in-network system — two switch
 //     pipelines, digests, a control plane with realistic learning
 //     latency — on a deterministic discrete-event testbed.
