@@ -129,7 +129,12 @@ func pipe(stdin io.Reader, stdout, stderr io.Writer, compress bool, cfg zipline.
 		}
 		stats = &zw.Stats
 		if n, err = io.Copy(zw, in); err != nil {
-			zw.Close() // release parallel workers; the copy error wins
+			// Close releases the parallel workers; the copy error
+			// explains the failure, so the close error is reported as
+			// secondary noise rather than replacing it.
+			if cerr := zw.Close(); cerr != nil {
+				fmt.Fprintln(stderr, "zipline: close:", cerr)
+			}
 			return err
 		}
 		if err := zw.Close(); err != nil {
@@ -140,11 +145,18 @@ func pipe(stdin io.Reader, stdout, stderr io.Writer, compress bool, cfg zipline.
 		if err != nil {
 			return err
 		}
-		defer zr.Close()
 		if n, err = io.Copy(out, zr); err != nil {
+			if cerr := zr.Close(); cerr != nil {
+				fmt.Fprintln(stderr, "zipline: close:", cerr)
+			}
 			return err
 		}
 		stats = &zr.Stats
+		// A trailer/CRC failure surfaces on Close: it must reach the
+		// exit code, not vanish in a defer.
+		if err := zr.Close(); err != nil {
+			return err
+		}
 	}
 	// A full disk surfaces here: the flush error must reach the exit
 	// code, not vanish in a defer.

@@ -166,6 +166,8 @@ func (v *Vector) Clone() *Vector {
 // Reset reinitialises v to a zeroed n-bit vector, reusing the backing
 // array when it has capacity. It exists for hot loops that refill the
 // same scratch vector instead of allocating a fresh one per item.
+//
+//zipline:noalloc
 func (v *Vector) Reset(n int) {
 	if n < 0 {
 		panic("bitvec: negative length")
@@ -175,6 +177,7 @@ func (v *Vector) Reset(n int) {
 		v.data = v.data[:nb]
 		clear(v.data)
 	} else {
+		//ziplint:allow noalloc grow-to-fit when caller scratch is short; reused scratch never reallocates
 		v.data = make([]byte, nb)
 	}
 	v.n = n

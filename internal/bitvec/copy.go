@@ -8,6 +8,8 @@ import "encoding/binary"
 // positions. Once the destination is byte-aligned, interior bits move
 // eight bytes per step (a shifted 64-bit load/store), so arbitrary
 // misalignment costs roughly one shift per word rather than per byte.
+//
+//zipline:noalloc
 func CopyBits(dst []byte, dstOff int, src []byte, srcOff, nbits int) {
 	if nbits < 0 {
 		panic("bitvec: negative bit count")

@@ -251,6 +251,7 @@ func (c *Controller) allocateAndInstall(key string, basis *bitvec.Vector) {
 	// interval.
 	victimKey := ""
 	victimIdle := int64(-1)
+	//ziplint:allow determinism min-idle reduction with lexicographic tie-break is iteration-order-insensitive
 	for k := range c.byKey {
 		if c.recycling[k] {
 			continue

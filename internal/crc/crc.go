@@ -143,6 +143,8 @@ func (e *Engine) shiftInBit(r uint32, b bool) uint32 {
 // independent table lookups XORed together, no loop-carried
 // dependency inside a block); remaining complete bytes use the
 // byte table; a trailing partial byte is folded bit by bit.
+//
+//zipline:noalloc
 func (e *Engine) Remainder(data []byte, nbits int) uint32 {
 	if nbits > len(data)*8 {
 		panic(fmt.Sprintf("crc: %d bits requested, %d available", nbits, len(data)*8))

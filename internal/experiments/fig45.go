@@ -137,7 +137,8 @@ func testFrame(codec *gd.Codec, op Op, frameSize int) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		out := packet.AppendHeader(nil, packet.Header{
+		buf := make([]byte, 0, frameSize)
+		out := packet.AppendHeader(buf, packet.Header{
 			Dst: macB, Src: macA, EtherType: packet.EtherTypeUncompressed,
 		})
 		out = f.AppendType2(out, s)

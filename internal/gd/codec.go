@@ -80,6 +80,7 @@ func (c *Codec) SplitChunk(chunk []byte) (Split, error) {
 // Hamming transform takes the vector-free path in fastpath.go instead.
 func (c *Codec) splitGeneric(chunk []byte) (Split, error) {
 	if len(chunk) != c.ChunkBytes() {
+		//ziplint:allow noalloc cold validation branch; never taken on well-formed input
 		return Split{}, fmt.Errorf("gd: chunk is %d bytes, codec expects %d", len(chunk), c.ChunkBytes())
 	}
 	var extra uint8
@@ -106,6 +107,7 @@ func (c *Codec) MergeChunk(s Split, dst []byte) ([]byte, error) {
 		return word.AppendBytes(dst), nil
 	}
 	if s.Extra>>uint(c.extraBits) != 0 {
+		//ziplint:allow noalloc cold validation branch; never taken on well-formed input
 		return dst, fmt.Errorf("gd: extra %#x wider than %d bits", s.Extra, c.extraBits)
 	}
 	w := bitvec.NewWriter(c.ChunkBytes())

@@ -114,6 +114,8 @@ func NewDictionaryFrozen(idBits int, frozen *Frozen) *Dictionary {
 // Reset drops every dynamic mapping while keeping the frozen prefix
 // and all allocated storage (map buckets, id table, key scratch), so a
 // pooled encoder can re-serve a new stream without allocating.
+//
+//zipline:noalloc
 func (d *Dictionary) Reset() {
 	clear(d.byKey)
 	for i := range d.byID {
@@ -151,6 +153,8 @@ func (d *Dictionary) fillKeyBuf(basis *bitvec.Vector) {
 // its recency (a data-plane hit resets the TNA idle timer). Frozen
 // entries hit without a recency update — they are never evicted, so
 // they carry no position in the LRU order.
+//
+//zipline:noalloc
 func (d *Dictionary) Lookup(basis *bitvec.Vector) (uint32, bool) {
 	d.fillKeyBuf(basis)
 	if d.frozen != nil {
@@ -183,6 +187,8 @@ func (d *Dictionary) LookupID(id uint32) (*bitvec.Vector, bool) {
 // in one table access and without rebuilding the basis key — the
 // decoder's replay of an encoder hit, the dominant operation on the
 // decode hot path.
+//
+//zipline:noalloc
 func (d *Dictionary) LookupIDTouch(id uint32) (*bitvec.Vector, bool) {
 	if id < d.base {
 		// Mirrors the encoder: frozen hits carry no recency.

@@ -41,6 +41,8 @@ func (c *Codec) splitHamming(h *Hamming, chunk []byte) (Split, error) {
 // what lets each stream worker encode with a single scratch struct.
 // The previous contents of s are overwritten; bases handed to a
 // Dictionary are cloned on insert, so reuse is safe.
+//
+//zipline:noalloc
 func (c *Codec) SplitChunkInto(chunk []byte, s *Split) error {
 	if h, ok := c.t.(*Hamming); ok {
 		return c.splitHammingInto(h, chunk, s)
@@ -55,6 +57,7 @@ func (c *Codec) SplitChunkInto(chunk []byte, s *Split) error {
 
 func (c *Codec) splitHammingInto(h *Hamming, chunk []byte, s *Split) error {
 	if len(chunk) != c.ChunkBytes() {
+		//ziplint:allow noalloc cold validation branch; never taken on well-formed input
 		return fmt.Errorf("gd: chunk is %d bytes, codec expects %d", len(chunk), c.ChunkBytes())
 	}
 	code := h.code
@@ -85,6 +88,8 @@ func (c *Codec) splitHammingInto(h *Hamming, chunk []byte, s *Split) error {
 // land in basis, whose capacity is reused append-style (pass the
 // previous return value, or nil on first use). The returned slice is
 // exactly ceil(BasisBits/8) bytes with zero tail padding.
+//
+//zipline:noalloc
 func (c *Codec) SplitChunkBytes(chunk, basis []byte) (basisOut []byte, deviation uint32, extra uint8, err error) {
 	h, ok := c.t.(*Hamming)
 	if !ok {
@@ -95,6 +100,7 @@ func (c *Codec) SplitChunkBytes(chunk, basis []byte) (basisOut []byte, deviation
 		return append(basis[:0], s.Basis.Bytes()...), s.Deviation, s.Extra, nil
 	}
 	if len(chunk) != c.ChunkBytes() {
+		//ziplint:allow noalloc cold validation branch; never taken on well-formed input
 		return basis, 0, 0, fmt.Errorf("gd: chunk is %d bytes, codec expects %d", len(chunk), c.ChunkBytes())
 	}
 	code := h.code
@@ -105,6 +111,7 @@ func (c *Codec) SplitChunkBytes(chunk, basis []byte) (basisOut []byte, deviation
 		basis = basis[:nb]
 		clear(basis)
 	} else {
+		//ziplint:allow noalloc grow-to-fit when caller scratch is short; reused scratch never reallocates
 		basis = make([]byte, nb)
 	}
 	bitvec.CopyBits(basis, 0, chunk, 1+code.M(), code.K())
@@ -120,6 +127,7 @@ func (c *Codec) SplitChunkBytes(chunk, basis []byte) (basisOut []byte, deviation
 // intermediate bit vectors, appending to dst.
 func (c *Codec) mergeHamming(h *Hamming, s Split, dst []byte) ([]byte, error) {
 	if s.Basis.Len() != h.code.K() {
+		//ziplint:allow noalloc cold validation branch; never taken on well-formed input
 		return dst, fmt.Errorf("gd: basis length %d != k=%d", s.Basis.Len(), h.code.K())
 	}
 	return c.mergeHammingBytes(h, s.Basis.Bytes(), s.Deviation, s.Extra, dst)
@@ -129,8 +137,11 @@ func (c *Codec) mergeHamming(h *Hamming, s Split, dst []byte) ([]byte, error) {
 // ceil(BasisBits/8) bytes (tail padding bits are ignored). The chunk
 // is appended to dst in place; when dst has spare capacity the call
 // allocates nothing.
+//
+//zipline:noalloc
 func (c *Codec) MergeChunkBytes(basis []byte, deviation uint32, extra uint8, dst []byte) ([]byte, error) {
 	if len(basis) != (c.t.BasisBits()+7)/8 {
+		//ziplint:allow noalloc cold validation branch; never taken on well-formed input
 		return dst, fmt.Errorf("gd: basis is %d bytes, want %d", len(basis), (c.t.BasisBits()+7)/8)
 	}
 	h, ok := c.t.(*Hamming)
@@ -147,9 +158,11 @@ func (c *Codec) MergeChunkBytes(basis []byte, deviation uint32, extra uint8, dst
 func (c *Codec) mergeHammingBytes(h *Hamming, basis []byte, deviation uint32, extra uint8, dst []byte) ([]byte, error) {
 	code := h.code
 	if deviation >= 1<<uint(code.M()) {
+		//ziplint:allow noalloc cold validation branch; never taken on well-formed input
 		return dst, fmt.Errorf("gd: deviation %#x wider than m=%d bits", deviation, code.M())
 	}
 	if extra > 1 {
+		//ziplint:allow noalloc cold validation branch; never taken on well-formed input
 		return dst, fmt.Errorf("gd: extra %#x wider than 1 bit", extra)
 	}
 	p := code.ParityBytes(basis)

@@ -1,0 +1,24 @@
+package lint_test
+
+import (
+	"testing"
+
+	"zipline/internal/lint"
+	"zipline/internal/lint/linttest"
+)
+
+func TestNoalloc(t *testing.T) {
+	linttest.Run(t, "testdata", lint.Noalloc, "noallocfix")
+}
+
+func TestDeterminism(t *testing.T) {
+	linttest.Run(t, "testdata", lint.Determinism, "zipline/internal/netsim")
+}
+
+func TestStreamClose(t *testing.T) {
+	linttest.Run(t, "testdata", lint.StreamClose, "zipline/cmd/ziptool")
+}
+
+func TestEmitbuf(t *testing.T) {
+	linttest.Run(t, "testdata", lint.Emitbuf, "emituser")
+}

@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Emitbuf enforces the caller-owned scratch contract of ZipLine's
+// append-style APIs (tofino.Pipeline.ProcessAppend,
+// packet.Format.AppendType2Bytes and friends): the destination slice —
+// the parameter the callee appends into and returns — must be a
+// reusable variable, not a fresh literal, make call, or nil passed at
+// the call site. A fresh buffer per call re-introduces exactly the
+// per-packet allocation PR 3 removed.
+var Emitbuf = &Analyzer{
+	Name: "emitbuf",
+	Doc:  "require reused caller-owned scratch slices at append-API call sites",
+	Run:  runEmitbuf,
+}
+
+func runEmitbuf(pass *Pass) {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			checkEmitbufCall(pass, call)
+			return true
+		})
+	}
+}
+
+func checkEmitbufCall(pass *Pass, call *ast.CallExpr) {
+	fn := funcObj(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	path := fn.Pkg().Path()
+	if path != "zipline" && !strings.HasPrefix(path, "zipline/") {
+		return
+	}
+	name := fn.Name()
+	if name != "ProcessAppend" && !strings.HasPrefix(name, "Append") {
+		return
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Results().Len() == 0 {
+		return
+	}
+	resType, ok := sig.Results().At(0).Type().Underlying().(*types.Slice)
+	if !ok {
+		return
+	}
+	// The destination is the first parameter whose type is the returned
+	// slice type — the append contract's dst.
+	dst := -1
+	for i := 0; i < sig.Params().Len(); i++ {
+		if types.Identical(sig.Params().At(i).Type(), sig.Results().At(0).Type()) {
+			dst = i
+			break
+		}
+	}
+	if dst < 0 || dst >= len(call.Args) {
+		return
+	}
+	arg := ast.Unparen(call.Args[dst])
+	var what string
+	switch a := arg.(type) {
+	case *ast.CompositeLit:
+		what = "a fresh literal"
+	case *ast.CallExpr:
+		if id, isIdent := ast.Unparen(a.Fun).(*ast.Ident); isIdent {
+			if b, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin && b.Name() == "make" {
+				what = "a fresh make"
+			}
+		}
+	case *ast.Ident:
+		if a.Name == "nil" {
+			if tv, hasType := pass.Info.Types[arg]; hasType {
+				if b, isBasic := tv.Type.(*types.Basic); isBasic && b.Kind() == types.UntypedNil {
+					what = "nil"
+				}
+			}
+		}
+	}
+	if what == "" {
+		return
+	}
+	pass.Reportf(call.Args[dst].Pos(), "%s passed as the append destination of %s.%s: reuse a caller-owned scratch %s across calls", what, pass.relPath(path), name, resType)
+}
+
+// relPath trims the module prefix for readable diagnostics.
+func (p *Pass) relPath(path string) string {
+	if rest, ok := strings.CutPrefix(path, "zipline/"); ok {
+		return rest
+	}
+	return path
+}

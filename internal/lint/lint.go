@@ -1,0 +1,192 @@
+// Package lint is ziplint's analysis framework: a small, dependency-free
+// equivalent of golang.org/x/tools/go/analysis, sized to what ZipLine's
+// invariant checkers need.
+//
+// ZipLine's performance claims rest on source-level invariants that PRs
+// 3–5 established by hand: 0 allocs/op on the dataplane and pooled-Reset
+// hot paths, byte-stable simulation reports for any worker count, and
+// stream Close errors that always reach an exit code. The analyzers in
+// this package enforce those invariants mechanically so that future
+// churn (batched kernels, sharded event loops, the ziphttp gateway)
+// cannot silently regress them.
+//
+// The framework mirrors go/analysis deliberately — Analyzer, Pass,
+// Diagnostic — so the checkers port to the real framework unchanged if
+// x/tools ever becomes a dependency. Two drivers exist: a standalone
+// loader backed by `go list -export` (load.go) and the `go vet
+// -vettool` unit-checker protocol (unit.go).
+//
+// # Suppression
+//
+// A diagnostic is suppressed by a comment on the flagged line or the
+// line above it:
+//
+//	//ziplint:allow <analyzer> <reason>
+//
+// The reason is mandatory by convention (it is the audit trail for why
+// the invariant does not apply — e.g. a cold validation branch inside a
+// //zipline:noalloc function) but not enforced syntactically.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one invariant checker.
+type Analyzer struct {
+	// Name is the analyzer's identifier, used in diagnostics and in
+	// //ziplint:allow comments.
+	Name string
+	// Doc is a one-paragraph description of the invariant.
+	Doc string
+	// Run inspects a package and reports diagnostics through the pass.
+	Run func(*Pass)
+}
+
+// Pass carries one package's syntax and type information through an
+// analyzer, mirroring analysis.Pass.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files holds the package's parsed non-test files.
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	diags *[]Diagnostic
+	allow map[allowKey]bool
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+type allowKey struct {
+	file string
+	line int
+	name string
+}
+
+// Reportf records a diagnostic at pos unless a //ziplint:allow comment
+// for this analyzer covers the line.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.allow[allowKey{position.Filename, position.Line, p.Analyzer.Name}] ||
+		p.allow[allowKey{position.Filename, position.Line - 1, p.Analyzer.Name}] {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// IsTestFile reports whether the file containing pos is a _test.go
+// file. The invariants ziplint enforces are production-code invariants;
+// every analyzer skips test files so that e.g. a bench harness may pass
+// a fresh buffer or read the wall clock.
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// Run applies every analyzer to every package and returns the combined
+// diagnostics sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		allow := collectAllows(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Pkg,
+				Info:     pkg.Info,
+				diags:    &diags,
+				allow:    allow,
+			}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// collectAllows indexes //ziplint:allow comments by (file, line,
+// analyzer).
+func collectAllows(fset *token.FileSet, files []*ast.File) map[allowKey]bool {
+	allow := make(map[allowKey]bool)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//ziplint:allow")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				if len(fields) == 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				allow[allowKey{pos.Filename, pos.Line, fields[0]}] = true
+			}
+		}
+	}
+	return allow
+}
+
+// funcObj resolves the called function object of a call expression, or
+// nil when the callee is not a named function or method (builtins,
+// conversions, func-typed variables, interface-typed dynamic calls).
+func funcObj(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// isPkgFunc reports whether a call resolves to the package-level
+// function path.name (not a method).
+func isPkgFunc(info *types.Info, call *ast.CallExpr, path, name string) bool {
+	fn := funcObj(info, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == path &&
+		fn.Name() == name && fn.Type().(*types.Signature).Recv() == nil
+}

@@ -1,0 +1,198 @@
+// Package linttest runs ziplint analyzers over fixture packages and
+// compares the diagnostics against expectations written in the fixture
+// source — a dependency-free analogue of go/analysis/analysistest.
+//
+// Fixtures live under testdata/src/<importpath>/ and form a miniature
+// GOPATH: an import of "zipline" from a fixture resolves to
+// testdata/src/zipline, while standard-library imports fall back to
+// compiling the real packages from GOROOT source. Expected diagnostics
+// are trailing comments of the form
+//
+//	expr // want "regexp" "another regexp"
+//
+// one quoted regexp per expected diagnostic on that line. A fixture
+// line that produces a diagnostic with no matching want, or a want that
+// matches no diagnostic, fails the test.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"zipline/internal/lint"
+)
+
+// Run loads the fixture package at testdata/src/<path> (recursively
+// loading any fixture packages it imports) and checks the analyzer's
+// diagnostics against the package's want comments.
+func Run(t *testing.T, testdata string, a *lint.Analyzer, path string) {
+	t.Helper()
+	ld := newLoader(testdata)
+	l, err := ld.load(path)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", path, err)
+	}
+	pkg := &lint.Package{Fset: ld.fset, Files: l.files, Pkg: l.pkg, Info: l.info}
+	diags := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{a})
+
+	wants, err := collectWants(ld.fset, l.files)
+	if err != nil {
+		t.Fatalf("parsing want comments in %s: %v", path, err)
+	}
+	for _, d := range diags {
+		if !claimWant(wants, d) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// loader resolves import paths fixture-first, then from GOROOT source.
+type loader struct {
+	testdata string
+	fset     *token.FileSet
+	pkgs     map[string]*loaded
+	fallback types.Importer
+}
+
+type loaded struct {
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+}
+
+func newLoader(testdata string) *loader {
+	ld := &loader{
+		testdata: testdata,
+		fset:     token.NewFileSet(),
+		pkgs:     make(map[string]*loaded),
+	}
+	ld.fallback = importer.ForCompiler(ld.fset, "source", nil)
+	return ld
+}
+
+// Import satisfies types.Importer for the fixture type-checker.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	l, err := ld.load(path)
+	if err != nil {
+		return nil, err
+	}
+	return l.pkg, nil
+}
+
+func (ld *loader) load(path string) (*loaded, error) {
+	if l, ok := ld.pkgs[path]; ok {
+		return l, nil
+	}
+	dir := filepath.Join(ld.testdata, "src", filepath.FromSlash(path))
+	if st, err := os.Stat(dir); err != nil || !st.IsDir() {
+		pkg, err := ld.fallback.Import(path)
+		if err != nil {
+			return nil, fmt.Errorf("import %q: not a fixture and not importable: %w", path, err)
+		}
+		l := &loaded{pkg: pkg}
+		ld.pkgs[path] = l
+		return l, nil
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, e.Name()), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("fixture %s: no Go files", path)
+	}
+	info := lint.NewTypesInfo()
+	conf := types.Config{Importer: ld}
+	pkg, err := conf.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking fixture %s: %w", path, err)
+	}
+	l := &loaded{files: files, pkg: pkg, info: info}
+	ld.pkgs[path] = l
+	return l, nil
+}
+
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// wantPattern extracts the quoted regexps of one want comment.
+var wantPattern = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+func collectWants(fset *token.FileSet, files []*ast.File) ([]*want, error) {
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				text, ok := strings.CutPrefix(text, "want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				matches := wantPattern.FindAllString(text, -1)
+				if len(matches) == 0 {
+					return nil, fmt.Errorf("%s:%d: want comment with no quoted regexp", pos.Filename, pos.Line)
+				}
+				for _, m := range matches {
+					var pat string
+					if m[0] == '`' {
+						pat = m[1 : len(m)-1]
+					} else {
+						var err error
+						if pat, err = strconv.Unquote(m); err != nil {
+							return nil, fmt.Errorf("%s:%d: bad want string %s", pos.Filename, pos.Line, m)
+						}
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want regexp %s: %v", pos.Filename, pos.Line, m, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// claimWant marks the first unmatched want on the diagnostic's line
+// whose regexp matches the message.
+func claimWant(wants []*want, d lint.Diagnostic) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}

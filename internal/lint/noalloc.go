@@ -1,0 +1,357 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NoallocAnnotation marks a function that must not allocate in steady
+// state. It appears on its own line inside the function's doc comment:
+//
+//	// Process handles one packet.
+//	//
+//	//zipline:noalloc
+//	func (p *Program) Process(...)
+//
+// The annotation is transitive through intra-package calls: every
+// function a //zipline:noalloc function calls within its own package is
+// checked under the same rules, so a hot path cannot hide an allocation
+// behind a helper.
+const NoallocAnnotation = "//zipline:noalloc"
+
+// Noalloc flags allocating constructs inside //zipline:noalloc
+// functions: make/new, slice and map literals, &T{...} composite
+// literals, string↔[]byte conversions outside the map[string(b)] lookup
+// idiom, interface boxing at call sites, closures that capture local
+// variables, string concatenation, go statements, and any call into fmt
+// or errors.New. Arguments to panic are exempt (a panic is a crash
+// path, not a hot path); genuine cold branches — error-return
+// validation, amortized scratch growth — carry //ziplint:allow noalloc
+// with a reason.
+var Noalloc = &Analyzer{
+	Name: "noalloc",
+	Doc:  "flag allocating constructs in //zipline:noalloc hot paths (transitive through intra-package calls)",
+	Run:  runNoalloc,
+}
+
+func runNoalloc(pass *Pass) {
+	// Map every function object declared in this package to its body,
+	// so annotation transitivity can chase intra-package calls.
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	var roots []*ast.FuncDecl
+	for _, f := range pass.Files {
+		if len(f.Decls) > 0 && pass.IsTestFile(f.Decls[0].Pos()) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd
+			}
+			if hasNoallocAnnotation(fd) {
+				roots = append(roots, fd)
+			}
+		}
+	}
+
+	// Breadth-first over intra-package calls, remembering which
+	// annotated root pulled each function into the checked set.
+	type item struct {
+		decl *ast.FuncDecl
+		root string
+	}
+	seen := make(map[*ast.FuncDecl]bool)
+	var queue []item
+	for _, r := range roots {
+		queue = append(queue, item{r, r.Name.Name})
+	}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		if seen[it.decl] {
+			continue
+		}
+		seen[it.decl] = true
+		callees := checkNoallocFunc(pass, it.decl, it.root)
+		for _, fn := range callees {
+			if fd, ok := decls[fn]; ok && !seen[fd] {
+				queue = append(queue, item{fd, it.root})
+			}
+		}
+	}
+}
+
+func hasNoallocAnnotation(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if c.Text == NoallocAnnotation {
+			return true
+		}
+	}
+	return false
+}
+
+// noallocWalker carries the per-function state of the check.
+type noallocWalker struct {
+	pass *Pass
+	// where names the function in diagnostics, including the
+	// annotation root when the function is only transitively checked.
+	where string
+	// exemptConv holds string(b)-style conversions appearing directly
+	// as map-index keys, which the compiler does not materialize.
+	exemptConv map[ast.Expr]bool
+	callees    []*types.Func
+}
+
+// checkNoallocFunc scans one function body, reporting allocating
+// constructs and returning the intra-package callees to check next.
+func checkNoallocFunc(pass *Pass, fd *ast.FuncDecl, root string) []*types.Func {
+	where := fd.Name.Name
+	if where != root {
+		where = fmt.Sprintf("%s (reached from %s %s)", fd.Name.Name, NoallocAnnotation, root)
+	} else {
+		where = fmt.Sprintf("%s %s", NoallocAnnotation, where)
+	}
+	w := &noallocWalker{pass: pass, where: where, exemptConv: make(map[ast.Expr]bool)}
+	w.walk(fd.Body, false)
+	return w.callees
+}
+
+func (w *noallocWalker) walk(n ast.Node, inPanic bool) {
+	if n == nil {
+		return
+	}
+	pass := w.pass
+	switch n := n.(type) {
+	case *ast.GoStmt:
+		pass.Reportf(n.Pos(), "go statement in %s: spawning a goroutine allocates", w.where)
+
+	case *ast.IndexExpr:
+		// m[string(b)] — the compiler elides the conversion when the
+		// index of a map access is a direct string(bytes) conversion.
+		if t, ok := pass.Info.Types[n.X]; ok {
+			if _, isMap := t.Type.Underlying().(*types.Map); isMap {
+				if conv, ok := ast.Unparen(n.Index).(*ast.CallExpr); ok && isStringBytesConv(pass.Info, conv) {
+					w.exemptConv[conv] = true
+				}
+			}
+		}
+
+	case *ast.UnaryExpr:
+		if n.Op == token.AND {
+			if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+				pass.Reportf(n.Pos(), "&composite literal in %s escapes to the heap", w.where)
+			}
+		}
+
+	case *ast.CompositeLit:
+		if t, ok := pass.Info.Types[n]; ok {
+			switch t.Type.Underlying().(type) {
+			case *types.Slice:
+				pass.Reportf(n.Pos(), "slice literal in %s allocates its backing array", w.where)
+			case *types.Map:
+				pass.Reportf(n.Pos(), "map literal in %s allocates", w.where)
+			}
+		}
+
+	case *ast.BinaryExpr:
+		if n.Op == token.ADD {
+			if t, ok := pass.Info.Types[n]; ok {
+				if b, ok := t.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+					pass.Reportf(n.Pos(), "string concatenation in %s allocates", w.where)
+				}
+			}
+		}
+
+	case *ast.FuncLit:
+		w.checkCapture(n)
+		// The literal's own body is not part of the hot path unless it
+		// is itself called on it; captures are the allocation.
+		return
+
+	case *ast.CallExpr:
+		if w.checkCall(n, inPanic) {
+			return // panic(...): descend with the exemption set
+		}
+	}
+
+	// Generic descent.
+	children(n, func(c ast.Node) {
+		w.walk(c, inPanic)
+	})
+}
+
+// checkCall inspects one call; it returns true when the call is a panic
+// whose arguments were already walked with the cold-path exemption.
+func (w *noallocWalker) checkCall(call *ast.CallExpr, inPanic bool) bool {
+	pass := w.pass
+
+	// Builtins and conversions.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := pass.Info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				pass.Reportf(call.Pos(), "make in %s allocates", w.where)
+			case "new":
+				pass.Reportf(call.Pos(), "new in %s allocates", w.where)
+			case "panic":
+				// Terminal: allocation on a crash path is irrelevant.
+				for _, a := range call.Args {
+					w.walk(a, true)
+				}
+				return true
+			}
+			return false
+		}
+	}
+	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		if isStringBytesConv(pass.Info, call) && !w.exemptConv[call] && !inPanic {
+			pass.Reportf(call.Pos(), "string↔[]byte conversion in %s allocates (only the m[string(b)] map-lookup idiom is free)", w.where)
+		}
+		return false
+	}
+
+	fn := funcObj(pass.Info, call)
+	if fn != nil && fn.Pkg() != nil && !inPanic {
+		switch {
+		case fn.Pkg().Path() == "fmt":
+			pass.Reportf(call.Pos(), "call to fmt.%s in %s allocates", fn.Name(), w.where)
+		case fn.Pkg().Path() == "errors" && fn.Name() == "New":
+			pass.Reportf(call.Pos(), "call to errors.New in %s allocates", w.where)
+		case fn.Pkg() == pass.Pkg:
+			w.callees = append(w.callees, fn)
+		}
+	}
+
+	// Interface boxing at the call site: a concrete argument passed to
+	// an interface-typed parameter is heap-boxed by the callee ABI.
+	if !inPanic {
+		w.checkBoxing(call)
+	}
+	return false
+}
+
+func (w *noallocWalker) checkBoxing(call *ast.CallExpr) {
+	pass := w.pass
+	tv, ok := pass.Info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // forwarding a slice, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		at, ok := pass.Info.Types[arg]
+		if !ok || at.Type == nil {
+			continue
+		}
+		if b, ok := at.Type.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		if types.IsInterface(at.Type) {
+			continue
+		}
+		// Pointers and other word-sized direct interfaces do not
+		// allocate when boxed.
+		switch at.Type.Underlying().(type) {
+		case *types.Pointer, *types.Chan, *types.Signature:
+			continue
+		}
+		pass.Reportf(arg.Pos(), "argument boxed into interface %s in %s allocates", pt, w.where)
+	}
+}
+
+// checkCapture flags closures that capture variables from the enclosing
+// function by reference — captured locals escape to the heap.
+func (w *noallocWalker) checkCapture(lit *ast.FuncLit) {
+	pass := w.pass
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := pass.Info.Uses[id].(*types.Var)
+		if !ok || obj.IsField() {
+			return true
+		}
+		if obj.Parent() == nil || obj.Parent().Parent() == types.Universe {
+			return true // package-level variable: no capture
+		}
+		if obj.Pos() >= lit.Pos() && obj.Pos() < lit.End() {
+			return true // the literal's own parameter or local
+		}
+		pass.Reportf(lit.Pos(), "closure in %s captures %q from the enclosing function (escapes to heap)", w.where, id.Name)
+		return false
+	})
+}
+
+// isStringBytesConv reports whether call is a string([]byte) or
+// []byte(string) conversion.
+func isStringBytesConv(info *types.Info, call *ast.CallExpr) bool {
+	if len(call.Args) != 1 {
+		return false
+	}
+	tv, ok := info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return false
+	}
+	at, ok := info.Types[call.Args[0]]
+	if !ok {
+		return false
+	}
+	return (isStringType(tv.Type) && isByteSlice(at.Type)) ||
+		(isByteSlice(tv.Type) && isStringType(at.Type))
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+// children invokes fn for each direct child node of n.
+func children(n ast.Node, fn func(ast.Node)) {
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if c != nil {
+			fn(c)
+		}
+		return false
+	})
+}

@@ -1,0 +1,25 @@
+// Fixture for the emitbuf analyzer: call sites of the zipline
+// append-style APIs with fresh and reused destinations.
+package emituser
+
+import "zipline"
+
+func fresh() {
+	zipline.ProcessAppend(nil, 1)                 // want `nil passed as the append destination of zipline\.ProcessAppend`
+	zipline.ProcessAppend([]byte{}, 1)            // want `a fresh literal passed as the append destination of zipline\.ProcessAppend`
+	zipline.ProcessAppend(make([]byte, 0, 64), 1) // want `a fresh make passed as the append destination of zipline\.ProcessAppend`
+	zipline.AppendFrame(nil, 2)                   // want `nil passed as the append destination of zipline\.AppendFrame`
+}
+
+func reused() {
+	buf := make([]byte, 0, 64)
+	buf = zipline.ProcessAppend(buf[:0], 1) // caller-owned scratch: not flagged
+	buf = zipline.AppendFrame(buf, 2)
+	_ = buf
+	_ = zipline.AppendCount(3) // no slice destination: not flagged
+}
+
+func allowed() {
+	//ziplint:allow emitbuf one-shot call in a cold path
+	_ = zipline.ProcessAppend(nil, 1)
+}

@@ -1,0 +1,122 @@
+// Fixture for the noalloc analyzer: every construct the annotation
+// bans, plus the negative corpus it must leave alone.
+package noallocfix
+
+import (
+	"errors"
+	"fmt"
+)
+
+//zipline:noalloc
+func mapIdiom(m map[string]int, b []byte) int {
+	return m[string(b)] // map-index conversion idiom is allocation-free: not flagged
+}
+
+//zipline:noalloc
+func badConversion(b []byte) string {
+	return string(b) // want `string↔\[\]byte conversion in //zipline:noalloc badConversion`
+}
+
+//zipline:noalloc
+func badMake(n int) []int {
+	return make([]int, n) // want `make in //zipline:noalloc badMake`
+}
+
+//zipline:noalloc
+func badNew() *int {
+	return new(int) // want `new in //zipline:noalloc badNew`
+}
+
+//zipline:noalloc
+func badSliceLit() []int {
+	return []int{1, 2} // want `slice literal in //zipline:noalloc badSliceLit`
+}
+
+//zipline:noalloc
+func badMapLit() map[int]int {
+	return map[int]int{} // want `map literal in //zipline:noalloc badMapLit`
+}
+
+type node struct{ v int }
+
+//zipline:noalloc
+func badEscape() *node {
+	return &node{v: 1} // want `&composite literal in //zipline:noalloc badEscape`
+}
+
+//zipline:noalloc
+func badConcat(a, b string) string {
+	return a + b // want `string concatenation in //zipline:noalloc badConcat`
+}
+
+//zipline:noalloc
+func badFmt(x int) {
+	fmt.Println(x) // want `call to fmt\.Println in //zipline:noalloc badFmt` `argument boxed into interface`
+}
+
+//zipline:noalloc
+func badErrors() error {
+	return errors.New("boom") // want `call to errors\.New in //zipline:noalloc badErrors`
+}
+
+func sink(v any) { _ = v }
+
+//zipline:noalloc
+func badBoxing(x int) {
+	sink(x) // want `argument boxed into interface any in //zipline:noalloc badBoxing`
+}
+
+//zipline:noalloc
+func pointerNotBoxed(p *node) {
+	sink(p) // pointers are word-sized and box without allocating: not flagged
+}
+
+//zipline:noalloc
+func interfaceForwarding(v any) {
+	sink(v) // already an interface: not flagged
+}
+
+//zipline:noalloc
+func badClosure() func() int {
+	x := 1
+	return func() int { return x } // want `closure in //zipline:noalloc badClosure captures "x"`
+}
+
+//zipline:noalloc
+func freeClosure() func() int {
+	return func() int { return 42 } // captures nothing: not flagged
+}
+
+//zipline:noalloc
+func badGo() {
+	go freeClosure() // want `go statement in //zipline:noalloc badGo`
+}
+
+//zipline:noalloc
+func panicPath(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("negative %d", n)) // terminal crash path: not flagged
+	}
+}
+
+//zipline:noalloc
+func callsHelper(n int) *int {
+	return helper(n)
+}
+
+// helper is unannotated but reached from callsHelper, so the
+// requirement is transitive.
+func helper(n int) *int {
+	return new(int) // want `new in helper \(reached from //zipline:noalloc callsHelper\)`
+}
+
+//zipline:noalloc
+func allowedGrowth(buf []byte, n int) []byte {
+	if cap(buf) < n {
+		//ziplint:allow noalloc grow-to-fit demonstration
+		buf = make([]byte, n)
+	}
+	return buf[:n]
+}
+
+func coldFunc() *int { return new(int) } // unannotated and unreached: not flagged

@@ -1,0 +1,66 @@
+// Fixture for the determinism analyzer: this path is one of the
+// packages whose output must be byte-stable for a given seed.
+package netsim
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want `time\.Now in a deterministic package`
+}
+
+func globalRand() int {
+	return rand.Int() // want `global math/rand\.Int in a deterministic package`
+}
+
+func seeded(r *rand.Rand) float64 {
+	return r.Float64() // method on a threaded generator: not flagged
+}
+
+func construct(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // constructors build the seeded generator: not flagged
+}
+
+var registry sync.Map // want `sync\.Map in a deterministic package`
+
+// sortedReport is the negative corpus: collect-then-sort makes the map
+// iteration order irrelevant.
+func sortedReport(counts map[string]int) []string {
+	var keys []string
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func unsortedReport(counts map[string]int) []string {
+	var keys []string
+	for k := range counts { // want `map iteration order leaks into a deterministic package`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func allowedReduction(counts map[string]int) int {
+	max := 0
+	//ziplint:allow determinism max-reduction is iteration-order-insensitive
+	for _, v := range counts {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+func sliceRange(xs []int) int {
+	total := 0
+	for _, v := range xs { // slices iterate in order: not flagged
+		total += v
+	}
+	return total
+}

@@ -129,6 +129,8 @@ func (f Format) AppendType2(dst []byte, s gd.Split) []byte {
 // AppendType2Bytes is AppendType2 on a raw basis buffer of exactly
 // ceil(BasisBits/8) bytes (tail padding bits must be zero). With dst
 // capacity to spare it allocates nothing — the switch encode path.
+//
+//zipline:noalloc
 func (f Format) AppendType2Bytes(dst []byte, basis []byte, deviation uint32, extra uint8) []byte {
 	if f.align {
 		dst = appendBitsMSB(dst, uint64(deviation), f.m)
@@ -169,9 +171,12 @@ func (f Format) ParseType2(payload []byte) (gd.Split, []byte, error) {
 // append-style (pass the previous return value, or nil on first use).
 // Tail padding bits of the basis are not cleared — consumers such as
 // Codec.MergeChunkBytes ignore them.
+//
+//zipline:noalloc
 func (f Format) ParseType2Bytes(payload, basisScratch []byte) (basis []byte, deviation uint32, extra uint8, tail []byte, err error) {
 	enc := f.Type2Len()
 	if len(payload) < enc {
+		//ziplint:allow noalloc cold validation branch; never taken on well-formed input
 		return basisScratch, 0, 0, nil, fmt.Errorf("packet: type 2 payload %d bytes, need %d", len(payload), enc)
 	}
 	deviation = uint32(readBitsMSB(payload, 0, f.m))
@@ -180,6 +185,7 @@ func (f Format) ParseType2Bytes(payload, basisScratch []byte) (basis []byte, dev
 		eOff := (f.m + 7) / 8
 		e := payload[eOff]
 		if e>>uint(f.extra) != 0 {
+			//ziplint:allow noalloc cold validation branch; never taken on well-formed input
 			return basisScratch, 0, 0, nil, fmt.Errorf("packet: type 2 extra field %#x exceeds %d bits", e, f.extra)
 		}
 		return payload[eOff+1 : eOff+1+kb], deviation, e, payload[enc:], nil
@@ -189,6 +195,7 @@ func (f Format) ParseType2Bytes(payload, basisScratch []byte) (basis []byte, dev
 	if cap(basisScratch) >= kb {
 		basis = basisScratch[:kb]
 	} else {
+		//ziplint:allow noalloc grow-to-fit when caller scratch is short; reused scratch never reallocates
 		basis = make([]byte, kb)
 	}
 	bitvec.CopyBits(basis, 0, payload, lead, f.k)
@@ -208,6 +215,8 @@ type Compressed struct {
 
 // AppendType3 appends the encoded region of a type 3 payload to dst.
 // With dst capacity to spare it allocates nothing.
+//
+//zipline:noalloc
 func (f Format) AppendType3(dst []byte, c Compressed) []byte {
 	if f.align {
 		dst = appendBitsMSB(dst, uint64(c.Deviation), f.m)
@@ -221,9 +230,12 @@ func (f Format) AppendType3(dst []byte, c Compressed) []byte {
 // ParseType3 decodes the encoded region of a type 3 payload,
 // returning the compressed record and the verbatim tail. It does not
 // allocate.
+//
+//zipline:noalloc
 func (f Format) ParseType3(payload []byte) (Compressed, []byte, error) {
 	enc := f.Type3Len()
 	if len(payload) < enc {
+		//ziplint:allow noalloc cold validation branch; never taken on well-formed input
 		return Compressed{}, nil, fmt.Errorf("packet: type 3 payload %d bytes, need %d", len(payload), enc)
 	}
 	var c Compressed

@@ -33,8 +33,13 @@ type cachedTrace struct {
 
 // traceCache deduplicates capture loading: a sweep runs the same pcap
 // through every grid cell, and re-reading a multi-hundred-MB file once
-// per cell (times one copy per worker) would dominate the sweep.
-var traceCache sync.Map // path -> *cachedTrace
+// per cell (times one copy per worker) would dominate the sweep. It is
+// a plain map under a mutex — ziplint bans sync.Map in deterministic
+// packages because its internal promotion order is scheduling-derived.
+var (
+	traceMu    sync.Mutex
+	traceCache = make(map[string]*cachedTrace)
+)
 
 // loadReplayTrace returns the parsed capture at path, reading it only
 // when the cache has no entry for the file's current size+mtime.
@@ -43,18 +48,21 @@ func loadReplayTrace(path string) (*replayTrace, error) {
 	if err != nil {
 		return nil, err
 	}
-	if c, ok := traceCache.Load(path); ok {
-		if ct := c.(*cachedTrace); ct.size == st.Size() && ct.mtime.Equal(st.ModTime()) {
-			return ct.rt, nil
-		}
+	traceMu.Lock()
+	if ct, ok := traceCache[path]; ok && ct.size == st.Size() && ct.mtime.Equal(st.ModTime()) {
+		traceMu.Unlock()
+		return ct.rt, nil
 	}
+	traceMu.Unlock()
 	rt, err := readReplayTrace(path)
 	if err != nil {
 		return nil, err
 	}
-	// Concurrent loaders may race here; the parse is deterministic,
-	// so last-write-wins is fine.
-	traceCache.Store(path, &cachedTrace{size: st.Size(), mtime: st.ModTime(), rt: rt})
+	// Concurrent loaders may race between the lookup and this store;
+	// the parse is deterministic, so last-write-wins is fine.
+	traceMu.Lock()
+	traceCache[path] = &cachedTrace{size: st.Size(), mtime: st.ModTime(), rt: rt}
+	traceMu.Unlock()
 	return rt, nil
 }
 

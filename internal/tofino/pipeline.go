@@ -133,6 +133,8 @@ func (p *Pipeline) SRAMBits() int64 { return p.sram }
 // path allocates nothing. Emitted frames may alias program scratch
 // valid only until the next ProcessAppend call on this pipeline;
 // callers that retain frames longer must copy them.
+//
+//zipline:noalloc
 func (p *Pipeline) ProcessAppend(now int64, frame []byte, ingress Port, out []Emit) []Emit {
 	p.ctx = Ctx{p: p, now: now}
 	base := len(out)
@@ -150,6 +152,7 @@ func (p *Pipeline) ProcessAppend(now int64, frame []byte, ingress Port, out []Em
 // indefinitely. Hot paths use ProcessAppend with a reused scratch
 // slice instead.
 func (p *Pipeline) Process(now int64, frame []byte, ingress Port) []Emit {
+	//ziplint:allow emitbuf Process is the documented one-shot cloning wrapper; hot paths use ProcessAppend with reused scratch
 	out := p.ProcessAppend(now, frame, ingress, nil)
 	for i := range out {
 		out[i].Frame = append([]byte(nil), out[i].Frame...)
@@ -303,11 +306,15 @@ func (c *Ctx) Apply(h TableHandle, key string) (any, bool) {
 // ApplyBytes is Apply with a byte-slice key: the data-plane match on
 // a header field. It allocates nothing (the map lookup uses the
 // compiler's string-conversion elision).
+//
+//zipline:noalloc
 func (c *Ctx) ApplyBytes(h TableHandle, key []byte) (any, bool) {
 	return c.checkApply(h).lookupBytes(key, c.now)
 }
 
 // Count increments a counter by n.
+//
+//zipline:noalloc
 func (c *Ctx) Count(h CounterHandle, n uint64) {
 	if h.idx < 1 || h.idx > len(c.p.counters) {
 		panic(fmt.Sprintf("tofino: undeclared counter %q", h.name))

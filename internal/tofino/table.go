@@ -102,6 +102,8 @@ func (t *Table) lookup(key string, now int64) (any, bool) {
 // lookupBytes is lookup keyed by a byte slice. The map index uses the
 // string(key) conversion directly so the compiler elides the string
 // allocation — the per-packet match costs a hash, not a copy.
+//
+//zipline:noalloc
 func (t *Table) lookupBytes(key []byte, now int64) (any, bool) {
 	e, ok := t.entries[string(key)]
 	if !ok {

@@ -129,6 +129,8 @@ func newStreamDictionary(codec *Codec, d *Dict) *gd.Dictionary {
 }
 
 // encodeChunk appends one chunk's record to the current block.
+//
+//zipline:noalloc
 func (e *blockEncoder) encodeChunk(chunk []byte) error {
 	if err := e.codec.inner.SplitChunkInto(chunk, &e.split); err != nil {
 		return err
@@ -352,6 +354,8 @@ func (zw *Writer) version() uint8 {
 // workers > 1 — the segment and block pools. A pooled Writer re-serves
 // short streams with zero steady-state allocations when its
 // dictionary is warm.
+//
+//zipline:noalloc
 func (zw *Writer) Reset(w io.Writer) {
 	if zw.par != nil {
 		zw.par.reset()
@@ -438,6 +442,7 @@ func (zw *Writer) writeHeader() error {
 	return err
 }
 
+//zipline:noalloc
 func (zw *Writer) encodeChunk(chunk []byte) error {
 	if err := zw.enc.encodeChunk(chunk); err != nil {
 		return err
@@ -603,6 +608,8 @@ func NewReader(r io.Reader, opts ...Option) (*Reader, error) {
 // is then undefined, so do not hand that same source's remaining
 // bytes to another reader. Fully drained streams, and any in-memory
 // or file source, are unaffected.
+//
+//zipline:noalloc
 func (zr *Reader) Reset(r io.Reader) {
 	if zr.par != nil {
 		zr.par.release()
