@@ -412,6 +412,40 @@ func BenchmarkDecodeAll(b *testing.B) {
 	}
 }
 
+// BenchmarkDecodeAllIndexed measures one-shot decode of a v4 indexed
+// stream through the footer-driven fan-out path (4 workers). On a
+// single-core box this tracks BenchmarkDecodeAll — both share the same
+// inner loop — and pulls ahead of it roughly linearly with real cores;
+// TestDecodeAllIndexedSpeedup pins the multi-core expectation.
+func BenchmarkDecodeAllIndexed(b *testing.B) {
+	data := benchStreamData(64 << 10)
+	dict := benchDict(b)
+	enc, err := zipline.NewWriter(nil, zipline.WithDict(dict), zipline.WithIndex(0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	dec, err := zipline.NewReader(nil, zipline.WithDict(dict), zipline.WithWorkers(4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	comp := enc.EncodeAll(data, nil)
+	var back []byte
+	back, err = dec.DecodeAll(comp, back) // warmup: pool setup is not steady state
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		back, err = dec.DecodeAll(comp, back[:0])
+		if err != nil || len(back) != len(data) {
+			b.Fatalf("decode: %d bytes, %v", len(back), err)
+		}
+	}
+}
+
 // BenchmarkWriterReset measures a pooled Writer re-serving streams
 // through Reset with a warm shared dictionary. Expect 0 allocs/op —
 // pinned by TestWriterResetZeroAllocs.

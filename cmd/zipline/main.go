@@ -3,7 +3,9 @@
 //
 //	zipline -c [-m 8] [-idbits 15] < input > output.zl
 //	zipline -c -p 8 < input > output.zl          # parallel (v2 container)
+//	zipline -c -index < input > output.zl        # seekable (v4 container)
 //	zipline -d < output.zl > input
+//	zipline -d -seek 4096:1024 < output.zl       # random access via the index
 //	zipline -stats -c < input > /dev/null
 //
 // A fleet sharing a pre-trained basis dictionary (v3 container):
@@ -15,10 +17,14 @@ package main
 
 import (
 	"bufio"
+	"bytes"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 
 	"zipline"
 )
@@ -40,6 +46,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	idBits := fs.Int("idbits", 15, "dictionary identifier width in bits (1..24)")
 	workers := fs.Int("p", 1, "parallel workers for -c: >1 compresses with the sharded container, 0 = all CPUs (decompression always follows the stream's shard count)")
 	dictPath := fs.String("dict", "", "shared dictionary file: output of -train, input of -c/-d (its training configuration overrides -m/-idbits)")
+	index := fs.Bool("index", false, "with -c: write the seekable v4 container (block index + dictionary checkpoints in a trailing footer)")
+	seekSpec := fs.String("seek", "", "with -d: decompress only OFF:LEN — seek to uncompressed offset OFF and emit LEN bytes (needs a seekable input; fastest on -index streams)")
 	showStats := fs.Bool("stats", false, "print chunk statistics to stderr")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -59,12 +67,29 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "zipline: -p must be >= 0, got %d\n", *workers)
 		return 2
 	}
+	if *index && !*compress {
+		fmt.Fprintln(stderr, "zipline: -index only applies to -c")
+		return 2
+	}
+	if *index && *workers != 1 {
+		// The index records one dictionary timeline, which the sharded
+		// v2 container does not have.
+		fmt.Fprintln(stderr, "zipline: -index requires the serial writer (-p 1)")
+		return 2
+	}
+	if *seekSpec != "" && !*decompress {
+		fmt.Fprintln(stderr, "zipline: -seek only applies to -d")
+		return 2
+	}
 	cfg := zipline.Config{M: *m, IDBits: *idBits}
 	var err error
-	if *train {
+	switch {
+	case *train:
 		err = trainDict(stdin, *dictPath, cfg)
-	} else {
-		err = pipe(stdin, stdout, stderr, *compress, cfg, *workers, *dictPath, *showStats)
+	case *seekSpec != "":
+		err = seekRead(stdin, stdout, *seekSpec, cfg, *dictPath)
+	default:
+		err = pipe(stdin, stdout, stderr, *compress, cfg, *workers, *dictPath, *index, *showStats)
 	}
 	if err != nil {
 		fmt.Fprintln(stderr, "zipline:", err)
@@ -105,7 +130,7 @@ func loadDict(path string) (*zipline.Dict, error) {
 
 // pipe streams stdin to stdout through one Writer or Reader — the
 // serial and parallel paths are the same code, selected by options.
-func pipe(stdin io.Reader, stdout, stderr io.Writer, compress bool, cfg zipline.Config, workers int, dictPath string, showStats bool) error {
+func pipe(stdin io.Reader, stdout, stderr io.Writer, compress bool, cfg zipline.Config, workers int, dictPath string, index, showStats bool) error {
 	in := bufio.NewReaderSize(stdin, 1<<20)
 	out := bufio.NewWriterSize(stdout, 1<<20)
 
@@ -123,7 +148,11 @@ func pipe(stdin io.Reader, stdout, stderr io.Writer, compress bool, cfg zipline.
 	var n int64
 	var stats *zipline.StreamStats
 	if compress {
-		zw, err := zipline.NewWriter(out, append(opts, zipline.WithWorkers(workers))...)
+		opts = append(opts, zipline.WithWorkers(workers))
+		if index {
+			opts = append(opts, zipline.WithIndex(0))
+		}
+		zw, err := zipline.NewWriter(out, opts...)
 		if err != nil {
 			return err
 		}
@@ -168,4 +197,51 @@ func pipe(stdin io.Reader, stdout, stderr io.Writer, compress bool, cfg zipline.
 			n, stats.Chunks, stats.Hits, stats.Misses, stats.TailBytes)
 	}
 	return nil
+}
+
+// seekRead decompresses the OFF:LEN window of a stream. Stdin is a
+// pipe, so the whole compressed stream is buffered in memory to give
+// the Reader the io.ReadSeeker that Seek requires; on v4 indexed
+// streams the Seek jumps to the nearest dictionary checkpoint, on
+// legacy containers it replays from the start of the stream.
+func seekRead(stdin io.Reader, stdout io.Writer, spec string, cfg zipline.Config, dictPath string) error {
+	offStr, lenStr, ok := strings.Cut(spec, ":")
+	off, err1 := strconv.ParseInt(offStr, 10, 64)
+	length, err2 := strconv.ParseInt(lenStr, 10, 64)
+	if !ok || err1 != nil || err2 != nil || off < 0 || length < 0 {
+		return fmt.Errorf("-seek wants OFF:LEN with non-negative integers, got %q", spec)
+	}
+	comp, err := io.ReadAll(stdin)
+	if err != nil {
+		return err
+	}
+	dict, err := loadDict(dictPath)
+	if err != nil {
+		return err
+	}
+	opts := []zipline.Option{zipline.WithDict(dict)}
+	if dict == nil {
+		opts = append(opts, zipline.WithConfig(cfg))
+	}
+	zr, err := zipline.NewReader(bytes.NewReader(comp), opts...)
+	if err != nil {
+		return err
+	}
+	out := bufio.NewWriterSize(stdout, 1<<20)
+	if _, err := zr.Seek(off, io.SeekStart); errors.Is(err, zipline.ErrNoIndex) {
+		// Pre-index container: no checkpoint to jump to, so decode
+		// forward and throw away the prefix.
+		if _, err := io.CopyN(io.Discard, zr, off); err != nil {
+			return err
+		}
+	} else if err != nil {
+		return err
+	}
+	if _, err := io.CopyN(out, zr, length); err != nil {
+		return err
+	}
+	if err := zr.Close(); err != nil {
+		return err
+	}
+	return out.Flush()
 }

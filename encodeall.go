@@ -63,11 +63,22 @@ type decState struct {
 // streams decode serially); a dictionary-framed stream requires the
 // Reader to carry the matching Dict.
 //
+// On a Reader with WithWorkers(n > 1), an indexed (WithIndex) stream
+// is decoded by n workers, one checkpoint segment at a time, writing
+// directly into disjoint spans of the output buffer — serial-written
+// streams finally decode in parallel. Everything else falls back to
+// the serial pooled path below.
+//
 // DecodeAll is safe for concurrent use: any number of goroutines may
 // call it on one Reader, including a Reader built as
 // NewReader(nil, ...) purely for this purpose. The receiver's
 // streaming state and Stats are untouched.
 func (zr *Reader) DecodeAll(src, dst []byte) ([]byte, error) {
+	if zr.set.workers > 1 {
+		if out, ok, err := zr.decodeAllIndexed(src, dst); ok {
+			return out, err
+		}
+	}
 	st, _ := zr.dPool.Get().(*decState)
 	if st == nil {
 		set := zr.set

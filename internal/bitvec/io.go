@@ -1,6 +1,7 @@
 package bitvec
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 )
@@ -136,13 +137,37 @@ func (r *Reader) ReadBit() (bool, error) {
 }
 
 // ReadUint consumes n bits and returns them as an unsigned integer,
-// first bit read being the most significant.
+// first bit read being the most significant. Reads of up to 57 bits
+// resolve through a single shifted 64-bit window — the record-decode
+// hot path never loops per bit.
+//
+//zipline:noalloc
 func (r *Reader) ReadUint(n int) (uint64, error) {
 	if n < 0 || n > 64 {
+		//ziplint:allow noalloc cold validation branch; never taken on well-formed input
 		panic(fmt.Sprintf("bitvec: ReadUint width %d out of range", n))
 	}
 	if r.pos+n > r.n {
 		return 0, ErrShortBuffer
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	si := r.pos >> 3
+	if n <= 57 {
+		// After discarding the pos&7 already-consumed bits, the window
+		// still holds 64-7 = 57 valid bits.
+		var w uint64
+		if si+8 <= len(r.data) {
+			w = binary.BigEndian.Uint64(r.data[si:])
+		} else {
+			for j := 0; si+j < len(r.data); j++ {
+				w |= uint64(r.data[si+j]) << uint(56-8*j)
+			}
+		}
+		w <<= uint(r.pos & 7)
+		r.pos += n
+		return w >> uint(64-n), nil
 	}
 	var x uint64
 	for i := 0; i < n; i++ {

@@ -171,25 +171,32 @@ func (e *Engine) Remainder(data []byte, nbits int) uint32 {
 			e.tab0[p[7]]
 	}
 	for ; nbits-i >= 8; i += 8 {
-		b := data[i>>3]
-		// Appending 8 bits: value = r·x^8 + b. The top 8 bits of
-		// r·x^8 (at positions m..m+7) reduce through the table; the
-		// rest shift up in place.
-		if e.width >= 8 {
-			hi := r >> uint(e.width-8)
-			r = (r<<8 | uint32(b)) & e.mask
-			r ^= e.tab[hi]
-		} else {
-			// r is narrower than a byte: everything overflows.
-			hi := r<<uint(8-e.width) | uint32(b)>>uint(e.width)
-			r = uint32(b) & e.mask
-			r ^= e.tab[hi&0xFF]
-		}
+		r = e.appendByte(r, data[i>>3])
 	}
-	for ; i < nbits; i++ {
-		r = e.shiftInBit(r, data[i>>3]>>(7-uint(i&7))&1 == 1)
+	if t := nbits - i; t > 0 {
+		// Trailing partial byte: append the t bits padded to a full
+		// byte with zeros (one table step computes rem((R·x^t ⊕ v)·
+		// x^{8-t})), then divide the x^{8-t} pad back out — g(0) = 1
+		// makes x invertible, so UnshiftN is exact.
+		r = e.appendByte(r, data[i>>3]&(0xFF<<uint(8-t)))
+		r = e.UnshiftN(r, 8-t)
 	}
 	return r
+}
+
+// appendByte returns the remainder after appending eight message bits:
+// rem(r·x^8 + b). The top 8 bits of r·x^8 (at positions m..m+7) reduce
+// through the table; the rest shift up in place.
+//
+//zipline:noalloc
+func (e *Engine) appendByte(r uint32, b byte) uint32 {
+	if e.width >= 8 {
+		hi := r >> uint(e.width-8)
+		return (r<<8|uint32(b))&e.mask ^ e.tab[hi]
+	}
+	// r is narrower than a byte: everything overflows.
+	hi := r<<uint(8-e.width) | uint32(b)>>uint(e.width)
+	return uint32(b)&e.mask ^ e.tab[hi&0xFF]
 }
 
 // RemainderVector computes the CRC of a bit vector.
@@ -211,8 +218,15 @@ func (e *Engine) remainderBitwise(data []byte, nbits int) uint32 {
 // input bit.
 func (e *Engine) Shift(r uint32) uint32 { return e.shiftInBit(r&e.mask, false) }
 
-// ShiftN returns rem(r·x^n mod g).
+// ShiftN returns rem(r·x^n mod g). Whole bytes of shift take one
+// table step each (appending a zero byte is exactly r·x^8 mod g).
+//
+//zipline:noalloc
 func (e *Engine) ShiftN(r uint32, n int) uint32 {
+	r &= e.mask
+	for ; n >= 8; n -= 8 {
+		r = e.appendByte(r, 0)
+	}
 	for i := 0; i < n; i++ {
 		r = e.Shift(r)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"math/rand"
@@ -217,6 +218,74 @@ func perfEncoderAPI(seed int64, budget time.Duration) ([]PerfResult, error) {
 		return nil, werr
 	}
 	r.MBPerS = float64(len(payload)) / r.NsPerOp * 1e9 / 1e6
+	out = append(out, r)
+
+	idx, err := perfIndexedAPI(payload, dict, budget)
+	if err != nil {
+		return nil, err
+	}
+	return append(out, idx...), nil
+}
+
+// perfIndexedAPI measures the v4 indexed-container surface added in
+// PR 7: segment-parallel DecodeAll of an indexed serial-written stream
+// (the fan-out that finally lets decode scale with cores), and
+// checkpoint-seek random access. Same 64 KiB payload and shared Dict
+// as the encoder rows, so decodeall-indexed-64k is directly comparable
+// to decodeall-64k.
+func perfIndexedAPI(payload []byte, dict *zipline.Dict, budget time.Duration) ([]PerfResult, error) {
+	ienc, err := zipline.NewWriter(io.Discard, zipline.WithDict(dict), zipline.WithIndex(0))
+	if err != nil {
+		return nil, err
+	}
+	comp := ienc.EncodeAll(payload, nil)
+
+	dec, err := zipline.NewReader(nil, zipline.WithDict(dict), zipline.WithWorkers(4))
+	if err != nil {
+		return nil, err
+	}
+
+	var out []PerfResult
+	var back []byte
+	var derr error
+	r := measure("decodeall-indexed-64k", budget, 20, func() {
+		back, derr = dec.DecodeAll(comp, back[:0])
+	})
+	if derr != nil {
+		return nil, derr
+	}
+	if len(back) != len(payload) {
+		return nil, fmt.Errorf("perf: indexed DecodeAll returned %d bytes, want %d", len(back), len(payload))
+	}
+	r.MBPerS = float64(len(payload)) / r.NsPerOp * 1e9 / 1e6
+	out = append(out, r)
+
+	// Random access: Seek to a rotating offset and read 4 KiB. One op
+	// is jump-to-checkpoint + replay + read, the HTTP-range pattern.
+	skr, err := zipline.NewReader(bytes.NewReader(comp), zipline.WithDict(dict))
+	if err != nil {
+		return nil, err
+	}
+	const span = 4 << 10
+	buf := make([]byte, span)
+	offs := [...]int64{0, 11111, 22222, 33333, 44444, int64(len(payload) - span)}
+	n := 0
+	var serr error
+	r = measure("seek-read-64k", budget, 20, func() {
+		off := offs[n%len(offs)]
+		n++
+		if _, err := skr.Seek(off, io.SeekStart); err != nil {
+			serr = err
+			return
+		}
+		if _, err := io.ReadFull(skr, buf); err != nil {
+			serr = err
+		}
+	})
+	if serr != nil {
+		return nil, serr
+	}
+	r.MBPerS = span / r.NsPerOp * 1e9 / 1e6
 	out = append(out, r)
 	return out, nil
 }

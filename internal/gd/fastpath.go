@@ -1,6 +1,7 @@
 package gd
 
 import (
+	"encoding/binary"
 	"fmt"
 	"slices"
 
@@ -171,18 +172,34 @@ func (c *Codec) mergeHammingBytes(h *Hamming, basis []byte, deviation uint32, ex
 	base := len(dst)
 	dst = slices.Grow(dst, c.ChunkBytes())[:base+c.ChunkBytes()]
 	chunk := dst[base:]
-	clear(chunk)
-	if extra == 1 {
-		chunk[0] = 0x80
+	if code.M() == 8 && c.chunkBits == 256 {
+		// Paper §7 configuration (the perf-critical one): the 256-bit
+		// chunk is extra | 8 parity bits | 247 basis bits, assembled as
+		// four 64-bit words — the basis slides right nine bit positions
+		// through shifted word pairs, and basis[30]'s padding LSB falls
+		// off the end.
+		u0 := binary.BigEndian.Uint64(basis[0:8])
+		u1 := binary.BigEndian.Uint64(basis[8:16])
+		u2 := binary.BigEndian.Uint64(basis[16:24])
+		u3 := binary.BigEndian.Uint64(basis[23:31]) << 8
+		binary.BigEndian.PutUint64(chunk[0:8], uint64(extra)<<63|uint64(p)<<55|u0>>9)
+		binary.BigEndian.PutUint64(chunk[8:16], u0<<55|u1>>9)
+		binary.BigEndian.PutUint64(chunk[16:24], u1<<55|u2>>9)
+		binary.BigEndian.PutUint64(chunk[24:32], u2<<55|u3>>9)
+	} else {
+		clear(chunk)
+		if extra == 1 {
+			chunk[0] = 0x80
+		}
+		// Deposit the m parity bits at chunk bit offset 1.
+		var ptmp [4]byte
+		v := p << uint(32-code.M())
+		ptmp[0] = byte(v >> 24)
+		ptmp[1] = byte(v >> 16)
+		bitvec.CopyBits(chunk, 1, ptmp[:], 0, code.M())
+		// Deposit the basis at offset 1+m.
+		bitvec.CopyBits(chunk, 1+code.M(), basis, 0, code.K())
 	}
-	// Deposit the m parity bits at chunk bit offset 1.
-	var ptmp [4]byte
-	v := p << uint(32-code.M())
-	ptmp[0] = byte(v >> 24)
-	ptmp[1] = byte(v >> 16)
-	bitvec.CopyBits(chunk, 1, ptmp[:], 0, code.M())
-	// Deposit the basis at offset 1+m.
-	bitvec.CopyBits(chunk, 1+code.M(), basis, 0, code.K())
 	// Re-introduce the deviation bit.
 	if pos := code.ErrorPosition(deviation); pos >= 0 {
 		cp := pos + 1

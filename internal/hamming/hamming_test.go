@@ -199,6 +199,35 @@ func TestParityBytesMatchesParity(t *testing.T) {
 	}
 }
 
+// TestParityBytesTableAllM pins the per-byte parity tables against the
+// LFSR reference for every code size — including the m < padding codes
+// (e.g. m=4, k=11) whose last-byte table takes the inverse-shift
+// branch — and checks tail padding bits are ignored.
+func TestParityBytesTableAllM(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for m := MinM; m <= MaxM; m++ {
+		c := MustByM(m)
+		nb := (c.K() + 7) / 8
+		for trial := 0; trial < 10; trial++ {
+			buf := make([]byte, nb)
+			rng.Read(buf)
+			if pad := 8*nb - c.K(); pad > 0 {
+				buf[nb-1] &= 0xFF << uint(pad)
+			}
+			want := c.eng.ShiftN(c.eng.Remainder(buf, c.K()), m)
+			if got := c.ParityBytes(buf); got != want {
+				t.Fatalf("m=%d trial %d: table parity %#x != reference %#x", m, trial, got, want)
+			}
+			// Dirty padding bits must not change the parity.
+			dirty := append([]byte(nil), buf...)
+			dirty[nb-1] |= byte(1<<uint(8*nb-c.K()) - 1)
+			if got := c.ParityBytes(dirty); got != want {
+				t.Fatalf("m=%d trial %d: padding bits leaked into parity", m, trial)
+			}
+		}
+	}
+}
+
 func TestSyndromePositionRoundTripAllM(t *testing.T) {
 	for m := MinM; m <= MaxM; m++ {
 		c := MustByM(m)

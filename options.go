@@ -18,10 +18,12 @@ type Option interface {
 
 // settings is the resolved option state shared by Writer and Reader.
 type settings struct {
-	cfg     Config
-	cfgSet  bool
-	workers int
-	dict    *Dict
+	cfg        Config
+	cfgSet     bool
+	workers    int
+	dict       *Dict
+	index      bool
+	indexEvery int
 }
 
 type optionFunc func(*settings) error
@@ -72,6 +74,31 @@ func WithWorkers(n int) Option {
 func WithDict(d *Dict) Option {
 	return optionFunc(func(s *settings) error {
 		s.dict = d
+		return nil
+	})
+}
+
+// WithIndex makes a Writer emit the version-4 seekable container: a
+// magic-framed, CRC-protected footer of group offsets and
+// dictionary-state checkpoints appended after the stream trailer,
+// where pre-index readers never look. checkpointBytes sets the
+// uncompressed distance between checkpoints (rounded up to a whole
+// chunk); 0 selects the 16 KiB default. At each checkpoint the
+// encoder resets its basis dictionary to the frozen prefix of the
+// shared Dict (or empty), so a Reader can start decoding at any
+// checkpoint — that is what Reader.Seek/ReadAt and the indexed
+// DecodeAll/NewReader worker fan-out build on. Indexing requires the
+// serial writer (the index records one dictionary timeline); combining
+// WithIndex with WithWorkers(n > 1) on a Writer is an error. On a
+// Reader the option is accepted and ignored: readers follow the
+// stream.
+func WithIndex(checkpointBytes int) Option {
+	return optionFunc(func(s *settings) error {
+		if checkpointBytes < 0 {
+			return fmt.Errorf("zipline: checkpoint interval %d out of range (0 = default %d)", checkpointBytes, defaultCheckpointBytes)
+		}
+		s.index = true
+		s.indexEvery = checkpointBytes
 		return nil
 	})
 }

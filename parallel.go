@@ -326,13 +326,14 @@ var closedChan = func() chan struct{} {
 // engine a Reader with workers > 1 starts once the header reveals a
 // grouped multi-shard container.
 type parReader struct {
-	codec  *Codec
-	dict   *Dict
-	shards int
-	jobs   []chan *prJob
-	order  chan *prJob
-	stop   chan struct{}
-	once   sync.Once
+	codec   *Codec
+	dict    *Dict
+	shards  int
+	version uint8
+	jobs    []chan *prJob
+	order   chan *prJob
+	stop    chan struct{}
+	once    sync.Once
 
 	shardStats []StreamStats
 	pumpTail   uint64
@@ -355,6 +356,7 @@ func newParReader(zr *Reader) *parReader {
 		codec:      zr.codec,
 		dict:       zr.streamDict,
 		shards:     zr.shards,
+		version:    zr.version,
 		jobs:       make([]chan *prJob, zr.shards),
 		order:      make(chan *prJob, 2*zr.shards),
 		stop:       make(chan struct{}),
@@ -402,7 +404,9 @@ func (pr *parReader) pump(r io.Reader) {
 	}()
 	var nextSeq uint32
 	for {
-		byteLen, bitWord, shard, err := readBlockHeader(r, true, &nextSeq)
+		// Group flags are a v4 construct; v4 streams never reach this
+		// engine (Reader.start routes them serially or via idxReader).
+		byteLen, bitWord, shard, _, err := readBlockHeader(r, pr.version, &nextSeq)
 		if err != nil {
 			pr.pumpErr = err
 			return
@@ -423,7 +427,7 @@ func (pr *parReader) pump(r io.Reader) {
 			body = make([]byte, byteLen)
 		}
 		if _, err := io.ReadFull(r, body); err != nil {
-			pr.pumpErr = fmt.Errorf("%w: block body: %v", ErrCorrupt, err)
+			pr.pumpErr = fmt.Errorf("%w: block body: %w", ErrCorrupt, truncErr(err))
 			return
 		}
 		tail, isTail, err := classifyGroup(bitWord, shard, pr.shards, body)
@@ -497,6 +501,154 @@ func (pr *parReader) finalizeStats(zr *Reader) {
 func (pr *parReader) release() {
 	//ziplint:allow noalloc one-time closure under sync.Once at stream teardown
 	pr.once.Do(func() { close(pr.stop) })
+}
+
+// segJob carries one checkpoint segment through an idxReader worker.
+type segJob struct {
+	seg   idxSegment
+	stats StreamStats
+	out   []byte
+	err   error
+	done  chan struct{}
+}
+
+// idxReader decodes an indexed single-shard (version-4) stream by
+// fanning its checkpoint segments out to a worker pool — the segment
+// scheduler that lets decode of a serially-written stream scale with
+// cores. Each segment starts at a dictionary checkpoint, so a worker
+// decodes it against a private dictionary reset to the frozen prefix,
+// independent of every other segment; read stitches the decoded
+// segments back together in stream order. A feeder goroutine meters
+// segments through bounded channels, so a caller that stops reading
+// stops the decoding (and its memory) too, exactly like parReader's
+// pump.
+type idxReader struct {
+	order chan *segJob
+	stop  chan struct{}
+	once  sync.Once
+
+	outPool sync.Pool // decoded segment buffers, recycled once drained
+
+	cur    []byte
+	curBuf []byte
+}
+
+// newIdxReader builds the segment scheduler for the stream whose
+// header zr has just parsed, loading and validating the trailing
+// index. It returns (nil, nil) when the fan-out does not apply — the
+// source is not an io.ReaderAt, or the index has fewer than two
+// segments — leaving the source repositioned for the serial path. A
+// corrupt or truncated footer is an error.
+func newIdxReader(zr *Reader) (*idxReader, error) {
+	ra, ok := zr.r.(io.ReaderAt)
+	if !ok || zr.seeker == nil {
+		return nil, nil
+	}
+	cur, err := zr.seeker.Seek(0, io.SeekCurrent)
+	if err != nil {
+		return nil, nil
+	}
+	ix, err := readIndexFooter(zr.seeker, zr.origin)
+	if err != nil {
+		return nil, err
+	}
+	zr.idx = ix
+	segs := ix.segments()
+	if len(segs) < 2 {
+		// One segment decodes as fast serially; rewind to the first
+		// group for the streaming path.
+		if _, err := zr.seeker.Seek(cur, io.SeekStart); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	}
+	workers := zr.set.workers
+	if workers > len(segs) {
+		workers = len(segs)
+	}
+	ir := &idxReader{
+		order: make(chan *segJob, 2*workers),
+		stop:  make(chan struct{}),
+	}
+	jobs := make(chan *segJob)
+	for i := 0; i < workers; i++ {
+		go ir.worker(jobs, zr.codec, zr.streamDict, zr.version, zr.shards, ra, zr.origin)
+	}
+	go func() {
+		defer close(jobs)
+		defer close(ir.order)
+		for i := range segs {
+			job := &segJob{seg: segs[i], done: make(chan struct{})}
+			select {
+			case ir.order <- job:
+			case <-ir.stop:
+				return
+			}
+			select {
+			case jobs <- job:
+			case <-ir.stop:
+				return
+			}
+		}
+	}()
+	return ir, nil
+}
+
+// worker decodes segments as the feeder hands them out, reusing one
+// decoder (dictionary reset per segment) and one body buffer.
+func (ir *idxReader) worker(jobs <-chan *segJob, codec *Codec, dict *Dict, version uint8, shards int, ra io.ReaderAt, origin int64) {
+	var dec *blockDecoder
+	var body []byte
+	for job := range jobs {
+		if dec == nil {
+			dec = newBlockDecoder(codec, &job.stats, dict)
+		} else {
+			dec.stats = &job.stats
+			dec.dict.Reset()
+		}
+		var out []byte
+		if b, _ := ir.outPool.Get().([]byte); b != nil {
+			out = b[:0]
+		}
+		seg := job.seg
+		sr := io.NewSectionReader(ra, origin+int64(seg.compStart), int64(seg.compEnd-seg.compStart))
+		job.out, body, job.err = decodeSegment(sr, dec, version, shards, seg, body, out)
+		close(job.done)
+	}
+}
+
+// read is Reader.Read for the indexed fan-out path. Stats fold in
+// segment by segment as each is consumed, so they are complete once
+// io.EOF is returned.
+func (ir *idxReader) read(zr *Reader, p []byte) (int, error) {
+	for len(ir.cur) == 0 {
+		if ir.curBuf != nil {
+			ir.outPool.Put(ir.curBuf[:0])
+			ir.curBuf = nil
+		}
+		job, ok := <-ir.order
+		if !ok {
+			zr.err = io.EOF
+			return 0, zr.err
+		}
+		<-job.done
+		if job.err != nil {
+			zr.err = job.err
+			ir.release()
+			return 0, zr.err
+		}
+		zr.Stats.add(job.stats)
+		ir.cur, ir.curBuf = job.out, job.out
+	}
+	n := copy(p, ir.cur)
+	ir.cur = ir.cur[n:]
+	return n, nil
+}
+
+// release unblocks the feeder so the pool can exit early.
+func (ir *idxReader) release() {
+	//ziplint:allow noalloc one-time closure under sync.Once at stream teardown
+	ir.once.Do(func() { close(ir.stop) })
 }
 
 // ParallelWriter is the sharded writer type of the pre-options API.

@@ -65,16 +65,36 @@ import (
 // whose bases occupy identifiers [0, dictBases) of every shard. A
 // reader that was not handed the same Dict rejects the stream with
 // ErrDictRequired or ErrDictMismatch instead of misdecoding.
+//
+// Version 4 is the seekable (indexed) container written under
+// WithIndex. It uses the version-3 framing (flags may still include
+// flagDict) plus flagIndex, and gives the fourteenth group-header byte
+// meaning as per-group flags: groupFlagCheckpoint marks a group before
+// which the encoder reset its basis dictionary to the frozen prefix,
+// so a streaming decoder replays the reset in-band while an indexed
+// decoder may start at the group cold. After the trailer group the
+// writer appends the trailing index footer (see seekindex.go); readers
+// that stop at the trailer never see it.
 const (
 	streamMagic = "ZLGD"
 	streamV1    = 1 // serial container
 	streamV2    = 2 // sharded container (WithWorkers > 1)
 	streamV3    = 3 // dictionary-framed sharded container (WithDict)
+	streamV4    = 4 // indexed/seekable container (WithIndex)
 )
 
-// flagDict marks a version-3 stream that records its pre-trained
-// dictionary in the extended header.
-const flagDict = 1 << 0
+// flagDict marks a version ≥ 3 stream that records its pre-trained
+// dictionary in the extended header; flagIndex marks a version-4
+// stream carrying the trailing seek index.
+const (
+	flagDict  = 1 << 0
+	flagIndex = 1 << 1
+)
+
+// groupFlagCheckpoint, in a version-4 group header's flags byte, marks
+// a group encoded from a dictionary holding only the frozen prefix:
+// the encoder reset its dynamic entries immediately before it.
+const groupFlagCheckpoint = 1 << 0
 
 // ErrCorrupt reports an undecodable stream.
 var ErrCorrupt = errors.New("zipline: corrupt stream")
@@ -88,8 +108,23 @@ var ErrDictRequired = errors.New("zipline: stream requires a pre-trained diction
 // dictionary identity does not match the Reader's WithDict.
 var ErrDictMismatch = errors.New("zipline: dictionary does not match stream")
 
+// ErrNoIndex reports a Seek or ReadAt against a stream that carries no
+// trailing index (it was not written with WithIndex).
+var ErrNoIndex = errors.New("zipline: stream has no seek index")
+
 // errReaderClosed poisons reads after Close.
 var errReaderClosed = errors.New("zipline: reader closed")
+
+// truncErr maps a mid-structure read failure to io.ErrUnexpectedEOF:
+// a container that ends cleanly between frames surfaces io.EOF from
+// the framing layer, but one cut inside a header, body, trailer or
+// footer must never read as a clean end of stream.
+func truncErr(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
 
 const (
 	defaultBlockBytes = 64 << 10
@@ -112,11 +147,24 @@ type blockEncoder struct {
 	block *bitvec.Writer
 	stats *StreamStats
 	split gd.Split // scratch reused across chunks
+
+	// Hoisted from the codec at construction so the per-chunk record
+	// loop reads two ints and a pointer instead of chasing the config
+	// through method calls every chunk.
+	inner  *gd.Codec
+	m      int // deviation width, bits
+	idBits int
 }
 
 func newBlockEncoder(codec *Codec, d *Dict) *blockEncoder {
 	dict := newStreamDictionary(codec, d)
-	return &blockEncoder{codec: codec, dict: dict}
+	return &blockEncoder{
+		codec:  codec,
+		dict:   dict,
+		inner:  codec.inner,
+		m:      codec.DeviationBits(),
+		idBits: codec.cfg.IDBits,
+	}
 }
 
 // newStreamDictionary builds the per-stream basis dictionary, seeded
@@ -132,21 +180,20 @@ func newStreamDictionary(codec *Codec, d *Dict) *gd.Dictionary {
 //
 //zipline:noalloc
 func (e *blockEncoder) encodeChunk(chunk []byte) error {
-	if err := e.codec.inner.SplitChunkInto(chunk, &e.split); err != nil {
+	if err := e.inner.SplitChunkInto(chunk, &e.split); err != nil {
 		return err
 	}
-	m := e.codec.DeviationBits()
 	e.stats.Chunks++
 	if id, ok := e.dict.Lookup(e.split.Basis); ok {
 		e.block.WriteBit(true)
-		e.block.WriteUint(uint64(e.split.Deviation), m)
+		e.block.WriteUint(uint64(e.split.Deviation), e.m)
 		e.block.WriteUint(uint64(e.split.Extra), 1)
-		e.block.WriteUint(uint64(id), e.codec.cfg.IDBits)
+		e.block.WriteUint(uint64(id), e.idBits)
 		e.stats.Hits++
 	} else {
 		e.dict.Insert(e.split.Basis)
 		e.block.WriteBit(false)
-		e.block.WriteUint(uint64(e.split.Deviation), m)
+		e.block.WriteUint(uint64(e.split.Deviation), e.m)
 		e.block.WriteUint(uint64(e.split.Extra), 1)
 		e.block.WriteVector(e.split.Basis)
 		e.stats.Misses++
@@ -265,14 +312,20 @@ type Writer struct {
 	codec *Codec
 
 	// Serial engine (workers == 1).
-	enc     *blockEncoder
-	pending []byte // partial input chunk
+	enc       *blockEncoder
+	pending   []byte // partial input chunk
+	chunkSize int    // hoisted codec.ChunkSize()
 
 	// Sharded engine (workers > 1), started lazily on first dispatch.
 	par *parEngine
 
-	grouped bool   // 16-byte group framing (v2/v3)
+	grouped bool   // 16-byte group framing (v2+)
 	seq     uint32 // next group sequence number (serial grouped path)
+
+	// Trailing-index accumulation (WithIndex, serial only).
+	idx     *writerIndex
+	written int64 // compressed bytes emitted (writeOut)
+	uncomp  int64 // uncompressed bytes consumed into groups
 
 	wroteHeader bool
 	closed      bool
@@ -319,6 +372,9 @@ func NewWriter(w io.Writer, opts ...Option) (*Writer, error) {
 	}
 	set.cfg = codec.cfg
 	if set.workers > 1 {
+		if set.index {
+			return nil, fmt.Errorf("zipline: WithIndex requires a serial writer — the index records one dictionary timeline, and decode-side parallelism comes from the index itself")
+		}
 		zw := &Writer{w: w, set: set, codec: codec, grouped: true}
 		zw.par = newParEngine(codec, set)
 		return zw, nil
@@ -329,16 +385,32 @@ func NewWriter(w io.Writer, opts ...Option) (*Writer, error) {
 // newSerialWriter assembles the single-shard engine around an
 // existing codec (shared by NewWriter and the EncodeAll pool).
 func newSerialWriter(w io.Writer, set settings, codec *Codec) *Writer {
-	zw := &Writer{w: w, set: set, codec: codec, grouped: set.dict != nil}
+	zw := &Writer{w: w, set: set, codec: codec, grouped: set.dict != nil || set.index}
 	zw.enc = newBlockEncoder(codec, set.dict)
 	zw.enc.block = bitvec.NewWriter(defaultBlockBytes + 256)
 	zw.enc.stats = &zw.Stats
+	zw.chunkSize = codec.ChunkSize()
+	if set.index {
+		every := int64(set.indexEvery)
+		if every == 0 {
+			every = defaultCheckpointBytes
+		}
+		// Checkpoints land on chunk boundaries: round the interval up
+		// to a whole chunk.
+		if rem := every % int64(zw.chunkSize); rem != 0 {
+			every += int64(zw.chunkSize) - rem
+		}
+		zw.idx = &writerIndex{every: every}
+		zw.idx.reset()
+	}
 	return zw
 }
 
 // version returns the container version this writer emits.
 func (zw *Writer) version() uint8 {
 	switch {
+	case zw.set.index:
+		return streamV4
 	case zw.set.dict != nil:
 		return streamV3
 	case zw.set.workers > 1:
@@ -363,12 +435,16 @@ func (zw *Writer) Reset(w io.Writer) {
 	zw.w = w
 	zw.pending = zw.pending[:0]
 	zw.seq = 0
+	zw.written, zw.uncomp = 0, 0
 	zw.wroteHeader, zw.closed = false, false
 	zw.closeErr = nil
 	zw.Stats = StreamStats{}
 	if zw.enc != nil {
 		zw.enc.block.Reset()
 		zw.enc.dict.Reset()
+	}
+	if zw.idx != nil {
+		zw.idx.reset()
 	}
 }
 
@@ -387,7 +463,7 @@ func (zw *Writer) Write(p []byte) (int, error) {
 		return 0, err
 	}
 	n := len(p)
-	cs := zw.codec.ChunkSize()
+	cs := zw.chunkSize
 	// Drain the pending partial chunk first.
 	if len(zw.pending) > 0 {
 		need := cs - len(zw.pending)
@@ -432,30 +508,60 @@ func (zw *Writer) writeHeader() error {
 		if zw.set.dict != nil {
 			flags |= flagDict
 		}
+		if zw.set.index {
+			flags |= flagIndex
+		}
 		b = append(b, byte(shards), flags, 0, 0)
 		if zw.set.dict != nil {
 			b = binary.LittleEndian.AppendUint32(b, zw.set.dict.id)
 			b = binary.LittleEndian.AppendUint32(b, uint32(zw.set.dict.Len()))
 		}
 	}
-	_, err := zw.w.Write(b)
+	return zw.writeOut(b)
+}
+
+// writeOut forwards b to the destination, tracking the compressed
+// offset the trailing index records.
+//
+//zipline:noalloc
+func (zw *Writer) writeOut(b []byte) error {
+	n, err := zw.w.Write(b)
+	zw.written += int64(n)
 	return err
 }
 
 //zipline:noalloc
 func (zw *Writer) encodeChunk(chunk []byte) error {
+	if zw.idx != nil {
+		if zw.uncomp >= zw.idx.nextCkpt {
+			// Checkpoint: close the current group and reset the basis
+			// dictionary to the frozen prefix, so the group starting
+			// with this chunk is decodable cold from the index.
+			if err := zw.flushBlock(); err != nil {
+				return err
+			}
+			zw.enc.dict.Reset()
+			zw.idx.pending = true
+			zw.idx.nextCkpt = zw.uncomp + zw.idx.every
+		}
+		if zw.enc.block.Len() == 0 {
+			zw.idx.groupStart = zw.uncomp
+		}
+	}
 	if err := zw.enc.encodeChunk(chunk); err != nil {
 		return err
 	}
+	zw.uncomp += int64(len(chunk))
 	if len(zw.enc.block.Bytes()) >= defaultBlockBytes {
 		return zw.flushBlock()
 	}
 	return nil
 }
 
-// blockHeader assembles a block (v1) or group (v2/v3) header in the
+// blockHeader assembles a block (v1) or group (v2+) header in the
 // writer's scratch, consuming a sequence number in grouped mode.
-func (zw *Writer) blockHeader(byteLen, bitWord uint32) []byte {
+// gflags fills the version-4 group-flags byte (zero elsewhere).
+func (zw *Writer) blockHeader(byteLen, bitWord uint32, gflags byte) []byte {
 	binary.LittleEndian.PutUint32(zw.scratch[0:], byteLen)
 	binary.LittleEndian.PutUint32(zw.scratch[4:], bitWord)
 	if !zw.grouped {
@@ -463,20 +569,25 @@ func (zw *Writer) blockHeader(byteLen, bitWord uint32) []byte {
 	}
 	binary.LittleEndian.PutUint32(zw.scratch[8:], zw.seq)
 	zw.seq++
-	zw.scratch[12], zw.scratch[13], zw.scratch[14], zw.scratch[15] = 0, 0, 0, 0
+	zw.scratch[12], zw.scratch[13], zw.scratch[14], zw.scratch[15] = 0, gflags, 0, 0
 	return zw.scratch[:16]
 }
 
+//zipline:noalloc
 func (zw *Writer) flushBlock() error {
 	block := zw.enc.block
 	if block.Len() == 0 {
 		return nil
 	}
-	hdr := zw.blockHeader(uint32(len(block.Bytes())), uint32(block.Len()))
-	if _, err := zw.w.Write(hdr); err != nil {
+	var gflags byte
+	if zw.idx != nil {
+		gflags = zw.idx.record(zw.written, zw.idx.groupStart)
+	}
+	hdr := zw.blockHeader(uint32(len(block.Bytes())), uint32(block.Len()), gflags)
+	if err := zw.writeOut(hdr); err != nil {
 		return err
 	}
-	if _, err := zw.w.Write(block.Bytes()); err != nil {
+	if err := zw.writeOut(block.Bytes()); err != nil {
 		return err
 	}
 	block.Reset()
@@ -517,16 +628,40 @@ func (zw *Writer) closeSerial() error {
 			return fmt.Errorf("zipline: tail of %d bytes exceeds format limit", len(zw.pending))
 		}
 		zw.Stats.TailBytes = uint64(len(zw.pending))
+		var gflags byte
+		if zw.idx != nil {
+			// The raw tail needs no dictionary state, so it is always
+			// its own checkpoint: Seek can jump straight into it.
+			zw.idx.pending = true
+			gflags = zw.idx.record(zw.written, zw.uncomp)
+		}
 		body := appendTailBlock(make([]byte, 0, 3+len(zw.pending)), zw.pending)
-		hdr := zw.blockHeader(uint32(len(body)), uint32(len(body)*8)|tailBlockFlag)
-		if _, err := zw.w.Write(hdr); err != nil {
+		hdr := zw.blockHeader(uint32(len(body)), uint32(len(body)*8)|tailBlockFlag, gflags)
+		if err := zw.writeOut(hdr); err != nil {
 			return err
 		}
-		if _, err := zw.w.Write(body); err != nil {
+		if err := zw.writeOut(body); err != nil {
 			return err
 		}
+		zw.uncomp += int64(len(zw.pending))
 	}
-	return zw.writeTrailer()
+	trailerOff := zw.written
+	if err := zw.writeTrailer(); err != nil {
+		return err
+	}
+	if zw.idx == nil {
+		return nil
+	}
+	ix := streamIndex{
+		uncompTotal: uint64(zw.uncomp),
+		trailerOff:  uint64(trailerOff),
+		groups:      zw.idx.groups,
+		checkpoints: zw.idx.ckpts,
+	}
+	if zw.set.dict != nil {
+		ix.watermark = uint32(zw.set.dict.Len())
+	}
+	return zw.writeOut(ix.appendFooter(nil))
 }
 
 // writeTrailer emits the all-zero end-of-stream block/group.
@@ -538,8 +673,7 @@ func (zw *Writer) writeTrailer() error {
 	for i := 0; i < n; i++ {
 		zw.scratch[i] = 0
 	}
-	_, err := zw.w.Write(zw.scratch[:n])
-	return err
+	return zw.writeOut(zw.scratch[:n])
 }
 
 // Reader decompresses a stream produced by any Writer configuration —
@@ -569,6 +703,14 @@ type Reader struct {
 	nextSeq  uint32
 
 	par *parReader // per-shard decode workers (workers > 1)
+	ixr *idxReader // index-segment decode workers (workers > 1, indexed stream)
+
+	// Random-access state, live when the source is an io.ReadSeeker.
+	seeker   io.ReadSeeker
+	origin   int64 // underlying offset of the container's first byte
+	pos      int64 // uncompressed read position (Seek/ReadAt)
+	hasIndex bool  // header advertised flagIndex
+	idx      *streamIndex
 
 	out     []byte // decoded bytes not yet read
 	done    bool
@@ -576,6 +718,7 @@ type Reader struct {
 	err     error // sticky: decode failure, io.EOF, or errReaderClosed
 
 	dPool sync.Pool // pooled one-shot decoders for DecodeAll
+	iPool sync.Pool // pooled fan-out decode states for indexed DecodeAll
 
 	// Stats accumulate over the reader's lifetime (for workers > 1,
 	// valid once Read has returned io.EOF). DecodeAll does not touch
@@ -615,11 +758,17 @@ func (zr *Reader) Reset(r io.Reader) {
 		zr.par.release()
 		zr.par = nil
 	}
+	if zr.ixr != nil {
+		zr.ixr.release()
+		zr.ixr = nil
+	}
 	zr.r = r
 	zr.version, zr.shards = 0, 0
 	zr.grouped = false
 	zr.streamDict = nil
 	zr.nextSeq = 0
+	zr.seeker, zr.origin, zr.pos = nil, 0, 0
+	zr.hasIndex, zr.idx = false, nil
 	zr.out = nil
 	zr.done, zr.started = false, false
 	zr.err = nil
@@ -634,31 +783,48 @@ func (zr *Reader) start() error {
 	if zr.r == nil {
 		return fmt.Errorf("zipline: Reader has no source (NewReader(nil, ...) serves DecodeAll only)")
 	}
+	if sk, ok := zr.r.(io.ReadSeeker); ok {
+		// Remember where the container starts in a seekable source, so
+		// Seek and the indexed fan-out can address it absolutely.
+		if off, err := sk.Seek(0, io.SeekCurrent); err == nil {
+			zr.seeker, zr.origin = sk, off
+		}
+	}
 	info, err := parseStreamHeader(zr.r, zr.codec)
 	if err != nil {
 		return err
 	}
-	var dict *Dict
-	if info.hasDict {
-		d := zr.set.dict
-		if d == nil {
-			return fmt.Errorf("%w: stream was encoded against dictionary %#08x (%d bases)",
-				ErrDictRequired, info.dictID, info.dictLen)
-		}
-		if d.id != info.dictID || uint32(d.Len()) != info.dictLen || d.cfg != info.codec.cfg {
-			return fmt.Errorf("%w: stream wants %#08x (%d bases), holding %#08x (%d bases)",
-				ErrDictMismatch, info.dictID, info.dictLen, d.id, d.Len())
-		}
-		dict = d
+	dict, err := validateStreamDict(info, zr.set.dict)
+	if err != nil {
+		return err
 	}
 	zr.codec = info.codec
 	zr.version, zr.shards, zr.grouped = info.version, info.shards, info.grouped
 	zr.streamDict = dict
-	if zr.set.workers > 1 && info.shards > 1 && info.grouped {
+	zr.hasIndex = info.hasIndex
+	if zr.set.workers > 1 && info.shards > 1 && info.grouped && info.version < streamV4 {
 		// Concurrent decode: the parReader workers own their decoders;
 		// the serial slice stays untouched for a later serial stream.
+		// Version-4 streams are excluded: our writer only indexes
+		// single-shard streams, and the shard workers do not replay
+		// checkpoint resets — a forged multi-shard v4 container must
+		// decode identically on every path, so it takes the serial one.
 		zr.par = newParReader(zr)
 		return nil
+	}
+	if zr.set.workers > 1 && info.hasIndex && info.shards == 1 {
+		// Indexed fan-out: decode checkpoint segments concurrently. A
+		// non-seekable or single-segment source falls through to the
+		// serial path; a corrupt footer is an error — the index is the
+		// thing the caller's workers would trust.
+		ixr, err := newIdxReader(zr)
+		if err != nil {
+			return err
+		}
+		if ixr != nil {
+			zr.ixr = ixr
+			return nil
+		}
 	}
 	// Serial decode. Shard decoders are created lazily on first use;
 	// together with insert-proportional Dictionary sizing this keeps
@@ -682,13 +848,33 @@ func (zr *Reader) start() error {
 
 // headerInfo is a parsed container header.
 type headerInfo struct {
-	version uint8
-	codec   *Codec
-	shards  int
-	grouped bool
-	hasDict bool
-	dictID  uint32
-	dictLen uint32
+	version  uint8
+	codec    *Codec
+	shards   int
+	grouped  bool
+	hasDict  bool
+	hasIndex bool
+	dictID   uint32
+	dictLen  uint32
+}
+
+// validateStreamDict cross-checks a dictionary-framed header against
+// the dictionary the Reader holds, returning the dictionary decoding
+// should use (nil for undictionaried streams). Every decode path —
+// streaming, DecodeAll, indexed fan-out — applies this one rule.
+func validateStreamDict(info headerInfo, d *Dict) (*Dict, error) {
+	if !info.hasDict {
+		return nil, nil
+	}
+	if d == nil {
+		return nil, fmt.Errorf("%w: stream was encoded against dictionary %#08x (%d bases)",
+			ErrDictRequired, info.dictID, info.dictLen)
+	}
+	if d.id != info.dictID || uint32(d.Len()) != info.dictLen || d.cfg != info.codec.cfg {
+		return nil, fmt.Errorf("%w: stream wants %#08x (%d bases), holding %#08x (%d bases)",
+			ErrDictMismatch, info.dictID, info.dictLen, d.id, d.Len())
+	}
+	return d, nil
 }
 
 // parseStreamHeader reads and validates the container header — magic,
@@ -702,13 +888,13 @@ func parseStreamHeader(r io.Reader, prev *Codec) (headerInfo, error) {
 	var info headerInfo
 	var hdr [8]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return info, fmt.Errorf("%w: header: %v", ErrCorrupt, err)
+		return info, fmt.Errorf("%w: header: %w", ErrCorrupt, truncErr(err))
 	}
 	if string(hdr[:4]) != streamMagic {
 		return info, fmt.Errorf("%w: bad magic %q", ErrCorrupt, hdr[:4])
 	}
 	info.version = hdr[4]
-	if info.version < streamV1 || info.version > streamV3 {
+	if info.version < streamV1 || info.version > streamV4 {
 		return info, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, info.version)
 	}
 	cfg := Config{M: int(hdr[5]), IDBits: int(hdr[6]), T: int(hdr[7])}
@@ -727,21 +913,26 @@ func parseStreamHeader(r io.Reader, prev *Codec) (headerInfo, error) {
 		info.grouped = true
 		var ext [4]byte
 		if _, err := io.ReadFull(r, ext[:]); err != nil {
-			return info, fmt.Errorf("%w: extended header: %v", ErrCorrupt, err)
+			return info, fmt.Errorf("%w: extended header: %w", ErrCorrupt, truncErr(err))
 		}
 		info.shards = int(ext[0])
 		if info.shards == 0 {
 			return info, fmt.Errorf("%w: zero shards", ErrCorrupt)
 		}
-		if info.version == streamV3 {
+		if info.version >= streamV3 {
 			flags := ext[1]
-			if flags&^byte(flagDict) != 0 {
+			valid := byte(flagDict)
+			if info.version >= streamV4 {
+				valid |= flagIndex
+			}
+			if flags&^valid != 0 {
 				return info, fmt.Errorf("%w: unknown header flags %#02x", ErrCorrupt, flags)
 			}
+			info.hasIndex = flags&flagIndex != 0
 			if flags&flagDict != 0 {
 				var df [8]byte
 				if _, err := io.ReadFull(r, df[:]); err != nil {
-					return info, fmt.Errorf("%w: dictionary frame: %v", ErrCorrupt, err)
+					return info, fmt.Errorf("%w: dictionary frame: %w", ErrCorrupt, truncErr(err))
 				}
 				info.hasDict = true
 				info.dictID = binary.LittleEndian.Uint32(df[0:])
@@ -766,7 +957,14 @@ func (zr *Reader) Read(p []byte) (int, error) {
 		return 0, err
 	}
 	if zr.par != nil {
-		return zr.par.read(zr, p)
+		n, err := zr.par.read(zr, p)
+		zr.pos += int64(n)
+		return n, err
+	}
+	if zr.ixr != nil {
+		n, err := zr.ixr.read(zr, p)
+		zr.pos += int64(n)
+		return n, err
 	}
 	for len(zr.out) == 0 {
 		if zr.done {
@@ -780,6 +978,123 @@ func (zr *Reader) Read(p []byte) (int, error) {
 	}
 	n := copy(p, zr.out)
 	zr.out = zr.out[n:]
+	zr.pos += int64(n)
+	return n, nil
+}
+
+// Seek implements io.Seeker over the uncompressed stream. It requires
+// an indexed container (WithIndex) on an io.ReadSeeker source and the
+// serial decode path (workers == 1): the reader jumps to the last
+// dictionary checkpoint at or before the target and replays forward,
+// discarding until the offset — so a seek costs at most one checkpoint
+// interval of decoding. Seeking clears a prior io.EOF; after a seek,
+// Stats no longer describe a single linear pass. A non-indexed stream
+// returns ErrNoIndex.
+func (zr *Reader) Seek(offset int64, whence int) (int64, error) {
+	if zr.err != nil && zr.err != io.EOF {
+		return 0, zr.err
+	}
+	zr.err = nil
+	if err := zr.start(); err != nil {
+		zr.err = err
+		return 0, err
+	}
+	if zr.par != nil || zr.ixr != nil {
+		return 0, fmt.Errorf("zipline: Seek requires the serial decode path (WithWorkers(1))")
+	}
+	if zr.seeker == nil {
+		return 0, fmt.Errorf("zipline: Seek requires an io.ReadSeeker source")
+	}
+	if !zr.hasIndex {
+		return 0, ErrNoIndex
+	}
+	if zr.idx == nil {
+		ix, err := readIndexFooter(zr.seeker, zr.origin)
+		if err != nil {
+			zr.err = err
+			return 0, err
+		}
+		zr.idx = ix
+	}
+	var target int64
+	switch whence {
+	case io.SeekStart:
+		target = offset
+	case io.SeekCurrent:
+		target = zr.pos + offset
+	case io.SeekEnd:
+		target = int64(zr.idx.uncompTotal) + offset
+	default:
+		return 0, fmt.Errorf("zipline: invalid whence %d", whence)
+	}
+	if target < 0 || target > int64(zr.idx.uncompTotal) {
+		return 0, fmt.Errorf("zipline: Seek to %d outside a stream of %d bytes", target, zr.idx.uncompTotal)
+	}
+	if err := zr.seekTo(uint64(target)); err != nil {
+		zr.err = err
+		return 0, err
+	}
+	zr.pos = target
+	return target, nil
+}
+
+// seekTo repositions the decode state at uncompressed offset target:
+// jump the source to the governing checkpoint's group, reset the
+// basis dictionary to the frozen prefix, and decode-and-discard up to
+// the target.
+func (zr *Reader) seekTo(target uint64) error {
+	ckGroup, g, ok := zr.idx.checkpointAtOrBefore(target)
+	off, seq, pos := int64(zr.idx.trailerOff), uint32(len(zr.idx.groups)), zr.idx.uncompTotal
+	if ok && target < zr.idx.uncompTotal {
+		off, seq, pos = int64(g.compOff), ckGroup, g.uncompOff
+	}
+	if _, err := zr.seeker.Seek(zr.origin+off, io.SeekStart); err != nil {
+		return err
+	}
+	zr.nextSeq = seq
+	zr.done = false
+	zr.out = nil
+	if len(zr.decs) > 0 && zr.decs[0] != nil {
+		zr.decs[0].dict.Reset()
+	}
+	for pos < target {
+		if len(zr.out) > 0 {
+			skip := uint64(len(zr.out))
+			if skip > target-pos {
+				skip = target - pos
+			}
+			zr.out = zr.out[skip:]
+			pos += skip
+			continue
+		}
+		if zr.done {
+			return fmt.Errorf("%w: stream ends at %d before seek target %d", ErrCorrupt, pos, target)
+		}
+		if err := zr.readBlock(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadAt serves HTTP-range-style random access over the uncompressed
+// stream of an indexed container. Unlike the io.ReaderAt contract it
+// shares the Reader's streaming state: calls must not run concurrently
+// with Read, Seek or each other, and the read position moves to the
+// end of the range. Fewer than len(p) bytes are returned only at the
+// end of the stream, with io.EOF.
+func (zr *Reader) ReadAt(p []byte, off int64) (int, error) {
+	if _, err := zr.Seek(off, io.SeekStart); err != nil {
+		return 0, err
+	}
+	n := 0
+	for n < len(p) {
+		m, err := zr.Read(p[n:])
+		n += m
+		if err != nil {
+			return n, err
+		}
+	}
 	return n, nil
 }
 
@@ -792,6 +1107,9 @@ func (zr *Reader) Close() error {
 	if zr.par != nil {
 		zr.par.release()
 	}
+	if zr.ixr != nil {
+		zr.ixr.release()
+	}
 	if zr.err == nil {
 		zr.err = errReaderClosed
 	}
@@ -799,21 +1117,36 @@ func (zr *Reader) Close() error {
 }
 
 func (zr *Reader) readBlock() error {
-	byteLen, bitWord, shard, err := readBlockHeader(zr.r, zr.grouped, &zr.nextSeq)
+	byteLen, bitWord, shard, gflags, err := readBlockHeader(zr.r, zr.version, &zr.nextSeq)
 	if err != nil {
 		return err
 	}
 	if byteLen == 0 {
+		if zr.hasIndex {
+			// The header promised a trailing index: consume and verify
+			// it, so a container cut after the trailer can never read
+			// as a clean end of stream.
+			if _, err := consumeIndexFooter(zr.r); err != nil {
+				return err
+			}
+		}
 		zr.done = true
 		return nil
 	}
 	body := make([]byte, byteLen)
 	if _, err := io.ReadFull(zr.r, body); err != nil {
-		return fmt.Errorf("%w: block body: %v", ErrCorrupt, err)
+		return fmt.Errorf("%w: block body: %w", ErrCorrupt, truncErr(err))
 	}
 	tail, isTail, err := classifyGroup(bitWord, shard, len(zr.decs), body)
 	if err != nil {
 		return err
+	}
+	if gflags&groupFlagCheckpoint != 0 {
+		// The encoder reset its dictionary to the frozen prefix before
+		// this group; replay the reset to stay in lockstep.
+		if !isTail && zr.decs[shard] != nil {
+			zr.decs[shard].dict.Reset()
+		}
 	}
 	if isTail {
 		zr.out = append(zr.out, tail...)
@@ -865,36 +1198,44 @@ func classifyGroup(bitWord uint32, shard uint8, shards int, body []byte) (tail [
 	return nil, false, nil
 }
 
-// readBlockHeader reads and validates one block (v1) or group (v2/v3)
-// header, returning the payload length, the bit-length word and the
-// shard. nextSeq tracks the expected sequence number of grouped
-// containers.
-func readBlockHeader(r io.Reader, grouped bool, nextSeq *uint32) (byteLen, bitWord uint32, shard uint8, err error) {
+// readBlockHeader reads and validates one block (v1) or group (v2+)
+// header for the given container version, returning the payload
+// length, the bit-length word, the shard and — in version 4 — the
+// group flags. nextSeq tracks the expected sequence number of grouped
+// containers. A header cut short surfaces as ErrCorrupt wrapping
+// io.ErrUnexpectedEOF, never as a clean end of stream.
+func readBlockHeader(r io.Reader, version uint8, nextSeq *uint32) (byteLen, bitWord uint32, shard uint8, gflags byte, err error) {
 	var hdr [16]byte
 	n := 8
-	if grouped {
+	if version >= streamV2 {
 		n = 16
 	}
 	if _, err := io.ReadFull(r, hdr[:n]); err != nil {
-		return 0, 0, 0, fmt.Errorf("%w: block header: %v", ErrCorrupt, err)
+		return 0, 0, 0, 0, fmt.Errorf("%w: block header: %w", ErrCorrupt, truncErr(err))
 	}
 	byteLen = binary.LittleEndian.Uint32(hdr[0:])
 	bitWord = binary.LittleEndian.Uint32(hdr[4:])
-	if grouped {
+	if version >= streamV2 {
 		if byteLen == 0 {
-			return 0, 0, 0, nil
+			return 0, 0, 0, 0, nil
 		}
 		seq := binary.LittleEndian.Uint32(hdr[8:])
 		if seq != *nextSeq {
-			return 0, 0, 0, fmt.Errorf("%w: group %d out of order (want %d)", ErrCorrupt, seq, *nextSeq)
+			return 0, 0, 0, 0, fmt.Errorf("%w: group %d out of order (want %d)", ErrCorrupt, seq, *nextSeq)
 		}
 		*nextSeq++
 		shard = hdr[12]
+		if version >= streamV4 {
+			gflags = hdr[13]
+			if gflags&^byte(groupFlagCheckpoint) != 0 {
+				return 0, 0, 0, 0, fmt.Errorf("%w: unknown group flags %#02x", ErrCorrupt, gflags)
+			}
+		}
 	}
 	if byteLen > maxBlockBytes {
-		return 0, 0, 0, fmt.Errorf("%w: block of %d bytes", ErrCorrupt, byteLen)
+		return 0, 0, 0, 0, fmt.Errorf("%w: block of %d bytes", ErrCorrupt, byteLen)
 	}
-	return byteLen, bitWord, shard, nil
+	return byteLen, bitWord, shard, gflags, nil
 }
 
 // CompressBytes compresses data in one call through the serial path.
