@@ -9,6 +9,7 @@
 //	zipline-sim -preset lossy-chain3 [-seed N] [-records N] [-duration MS] [-json]
 //	zipline-sim -scenario spec.json [-json]
 //	zipline-sim -preset chain3 -trace sensor.pcap        # replay a tracegen capture
+//	zipline-sim -preset chain3 -control-loss 0.2 -restart dec@10+2   # inject faults
 //	zipline-sim -preset chain3 -dump-spec   > my-scenario.json
 //	zipline-sim -list
 //	zipline-sim sweep -spec sweep.json -workers 4 -out matrix.json
@@ -43,10 +44,15 @@
 //	learning           {learned, recycled, expired, digests_seen,
 //	                    digest_bytes, delay_n, delay_mean_ms,
 //	                    delay_p50_ms, delay_p90_ms, delay_p99_ms}
+//	faults             only in fault-armed runs: {stranded_compressed,
+//	                    bypass_frames, retransmits, abandoned,
+//	                    stale_digests, resyncs, recovery_time_ns,
+//	                    control_msgs_lost, switch_down_drops};
+//	                    stranded_compressed is guaranteed zero
 //	hosts[]            per-host rx: frames by type, goodput_gbps,
 //	                    learning_delay_ms (first t3 − first t2, -1 n/a)
 //	links[]            per-direction tx: frames, bytes, payload_bytes,
-//	                    lost, duplicated, reordered
+//	                    lost, duplicated, reordered, down_drops
 package main
 
 import (
@@ -55,6 +61,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 
 	"zipline/internal/netsim"
 	"zipline/internal/scenario"
@@ -77,6 +85,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	records := fs.Int("records", 0, "override every traffic flow's record count")
 	tracePath := fs.String("trace", "", "replay this pcap (e.g. tracegen output) as every flow's workload")
 	durationMs := fs.Int64("duration", 0, "override the bounded run length in milliseconds")
+	controlLoss := fs.Float64("control-loss", -1, "control-channel loss probability in [0,1) (arms the fault model)")
+	restarts := fs.String("restart", "", "schedule switch restarts, e.g. \"dec@10+2,enc@20+5\" (switch@crash-ms+down-ms)")
 	asJSON := fs.Bool("json", false, "emit the report as JSON")
 	dumpSpec := fs.Bool("dump-spec", false, "print the selected scenario's spec as JSON and exit")
 	list := fs.Bool("list", false, "list built-in scenarios and exit")
@@ -124,6 +134,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *durationMs > 0 {
 		spec.DurationNs = *durationMs * int64(netsim.Millisecond)
 	}
+	if *controlLoss >= 0 {
+		if spec.Faults == nil {
+			spec.Faults = &netsim.FaultSpec{}
+		}
+		spec.Faults.ControlLossProb = *controlLoss
+	}
+	if *restarts != "" {
+		scheduled, err := parseRestarts(*restarts)
+		if err != nil {
+			fmt.Fprintf(stderr, "zipline-sim: -restart: %v\n", err)
+			return 2
+		}
+		if spec.Faults == nil {
+			spec.Faults = &netsim.FaultSpec{}
+		}
+		spec.Faults.Restarts = scheduled
+	}
 
 	if *dumpSpec {
 		enc := json.NewEncoder(stdout)
@@ -153,4 +180,32 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	report.WriteText(stdout)
 	return 0
+}
+
+// parseRestarts parses the -restart flag: comma-separated
+// "switch@crash-ms+down-ms" events ("+down-ms" optional, defaulting to
+// the schedule-level reboot time).
+func parseRestarts(s string) ([]netsim.RestartSpec, error) {
+	var out []netsim.RestartSpec
+	for _, ev := range strings.Split(s, ",") {
+		name, times, ok := strings.Cut(ev, "@")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("%q: want switch@crash-ms[+down-ms]", ev)
+		}
+		atStr, downStr, hasDown := strings.Cut(times, "+")
+		at, err := strconv.ParseFloat(atStr, 64)
+		if err != nil || at < 0 {
+			return nil, fmt.Errorf("%q: bad crash time %q", ev, atStr)
+		}
+		r := netsim.RestartSpec{Switch: name, AtNs: int64(at * 1e6)}
+		if hasDown {
+			down, err := strconv.ParseFloat(downStr, 64)
+			if err != nil || down < 0 {
+				return nil, fmt.Errorf("%q: bad down time %q", ev, downStr)
+			}
+			r.DownNs = int64(down * 1e6)
+		}
+		out = append(out, r)
+	}
+	return out, nil
 }

@@ -53,6 +53,25 @@ type Config struct {
 	// SweepIntervalNs polls the encoder's idle timers for TTL expiry
 	// (0 disables aging sweeps).
 	SweepIntervalNs netsim.Time
+
+	// Faults, when non-nil, arms the fault model: every control
+	// message (digest, table write, ack, restart notification) draws
+	// a loss decision from it, and the controller switches from the
+	// fire-and-forget install path to the reliable ack/retransmit
+	// protocol. Nil keeps the legacy event schedule byte-identical.
+	Faults *netsim.Faults
+	// ControlLossProb drops control messages i.i.d. per message
+	// (armed runs only).
+	ControlLossProb float64
+	// RetransmitTimeoutNs is the base retransmit timeout; attempt k
+	// waits netsim.Backoff(base, k) — deterministic, no jitter
+	// (default netsim.DefaultRetransmitTimeoutNs).
+	RetransmitTimeoutNs netsim.Time
+	// MaxRetries caps retransmissions of digests and install writes
+	// (default netsim.DefaultMaxRetries). Resync traffic — restart
+	// notifications, quarantine and reinstall writes — retries
+	// without cap: the zero-stranded guarantee depends on it landing.
+	MaxRetries int
 }
 
 // Defaults chosen so that DigestLatency + Decision + 2×Write =
@@ -79,25 +98,52 @@ func (c Config) withDefaults() Config {
 	if c.JitterFrac == 0 {
 		c.JitterFrac = 0.03
 	}
+	if c.Faults != nil {
+		if c.RetransmitTimeoutNs == 0 {
+			c.RetransmitTimeoutNs = netsim.DefaultRetransmitTimeoutNs
+		}
+		if c.MaxRetries == 0 {
+			c.MaxRetries = netsim.DefaultMaxRetries
+		}
+	}
 	return c
 }
 
 // Stats counts controller activity.
 type Stats struct {
 	// DigestsSeen is every digest delivered, including duplicates.
-	DigestsSeen uint64
+	DigestsSeen uint64 `json:"digests_seen"`
 	// DigestBytes is the payload volume those digests carried — the
 	// data-plane→control-plane channel cost a deployment budgets for.
-	DigestBytes uint64
+	DigestBytes uint64 `json:"digest_bytes"`
 	// Learned is the number of fresh basis→ID mappings installed.
-	Learned uint64
+	Learned uint64 `json:"learned"`
 	// Recycled counts identifiers taken from live mappings via LRU.
-	Recycled uint64
+	Recycled uint64 `json:"recycled"`
 	// Expired counts mappings removed by TTL sweeps.
-	Expired uint64
+	Expired uint64 `json:"expired"`
 	// Duplicates counts digests ignored because the basis was
 	// already mapped or mid-installation.
-	Duplicates uint64
+	Duplicates uint64 `json:"duplicates"`
+
+	// Fault-era counters, all zero (and omitted from JSON) in
+	// fault-free runs.
+
+	// Retransmits counts control messages re-sent after a timeout.
+	Retransmits uint64 `json:"retransmits,omitempty"`
+	// Abandoned counts control messages dropped after the retry cap;
+	// the install they belonged to is reaped from inflight so a later
+	// digest can re-learn the basis.
+	Abandoned uint64 `json:"abandoned,omitempty"`
+	// StaleDigests counts digests discarded because their epoch no
+	// longer matched the emitting switch (emitted before a restart,
+	// delivered after).
+	StaleDigests uint64 `json:"stale_digests,omitempty"`
+	// Resyncs counts restart reconciliations run.
+	Resyncs uint64 `json:"resyncs,omitempty"`
+	// RecoveryNsMax is the slowest crash→reconverged interval
+	// observed across restarts.
+	RecoveryNsMax int64 `json:"recovery_ns_max,omitempty"`
 }
 
 // mapping is one live dictionary entry from the controller's view.
@@ -124,6 +170,16 @@ type Controller struct {
 	byKey     map[string]mapping     // installed encoder mappings
 	inflight  map[string]netsim.Time // digest accepted (value: first emit time), writes pending
 	recycling map[string]bool        // victims with a pending eviction
+
+	// Fault-era state (see reliable.go). switches maps a managed
+	// pipeline to its simulated switch so reliable writes can observe
+	// crash state at delivery; gen bumps on every decoder restart and
+	// stales any install chain begun under an older value;
+	// bypassHolds refcounts overlapping resyncs holding an encoder in
+	// bypass.
+	switches    map[*tofino.Pipeline]*netsim.Switch
+	gen         uint64
+	bypassHolds map[*tofino.Pipeline]int
 
 	stats  Stats
 	delays *stats.Sample // per-basis learning delay, milliseconds
@@ -152,15 +208,17 @@ func NewMulti(sim *netsim.Sim, cfg Config, encs, decs []*tofino.Pipeline, basisB
 		return nil, fmt.Errorf("controlplane: need at least one encoder and one decoder pipeline")
 	}
 	c := &Controller{
-		sim:       sim,
-		cfg:       cfg,
-		encs:      encs,
-		decs:      decs,
-		basisBits: basisBits,
-		byKey:     make(map[string]mapping),
-		inflight:  make(map[string]netsim.Time),
-		recycling: make(map[string]bool),
-		delays:    stats.New(),
+		sim:         sim,
+		cfg:         cfg,
+		encs:        encs,
+		decs:        decs,
+		basisBits:   basisBits,
+		byKey:       make(map[string]mapping),
+		inflight:    make(map[string]netsim.Time),
+		recycling:   make(map[string]bool),
+		switches:    make(map[*tofino.Pipeline]*netsim.Switch),
+		bypassHolds: make(map[*tofino.Pipeline]int),
+		delays:      stats.New(),
 	}
 	n := 1 << uint(cfg.IDBits)
 	c.free = make([]uint32, 0, n)
@@ -186,8 +244,11 @@ func (c *Controller) LearningDelayMs() *stats.Sample { return c.delays }
 func (c *Controller) Mappings() int { return len(c.byKey) }
 
 // Bind subscribes the controller to a switch's digests, paying the
-// digest delivery latency for each.
+// digest delivery latency for each. RegisterSwitch is implied: the
+// fault machinery learns which switch hosts the pipeline.
 func (c *Controller) Bind(sw *netsim.Switch) {
+	c.RegisterSwitch(sw)
+	pl := sw.Pipeline()
 	prev := sw.OnDigest
 	sw.OnDigest = func(ds []tofino.Digest) {
 		if prev != nil {
@@ -198,12 +259,55 @@ func (c *Controller) Bind(sw *netsim.Switch) {
 				continue
 			}
 			data, emitted := d.Data, d.EmittedAt
+			if c.armed() {
+				c.sendDigest(pl, data, emitted)
+				continue
+			}
 			c.sim.After(c.sim.Jitter(c.cfg.DigestLatencyNs, c.cfg.JitterFrac), func() {
 				c.handleDigest(data, emitted)
 			})
 		}
 	}
 }
+
+// RegisterSwitch tells the controller which simulated switch hosts a
+// pipeline, so reliable control messages can observe crash state at
+// delivery time. Idempotent; schedules nothing.
+func (c *Controller) RegisterSwitch(sw *netsim.Switch) {
+	c.switches[sw.Pipeline()] = sw
+}
+
+// IsDecoder reports whether the controller manages pl as a decoder
+// (restart reconciliation must then hold its ports down until the
+// encoders are quarantined).
+func (c *Controller) IsDecoder(pl *tofino.Pipeline) bool {
+	for _, dec := range c.decs {
+		if dec == pl {
+			return true
+		}
+	}
+	return false
+}
+
+// Manages reports whether pl is one of the controller's encoder or
+// decoder pipelines.
+func (c *Controller) Manages(pl *tofino.Pipeline) bool {
+	if c.IsDecoder(pl) {
+		return true
+	}
+	for _, enc := range c.encs {
+		if enc == pl {
+			return true
+		}
+	}
+	return false
+}
+
+// armed reports whether the fault model is active; unarmed
+// controllers stay on the legacy fire-and-forget code paths so the
+// fault-free event schedule is byte-identical to the pre-fault
+// engine.
+func (c *Controller) armed() bool { return c.cfg.Faults != nil }
 
 // HandleDigestNow injects a digest directly (test and tooling hook);
 // the digest latency is NOT applied.
@@ -214,6 +318,15 @@ func (c *Controller) HandleDigestNow(basis *bitvec.Vector) {
 func (c *Controller) handleDigest(data []byte, emitted netsim.Time) {
 	c.stats.DigestsSeen++
 	c.stats.DigestBytes += uint64(len(data))
+	c.acceptDigest(data, emitted)
+}
+
+// acceptDigest dedups a delivered digest and, when fresh, schedules
+// the allocation decision. Shared by the legacy and reliable digest
+// channels; the armed branch inside the decision callback is the only
+// divergence, and it costs no extra event or random draw when
+// unarmed.
+func (c *Controller) acceptDigest(data []byte, emitted netsim.Time) {
 	basis := bitvec.FromBytes(data, c.basisBits)
 	key := zswitch.BasisKey(basis)
 	if _, pending := c.inflight[key]; pending {
@@ -226,6 +339,10 @@ func (c *Controller) handleDigest(data []byte, emitted netsim.Time) {
 	}
 	c.inflight[key] = emitted
 	c.sim.After(c.sim.Jitter(c.cfg.DecisionNs, c.cfg.JitterFrac), func() {
+		if c.armed() {
+			c.armedAllocate(key, basis)
+			return
+		}
 		c.allocateAndInstall(key, basis)
 	})
 }
@@ -242,28 +359,10 @@ func (c *Controller) allocateAndInstall(key string, basis *bitvec.Vector) {
 		return
 	}
 	// Pool exhausted: recycle the least recently used installed
-	// mapping, as seen by the data plane's idle timers. With several
-	// encoders an entry is as recent as its most recent hit anywhere,
-	// so its effective idle time is the minimum across encoders.
-	// Victims with an eviction already in flight are skipped so two
-	// learns never recycle the same identifier; if every mapping is
-	// mid-flight (a burst larger than the pool), retry after a write
-	// interval.
-	victimKey := ""
-	victimIdle := int64(-1)
-	//ziplint:allow determinism min-idle reduction with lexicographic tie-break is iteration-order-insensitive
-	for k := range c.byKey {
-		if c.recycling[k] {
-			continue
-		}
-		idle, live := c.idleAcrossEncoders(k)
-		if !live {
-			continue
-		}
-		if idle > victimIdle || (idle == victimIdle && k < victimKey) {
-			victimKey, victimIdle = k, idle
-		}
-	}
+	// mapping, as seen by the data plane's idle timers. If every
+	// mapping is mid-flight (a burst larger than the pool), retry
+	// after a write interval.
+	victimKey := c.pickVictim()
 	if victimKey == "" {
 		c.sim.After(c.sim.Jitter(c.cfg.WriteLatencyNs, c.cfg.JitterFrac), func() {
 			c.allocateAndInstall(key, basis)
@@ -284,6 +383,31 @@ func (c *Controller) allocateAndInstall(key string, basis *bitvec.Vector) {
 		c.stats.Recycled++
 		c.installDecoderThenEncoder(key, basis, id)
 	})
+}
+
+// pickVictim selects the least recently used installed mapping, as
+// seen by the data plane's idle timers. With several encoders an
+// entry is as recent as its most recent hit anywhere, so its
+// effective idle time is the minimum across encoders. Victims with an
+// eviction already in flight are skipped so two learns never recycle
+// the same identifier; "" means every candidate is mid-flight.
+func (c *Controller) pickVictim() string {
+	victimKey := ""
+	victimIdle := int64(-1)
+	//ziplint:allow determinism min-idle reduction with lexicographic tie-break is iteration-order-insensitive
+	for k := range c.byKey {
+		if c.recycling[k] {
+			continue
+		}
+		idle, live := c.idleAcrossEncoders(k)
+		if !live {
+			continue
+		}
+		if idle > victimIdle || (idle == victimIdle && k < victimKey) {
+			victimKey, victimIdle = k, idle
+		}
+	}
+	return victimKey
 }
 
 // idleAcrossEncoders reports how long key has been idle on every

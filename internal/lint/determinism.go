@@ -17,6 +17,9 @@ var DeterminismPackages = map[string]bool{
 	"zipline/internal/scenario":     true,
 	"zipline/internal/sweep":        true,
 	"zipline/internal/controlplane": true,
+	// The fault-era dataplane hooks (epoch-tagged digests, bypass,
+	// restart) put zswitch on the byte-stability critical path too.
+	"zipline/internal/zswitch": true,
 }
 
 // Determinism bans nondeterminism sources inside the simulation and

@@ -1,0 +1,198 @@
+package netsim
+
+import (
+	"strings"
+	"testing"
+
+	"zipline/internal/packet"
+)
+
+func TestFaultSpecArmed(t *testing.T) {
+	var nilSpec *FaultSpec
+	if nilSpec.Armed() {
+		t.Fatal("nil spec must be unarmed")
+	}
+	if (&FaultSpec{}).Armed() {
+		t.Fatal("zero spec must be unarmed")
+	}
+	if (&FaultSpec{RetransmitTimeoutNs: 1, MaxRetries: 3}).Armed() {
+		t.Fatal("tuning knobs alone must not arm the fault model")
+	}
+	for _, s := range []*FaultSpec{
+		{ControlLossProb: 0.1},
+		{Restarts: []RestartSpec{{Switch: "sw"}}},
+		{LinkFlaps: []FlapSpec{{Link: 0}}},
+	} {
+		if !s.Armed() {
+			t.Fatalf("spec %+v must be armed", s)
+		}
+	}
+}
+
+func TestFaultSpecWithDefaults(t *testing.T) {
+	f := FaultSpec{
+		Restarts:  []RestartSpec{{Switch: "a"}, {Switch: "b", DownNs: 7}},
+		LinkFlaps: []FlapSpec{{Link: 0}},
+	}.WithDefaults()
+	if f.RetransmitTimeoutNs != int64(DefaultRetransmitTimeoutNs) {
+		t.Fatalf("RetransmitTimeoutNs = %d", f.RetransmitTimeoutNs)
+	}
+	if f.MaxRetries != DefaultMaxRetries {
+		t.Fatalf("MaxRetries = %d", f.MaxRetries)
+	}
+	if f.Restarts[0].DownNs != int64(DefaultRestartDownNs) || f.Restarts[1].DownNs != 7 {
+		t.Fatalf("restart defaults: %+v", f.Restarts)
+	}
+	if f.LinkFlaps[0].DownNs != int64(DefaultFlapDownNs) {
+		t.Fatalf("flap default: %+v", f.LinkFlaps[0])
+	}
+}
+
+func TestFaultSpecValidate(t *testing.T) {
+	swOK := func(name string) bool { return name == "enc" || name == "dec" }
+	cases := []struct {
+		name string
+		spec FaultSpec
+		want string // substring of the error, "" for valid
+	}{
+		{"valid", FaultSpec{
+			ControlLossProb: 0.5,
+			Restarts:        []RestartSpec{{Switch: "dec", AtNs: 10, DownNs: 5}},
+			LinkFlaps:       []FlapSpec{{Link: 1, AtNs: 3, DownNs: 2}},
+		}, ""},
+		{"loss out of range", FaultSpec{ControlLossProb: 1}, "out of [0,1)"},
+		{"negative loss", FaultSpec{ControlLossProb: -0.1}, "out of [0,1)"},
+		{"unknown switch", FaultSpec{Restarts: []RestartSpec{{Switch: "nope"}}}, "unknown switch"},
+		{"negative restart time", FaultSpec{Restarts: []RestartSpec{{Switch: "dec", AtNs: -1}}}, "negative time"},
+		{"overlapping restarts", FaultSpec{Restarts: []RestartSpec{
+			{Switch: "dec", AtNs: 0, DownNs: 10},
+			{Switch: "dec", AtNs: 5, DownNs: 10},
+		}}, "overlap"},
+		{"overlap via default down", FaultSpec{Restarts: []RestartSpec{
+			{Switch: "dec", AtNs: 0}, // DownNs 0 → 5 ms default
+			{Switch: "dec", AtNs: int64(Millisecond)},
+		}}, "overlap"},
+		{"same window different switches", FaultSpec{Restarts: []RestartSpec{
+			{Switch: "dec", AtNs: 0, DownNs: 10},
+			{Switch: "enc", AtNs: 0, DownNs: 10},
+		}}, ""},
+		{"flap index out of range", FaultSpec{LinkFlaps: []FlapSpec{{Link: 2}}}, "out of range"},
+		{"negative flap time", FaultSpec{LinkFlaps: []FlapSpec{{Link: 0, AtNs: -1}}}, "negative time"},
+	}
+	for _, tc := range cases {
+		err := tc.spec.Validate(swOK, 2)
+		if tc.want == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestFaultsDrop(t *testing.T) {
+	var nilFaults *Faults
+	if nilFaults.Drop(0.999) {
+		t.Fatal("nil injector must never drop")
+	}
+	f := NewFaults(1)
+	if f.Drop(0) {
+		t.Fatal("p=0 must never drop")
+	}
+	drops := 0
+	for i := 0; i < 10_000; i++ {
+		if f.Drop(0.3) {
+			drops++
+		}
+	}
+	if f.MsgsLost != uint64(drops) {
+		t.Fatalf("MsgsLost = %d, drew %d drops", f.MsgsLost, drops)
+	}
+	if drops < 2_700 || drops > 3_300 {
+		t.Fatalf("drop rate %d/10000 far from p=0.3", drops)
+	}
+
+	// Same seed, same decisions: the loss pattern is part of the
+	// byte-stability contract.
+	a, b := NewFaults(42), NewFaults(42)
+	for i := 0; i < 1_000; i++ {
+		if a.Drop(0.5) != b.Drop(0.5) {
+			t.Fatalf("draw %d diverged for identical seeds", i)
+		}
+	}
+}
+
+func TestBackoff(t *testing.T) {
+	base := Time(2 * Millisecond)
+	want := []Time{base, 2 * base, 4 * base, 8 * base, 8 * base, 8 * base}
+	for k, w := range want {
+		if got := Backoff(base, k); got != w {
+			t.Fatalf("Backoff(base, %d) = %v, want %v", k, got, w)
+		}
+	}
+}
+
+// TestSwitchDownDropsFrames: frames arriving at a downed switch are
+// dropped and counted; bringing it back restores forwarding.
+func TestSwitchDownDropsFrames(t *testing.T) {
+	s := NewSim(5)
+	ha, sw, hb := buildHostSwitchHost(t, s, noopProgram{}, HostConfig{})
+	frame := packet.Frame(packet.Header{EtherType: packet.EtherTypeRaw}, make([]byte, 50))
+
+	s.At(0, func() { sw.SetDown(true) })
+	ha.Stream(0, 0, func(i uint64) []byte {
+		if i >= 10 {
+			return nil
+		}
+		return frame
+	})
+	s.Run()
+	if got := hb.Rx().Frames; got != 0 {
+		t.Fatalf("downed switch forwarded %d frames", got)
+	}
+	if sw.DownDrops != 10 {
+		t.Fatalf("DownDrops = %d, want 10", sw.DownDrops)
+	}
+
+	sw.SetDown(false)
+	ha.Stream(s.Now(), 0, func(i uint64) []byte {
+		if i >= 10 {
+			return nil
+		}
+		return frame
+	})
+	s.Run()
+	if got := hb.Rx().Frames; got != 10 {
+		t.Fatalf("restored switch delivered %d of 10 frames", got)
+	}
+}
+
+// TestEndpointDownDropsFrames: a downed link endpoint models a flap —
+// transmissions in the window are lost and counted.
+func TestEndpointDownDropsFrames(t *testing.T) {
+	s := NewSim(6)
+	aNIC, bNIC := NewLink(s, LinkConfig{}, "a", "b")
+	ha := NewHost(s, HostConfig{Name: "a"}, aNIC)
+	hb := NewHost(s, HostConfig{Name: "b"}, bNIC)
+	frame := packet.Frame(packet.Header{EtherType: packet.EtherTypeRaw}, make([]byte, 50))
+
+	bNIC.SetDown(true)
+	s.At(0, func() { ha.Send(frame) })
+	s.Run()
+	if hb.Rx().Frames != 0 {
+		t.Fatal("frame crossed a downed endpoint")
+	}
+	if bNIC.Stats.DownDrops == 0 {
+		t.Fatal("down drop not counted")
+	}
+
+	bNIC.SetDown(false)
+	s.At(s.Now(), func() { ha.Send(frame) })
+	s.Run()
+	if hb.Rx().Frames != 1 {
+		t.Fatalf("restored endpoint delivered %d frames, want 1", hb.Rx().Frames)
+	}
+}

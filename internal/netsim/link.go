@@ -60,6 +60,9 @@ type LinkStats struct {
 	Duplicated uint64
 	// Reordered frames were held back past later traffic.
 	Reordered uint64
+	// DownDrops counts frames offered while the link was
+	// administratively down (a fault-schedule flap).
+	DownDrops uint64
 }
 
 // LinkConfig sizes one full-duplex link.
@@ -106,6 +109,7 @@ type Endpoint struct {
 	recv func(frame []byte, at Time)
 
 	busyUntil Time
+	down      bool
 
 	// TxFrames and TxBytes count transmitted traffic (frame bytes,
 	// excluding wire overhead — the quantity Figure 4 reports).
@@ -134,6 +138,15 @@ func (e *Endpoint) SetReceiver(fn func(frame []byte, at Time)) { e.recv = fn }
 // Rate returns the link rate in bits per second.
 func (e *Endpoint) Rate() int64 { return e.cfg.RateBps }
 
+// SetDown flaps this transmit direction: while down, offered frames
+// are dropped (carrier loss). Fault-schedule API; flap both endpoints
+// to take a full-duplex link down.
+func (e *Endpoint) SetDown(down bool) { e.down = down }
+
+// Down reports whether this transmit direction is administratively
+// down.
+func (e *Endpoint) Down() bool { return e.down }
+
 // SerializationDelay returns how long a frame of n bytes occupies the
 // wire, including overhead.
 func (e *Endpoint) SerializationDelay(n int) Time {
@@ -147,6 +160,10 @@ func (e *Endpoint) SerializationDelay(n int) Time {
 func (e *Endpoint) Send(frame []byte) Time {
 	if e.peer == nil {
 		panic(fmt.Sprintf("netsim: endpoint %s is not wired", e.name))
+	}
+	if e.down {
+		e.Stats.DownDrops++
+		return e.sim.Now() // no carrier: the frame never hits the wire
 	}
 	start := e.sim.Now()
 	if e.busyUntil > start {
@@ -180,10 +197,16 @@ func (e *Endpoint) Send(frame []byte) Time {
 	return done
 }
 
-// deliver schedules the frame's arrival at the peer.
+// deliver schedules the frame's arrival at the peer. A peer that is
+// down at arrival time loses the frame — it was in flight when the
+// flap started.
 func (e *Endpoint) deliver(frame []byte, arrive Time) {
 	peer := e.peer
 	e.sim.At(arrive, func() {
+		if peer.down {
+			peer.Stats.DownDrops++
+			return
+		}
 		if peer.recv != nil {
 			peer.recv(frame, arrive)
 		}

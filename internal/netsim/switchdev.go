@@ -49,6 +49,13 @@ type Switch struct {
 	emits []tofino.Emit
 	arena []byte
 
+	// down gates the dataplane: a crashed (or rebooting, or
+	// control-plane-unreconciled) switch drops every arriving frame.
+	down bool
+
+	// DownDrops counts frames that arrived while the switch was down.
+	DownDrops uint64
+
 	// OnDigest, when set, receives digests drained after each
 	// processed packet. The control plane applies its own delivery
 	// latency; the tap itself is immediate.
@@ -63,6 +70,15 @@ func NewSwitch(sim *Sim, cfg SwitchConfig, pl *tofino.Pipeline) *Switch {
 // Pipeline exposes the loaded pipeline (control-plane access).
 func (sw *Switch) Pipeline() *tofino.Pipeline { return sw.pl }
 
+// SetDown crashes or revives the dataplane. While down, frames
+// arriving on any port are dropped; frames already inside the
+// pipeline's traversal window are dropped at completion (the crash
+// loses them too). Fault-schedule API.
+func (sw *Switch) SetDown(down bool) { sw.down = down }
+
+// Down reports whether the dataplane is down.
+func (sw *Switch) Down() bool { return sw.down }
+
 // AttachPort wires a link endpoint to a front-panel port.
 func (sw *Switch) AttachPort(p tofino.Port, e *Endpoint) {
 	if int(p) < 0 || int(p) >= sw.pl.Config().Ports {
@@ -76,10 +92,20 @@ func (sw *Switch) AttachPort(p tofino.Port, e *Endpoint) {
 }
 
 func (sw *Switch) ingress(p tofino.Port, frame []byte) {
+	if sw.down {
+		sw.DownDrops++
+		return
+	}
 	// Constant traversal latency, independent of what the program
 	// does with the packet.
 	d := sw.sim.Jitter(sw.cfg.PipelineLatencyNs, sw.cfg.LatencyJitterFrac)
 	sw.sim.After(d, func() {
+		if sw.down {
+			// Crashed mid-traversal: the packet is lost with the
+			// pipeline state.
+			sw.DownDrops++
+			return
+		}
 		sw.emits = sw.pl.ProcessAppend(sw.sim.Now(), frame, p, sw.emits[:0])
 		for _, e := range sw.emits {
 			out, ok := sw.ports[e.Port]

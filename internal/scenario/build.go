@@ -39,6 +39,11 @@ type Scenario struct {
 
 	offeredFrames  uint64
 	offeredPayload uint64
+
+	// faults is the armed fault injector (nil in fault-free runs);
+	// faultSpec is the schedule with defaults applied.
+	faults    *netsim.Faults
+	faultSpec netsim.FaultSpec
 }
 
 // Build validates the spec and wires the simulation. The returned
@@ -55,6 +60,13 @@ func Build(spec Spec) (*Scenario, error) {
 		macs:     make(map[string]packet.MAC),
 		switches: make(map[string]*netsim.Switch),
 		pipes:    make(map[string]*tofino.Pipeline),
+	}
+	if spec.Faults.Armed() {
+		sc.faultSpec = spec.Faults.WithDefaults()
+		// The injector's seed derives from the scenario seed so fault
+		// runs are reproducible, but its draws come from a separate
+		// stream so arming faults never perturbs the sim's jitter.
+		sc.faults = netsim.NewFaults(spec.Seed ^ faultSeedSalt)
 	}
 
 	// Switch programs and pipelines, in spec order.
@@ -182,6 +194,12 @@ func Build(spec Spec) (*Scenario, error) {
 		if spec.Controller.TTLNs > 0 && cpCfg.SweepIntervalNs == 0 {
 			cpCfg.SweepIntervalNs = netsim.Time(spec.Controller.TTLNs / 2)
 		}
+		if sc.faults != nil {
+			cpCfg.Faults = sc.faults
+			cpCfg.ControlLossProb = sc.faultSpec.ControlLossProb
+			cpCfg.RetransmitTimeoutNs = netsim.Time(sc.faultSpec.RetransmitTimeoutNs)
+			cpCfg.MaxRetries = sc.faultSpec.MaxRetries
+		}
 		// All programs share one codec configuration, so any of them
 		// answers for the dictionary key width.
 		basisBits := sc.prog.Codec().BasisBits()
@@ -192,6 +210,14 @@ func Build(spec Spec) (*Scenario, error) {
 		for _, name := range sc.encNames {
 			ctl.Bind(sc.switches[name])
 		}
+		if sc.faults != nil {
+			// Reliable writes check the target switch's crash state at
+			// delivery; decoder-only switches aren't Bound, so register
+			// every switch explicitly.
+			for _, sw := range spec.Switches {
+				ctl.RegisterSwitch(sc.switches[sw.Name])
+			}
+		}
 		sc.Ctl = ctl
 	}
 
@@ -200,6 +226,10 @@ func Build(spec Spec) (*Scenario, error) {
 		if err := sc.attachTraffic(i, tr, chunkBytes); err != nil {
 			return nil, fmt.Errorf("scenario %q: traffic %d: %w", spec.Name, i, err)
 		}
+	}
+
+	if sc.faults != nil {
+		sc.scheduleFaults()
 	}
 	return sc, nil
 }

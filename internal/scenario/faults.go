@@ -1,0 +1,70 @@
+package scenario
+
+import (
+	"fmt"
+
+	"zipline/internal/netsim"
+	"zipline/internal/zswitch"
+)
+
+// faultSeedSalt decorrelates the fault injector's random stream from
+// the simulator's jitter stream while keeping both derived from the
+// one scenario seed.
+const faultSeedSalt = 0x5A1BF00D
+
+// scheduleFaults turns the validated fault schedule into simulator
+// events. Called once from Build, only when the schedule is armed, so
+// fault-free runs schedule nothing extra.
+func (sc *Scenario) scheduleFaults() {
+	for _, r := range sc.faultSpec.Restarts {
+		sw := sc.switches[r.Switch]
+		pl := sc.pipes[r.Switch]
+		at := netsim.Time(r.AtNs)
+		up := at + netsim.Time(r.DownNs)
+		managed := sc.Ctl != nil && sc.Ctl.Manages(pl)
+		holdDown := managed && sc.Ctl.IsDecoder(pl)
+		sc.Sim.At(at, func() {
+			// The crash: dataplane down, tables and queued digests
+			// lost, epoch bumped so post-reboot digests are
+			// distinguishable from pre-crash ones still in flight. The
+			// controller detects the crash when the BfRt session
+			// breaks — i.e. now — so reconciliation overlaps the
+			// reboot instead of extending the outage.
+			sw.SetDown(true)
+			if _, err := zswitch.Restart(pl); err != nil {
+				panic(fmt.Sprintf("scenario: restart %s: %v", sw.Pipeline().Config().Name, err))
+			}
+			switch {
+			case holdDown:
+				// A restarted decoder's ports come back at the later
+				// of reboot completion and encoder quarantine — the
+				// zero-stranded-packets interlock. The controller owns
+				// the re-enable.
+				sc.Ctl.SwitchRestarted(pl, at, up, func() { sw.SetDown(false) })
+			case managed:
+				// An encoder with empty tables is safe as soon as it
+				// reboots (everything forwards uncompressed); the
+				// controller repopulates its dictionary in the
+				// background.
+				sc.Ctl.SwitchRestarted(pl, at, up, nil)
+			}
+		})
+		if !holdDown {
+			sc.Sim.At(up, func() { sw.SetDown(false) })
+		}
+	}
+
+	for _, fl := range sc.faultSpec.LinkFlaps {
+		l := sc.links[fl.Link]
+		at := netsim.Time(fl.AtNs)
+		up := at + netsim.Time(fl.DownNs)
+		sc.Sim.At(at, func() {
+			l.a.SetDown(true)
+			l.b.SetDown(true)
+		})
+		sc.Sim.At(up, func() {
+			l.a.SetDown(false)
+			l.b.SetDown(false)
+		})
+	}
+}

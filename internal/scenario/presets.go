@@ -1,5 +1,7 @@
 package scenario
 
+import "zipline/internal/netsim"
+
 // Presets are ready-made scenarios: the paper's testbed, multi-switch
 // chains, and degraded variants. Preset returns a copy, so callers
 // may mutate freely (the CLI applies flag overrides on top).
@@ -97,6 +99,23 @@ func Preset(name string) (Spec, bool) {
 			},
 		}, true
 
+	case "lossy-control":
+		// The self-healing demonstration: the chain3 pipeline under a
+		// hostile control plane — every fifth control message lost, and
+		// the decoder power-cycles mid-stream. The reliable
+		// retransmit/quarantine protocol must deliver zero stranded
+		// compressed packets and re-converge to the fault-free
+		// compression ratio.
+		spec, _ := Preset("chain3")
+		spec.Name = "lossy-control"
+		spec.Faults = &netsim.FaultSpec{
+			ControlLossProb: 0.2,
+			Restarts: []netsim.RestartSpec{
+				{Switch: "dec", AtNs: 10_000_000, DownNs: 2_000_000},
+			},
+		}
+		return spec, true
+
 	case "fanin":
 		// Two edge encoders share one core decoder and one controller:
 		// a basis learned from either sender compresses traffic from
@@ -134,5 +153,5 @@ func Preset(name string) (Spec, bool) {
 
 // PresetNames lists the built-in scenarios in display order.
 func PresetNames() []string {
-	return []string{"single", "chain3", "lossy-chain3", "fanin", "perf"}
+	return []string{"single", "chain3", "lossy-chain3", "lossy-control", "fanin", "perf"}
 }

@@ -40,6 +40,36 @@ type LinkReport struct {
 	Lost         uint64 `json:"lost,omitempty"`
 	Duplicated   uint64 `json:"duplicated,omitempty"`
 	Reordered    uint64 `json:"reordered,omitempty"`
+	// DownDrops counts frames eaten by a link flap (fault runs only;
+	// omitted when zero so fault-free reports are byte-stable).
+	DownDrops uint64 `json:"down_drops,omitempty"`
+}
+
+// FaultReport summarises a fault-armed run; nil in fault-free runs so
+// their JSON stays byte-identical to the pre-fault engine.
+type FaultReport struct {
+	// StrandedCompressed counts compressed packets that reached a
+	// decoder lacking their mapping. The control plane's quarantine
+	// protocol guarantees this is zero under any fault schedule.
+	StrandedCompressed uint64 `json:"stranded_compressed"`
+	// BypassFrames counts raw frames forwarded uncompressed while an
+	// encoder was quarantined.
+	BypassFrames uint64 `json:"bypass_frames"`
+	// Retransmits / Abandoned count reliable-channel retries and
+	// messages dropped after the retry cap.
+	Retransmits uint64 `json:"retransmits"`
+	Abandoned   uint64 `json:"abandoned"`
+	// StaleDigests counts digests discarded for a mismatched epoch.
+	StaleDigests uint64 `json:"stale_digests"`
+	// Resyncs counts restart reconciliations; RecoveryTimeNs is the
+	// slowest crash→reconverged interval.
+	Resyncs        uint64 `json:"resyncs"`
+	RecoveryTimeNs int64  `json:"recovery_time_ns"`
+	// ControlMsgsLost counts control-channel messages eaten by loss
+	// draws; SwitchDownDrops counts frames dropped at crashed
+	// switches.
+	ControlMsgsLost uint64 `json:"control_msgs_lost"`
+	SwitchDownDrops uint64 `json:"switch_down_drops"`
 }
 
 // LearningReport summarises the control plane's work: how many bases
@@ -85,6 +115,9 @@ type Report struct {
 	// Learning is nil when the scenario has no encoder (and thus no
 	// control plane).
 	Learning *LearningReport `json:"learning,omitempty"`
+
+	// Faults is nil unless the spec armed a fault schedule.
+	Faults *FaultReport `json:"faults,omitempty"`
 
 	Hosts []HostReport `json:"hosts"`
 	Links []LinkReport `json:"links"`
@@ -152,6 +185,26 @@ func (sc *Scenario) report() Report {
 		}
 	}
 
+	if sc.faults != nil {
+		fr := &FaultReport{
+			StrandedCompressed: r.Encode.DecodeMiss,
+			BypassFrames:       r.Encode.Bypass,
+			ControlMsgsLost:    sc.faults.MsgsLost,
+		}
+		if sc.Ctl != nil {
+			st := sc.Ctl.Stats()
+			fr.Retransmits = st.Retransmits
+			fr.Abandoned = st.Abandoned
+			fr.StaleDigests = st.StaleDigests
+			fr.Resyncs = st.Resyncs
+			fr.RecoveryTimeNs = st.RecoveryNsMax
+		}
+		for _, sw := range sc.Spec.Switches {
+			fr.SwitchDownDrops += sc.switches[sw.Name].DownDrops
+		}
+		r.Faults = fr
+	}
+
 	for _, l := range sc.links {
 		r.Links = append(r.Links,
 			linkReport(l.aName, l.bName, l.a),
@@ -178,6 +231,7 @@ func linkReport(from, to string, e *netsim.Endpoint) LinkReport {
 		Lost:         e.Stats.Lost,
 		Duplicated:   e.Stats.Duplicated,
 		Reordered:    e.Stats.Reordered,
+		DownDrops:    e.Stats.DownDrops,
 	}
 }
 
@@ -199,6 +253,12 @@ func (r Report) WriteText(w io.Writer) {
 			fmt.Fprintf(w, "  delay     : mean %.3f ms  p50 %.3f  p90 %.3f  p99 %.3f  (n=%d)\n",
 				l.DelayMeanMs, l.DelayP50Ms, l.DelayP90Ms, l.DelayP99Ms, l.DelayN)
 		}
+	}
+	if f := r.Faults; f != nil {
+		fmt.Fprintf(w, "  faults    : stranded %d  bypass %d  retransmits %d  abandoned %d  msgs lost %d\n",
+			f.StrandedCompressed, f.BypassFrames, f.Retransmits, f.Abandoned, f.ControlMsgsLost)
+		fmt.Fprintf(w, "  recovery  : %d resyncs, slowest %.3f ms  (stale digests %d, crash drops %d)\n",
+			f.Resyncs, float64(f.RecoveryTimeNs)/1e6, f.StaleDigests, f.SwitchDownDrops)
 	}
 	for _, h := range r.Hosts {
 		fmt.Fprintf(w, "  host %-10s rx %8d frames (raw %d, t2 %d, t3 %d)  %.3f Gbit/s",

@@ -22,6 +22,7 @@ import (
 	"strconv"
 	"strings"
 
+	"zipline/internal/netsim"
 	"zipline/internal/zswitch"
 )
 
@@ -74,6 +75,11 @@ type Spec struct {
 	Switches []SwitchSpec  `json:"switches"`
 	Links    []LinkSpec    `json:"links"`
 	Traffic  []TrafficSpec `json:"traffic,omitempty"`
+
+	// Faults schedules switch restarts, link flaps and control-channel
+	// loss. Nil (or an all-zero schedule) keeps the run on the legacy
+	// fault-free code paths, byte-identical to the pre-fault engine.
+	Faults *netsim.FaultSpec `json:"faults,omitempty"`
 }
 
 // CodecSpec selects the GD code (defaults: the paper's m=8, 15-bit
@@ -336,6 +342,10 @@ func (s Spec) Validate() error {
 		if s.DurationNs <= 0 {
 			return fmt.Errorf("TTL aging sweeps recur forever: set duration_ns")
 		}
+	}
+
+	if err := s.Faults.Validate(func(name string) bool { return names[name] == "switch" }, len(s.Links)); err != nil {
+		return err
 	}
 	return nil
 }

@@ -50,6 +50,22 @@ func Preset(name string) (Spec, bool) {
 			},
 		}, true
 
+	case "chaos":
+		// The fault grid: control-channel loss × decoder reboot time on
+		// the lossy-control topology. Every cell must report zero
+		// stranded compressed packets, and the matrix must stay
+		// byte-identical across worker counts and repeat runs (the CI
+		// chaos-smoke job asserts both).
+		return Spec{
+			Name:   "chaos",
+			Preset: "lossy-control",
+			Axes: []Axis{
+				{Param: "records", Values: Nums(8_000)},
+				{Param: "control_loss_prob", Values: Nums(0, 0.1, 0.3)},
+				{Param: "restart_down_ms", Values: Nums(1, 2, 5, 10)},
+			},
+		}, true
+
 	case "smoke":
 		// The CI grid: 2×2 cells small enough to run twice per push,
 		// asserting the matrix is byte-identical across runs and
@@ -69,5 +85,5 @@ func Preset(name string) (Spec, bool) {
 
 // PresetNames lists the built-in sweeps in display order.
 func PresetNames() []string {
-	return []string{"loss-sensitivity", "dict-size", "ttl", "smoke"}
+	return []string{"loss-sensitivity", "dict-size", "ttl", "chaos", "smoke"}
 }

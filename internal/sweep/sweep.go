@@ -21,6 +21,7 @@ import (
 	"strconv"
 	"strings"
 
+	"zipline/internal/netsim"
 	"zipline/internal/scenario"
 )
 
@@ -199,6 +200,7 @@ func ParamNames() []string {
 		"preset", "seed", "records", "pps", "workload", "trace",
 		"id_bits", "m", "t", "ttl_ms", "ttl_ns", "duration_ms",
 		"loss_prob", "dup_prob", "reorder_prob", "reorder_delay_ns", "extra_latency_ns",
+		"control_loss_prob", "restart_down_ms",
 	}
 }
 
@@ -404,6 +406,26 @@ func applyParam(sp *scenario.Spec, ax Axis, v Value) error {
 			return err
 		}
 		sp.DurationNs = int64(n * 1e6)
+	case "control_loss_prob":
+		n, err := wantNum(ax.Param, v)
+		if err != nil {
+			return err
+		}
+		if sp.Faults == nil {
+			sp.Faults = &netsim.FaultSpec{}
+		}
+		sp.Faults.ControlLossProb = n
+	case "restart_down_ms":
+		n, err := wantNum(ax.Param, v)
+		if err != nil {
+			return err
+		}
+		if sp.Faults == nil || len(sp.Faults.Restarts) == 0 {
+			return fmt.Errorf("param %q needs a base scenario with scheduled restarts", ax.Param)
+		}
+		for i := range sp.Faults.Restarts {
+			sp.Faults.Restarts[i].DownNs = int64(n * 1e6)
+		}
 	case "loss_prob", "dup_prob", "reorder_prob", "reorder_delay_ns", "extra_latency_ns":
 		n, err := wantNum(ax.Param, v)
 		if err != nil {

@@ -123,6 +123,10 @@ func Load(cfg Config, prog Program) (*Pipeline, error) {
 // Config returns the pipeline's configuration.
 func (p *Pipeline) Config() Config { return p.cfg }
 
+// Program returns the loaded program (control-plane and
+// fault-injection access to program-level state such as epochs).
+func (p *Pipeline) Program() Program { return p.prog }
+
 // SRAMBits reports the SRAM the loaded program consumes under the
 // resource model.
 func (p *Pipeline) SRAMBits() int64 { return p.sram }

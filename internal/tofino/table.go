@@ -122,6 +122,14 @@ func (t *Table) Install(key string, action any, now int64) error {
 	return nil
 }
 
+// Clear removes every entry, returning how many were dropped — the
+// state a power cycle loses. Control-plane / fault-injection API.
+func (t *Table) Clear() int {
+	n := len(t.entries)
+	clear(t.entries)
+	return n
+}
+
 // Delete removes an entry, reporting whether it existed.
 // Control-plane API.
 func (t *Table) Delete(key string) bool {

@@ -1,6 +1,7 @@
 package zswitch
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"zipline/internal/bitvec"
@@ -55,6 +56,79 @@ func DeleteIDToBasis(pl *tofino.Pipeline, id uint32) bool {
 	return t.Delete(IDKey(id))
 }
 
+// loadedProgram extracts the ZipLine program from a loaded pipeline.
+func loadedProgram(pl *tofino.Pipeline) (*Program, error) {
+	p, ok := pl.Program().(*Program)
+	if !ok {
+		return nil, fmt.Errorf("zswitch: pipeline runs %q, not the zipline program", pl.Program().Name())
+	}
+	return p, nil
+}
+
+// Restart models a dataplane power cycle: both dictionary tables are
+// cleared, queued digests are lost, the bypass gate resets, and the
+// program's epoch bumps. It returns the new epoch; subsequent digests
+// carry it, letting the controller distinguish pre- and post-reboot
+// state. Fault-injection / control-plane API.
+func Restart(pl *tofino.Pipeline) (uint32, error) {
+	p, err := loadedProgram(pl)
+	if err != nil {
+		return 0, err
+	}
+	for _, name := range []string{TableBasisToID, TableIDToBasis} {
+		if t, ok := pl.Table(name); ok {
+			t.Clear()
+		}
+	}
+	pl.DrainDigests() // queued reports die with the reboot
+	p.bypass = false
+	p.epoch++
+	return p.epoch, nil
+}
+
+// SetBypass sets or clears the encoder bypass gate: while set, the
+// encode role forwards raw traffic uncompressed. One BfRt register
+// write from the controller's perspective.
+func SetBypass(pl *tofino.Pipeline, on bool) error {
+	p, err := loadedProgram(pl)
+	if err != nil {
+		return err
+	}
+	p.bypass = on
+	return nil
+}
+
+// Bypassing reads the encoder bypass gate (false for non-zswitch
+// pipelines). Tests use it to assert reconciliation released every
+// quarantine.
+func Bypassing(pl *tofino.Pipeline) bool {
+	p, err := loadedProgram(pl)
+	if err != nil {
+		return false
+	}
+	return p.bypass
+}
+
+// Epoch reads a pipeline's restart epoch (0 = never restarted).
+func Epoch(pl *tofino.Pipeline) uint32 {
+	p, err := loadedProgram(pl)
+	if err != nil {
+		return 0
+	}
+	return p.epoch
+}
+
+// SplitDigest separates a new-basis digest payload into the basis
+// bytes and the emitting program's epoch. Pre-restart digests carry
+// the bare basis (epoch 0); post-restart digests append a 4-byte
+// big-endian epoch.
+func SplitDigest(data []byte, basisBytes int) (basis []byte, epoch uint32) {
+	if len(data) == basisBytes+4 {
+		return data[:basisBytes], binary.BigEndian.Uint32(data[basisBytes:])
+	}
+	return data, 0
+}
+
 // ExpiredBases returns the basis keys whose encoder-table idle
 // timeout has lapsed (the TNA aging notification feed).
 func ExpiredBases(pl *tofino.Pipeline, now int64) []string {
@@ -82,6 +156,10 @@ type Stats struct {
 	// hop's exact compression ratio.
 	EncPayloadIn  uint64 `json:"enc_payload_in"`
 	EncPayloadOut uint64 `json:"enc_payload_out"`
+	// Bypass counts raw frames forwarded uncompressed under the
+	// control-plane bypass gate (omitted from JSON when zero so
+	// fault-free reports keep their pre-fault bytes).
+	Bypass uint64 `json:"bypass,omitempty"`
 }
 
 // ReadStats snapshots the counters of a loaded pipeline.
@@ -97,6 +175,7 @@ func ReadStats(pl *tofino.Pipeline) Stats {
 		Digests:       pl.Counter(CounterDigests),
 		EncPayloadIn:  pl.Counter(CounterEncPayloadIn),
 		EncPayloadOut: pl.Counter(CounterEncPayloadOut),
+		Bypass:        pl.Counter(CounterBypass),
 	}
 }
 
@@ -112,6 +191,7 @@ func (s *Stats) Add(o Stats) {
 	s.Digests += o.Digests
 	s.EncPayloadIn += o.EncPayloadIn
 	s.EncPayloadOut += o.EncPayloadOut
+	s.Bypass += o.Bypass
 }
 
 // Encoded reports the total packets the encoder path transformed.

@@ -90,6 +90,7 @@ const (
 	CounterTooShort   = "too_short"    // payload smaller than a chunk
 	CounterDecodeMiss = "decode_miss"  // type 3 with unknown ID (dropped)
 	CounterDigests    = "digests"      // new-basis reports emitted
+	CounterBypass     = "bypass"       // raw frames forwarded under the bypass gate
 )
 
 // Byte counters on the encode path. They count payload bytes entering
@@ -163,15 +164,17 @@ type counterSet struct {
 	forwarded, tooShort         tofino.CounterHandle
 	decodeMiss, digests         tofino.CounterHandle
 	encPayloadIn, encPayloadOut tofino.CounterHandle
+	bypass                      tofino.CounterHandle
 }
 
 // scratch is the program's per-packet working memory, reused across
 // Process calls (the model of the pipeline's PHV and header buffers:
 // fixed resources, no allocator).
 type scratch struct {
-	basis []byte // SplitChunkBytes output / packed type-2 parse buffer
-	frame []byte // output frame arena, one frame per pass
-	idKey [4]byte
+	basis  []byte // SplitChunkBytes output / packed type-2 parse buffer
+	frame  []byte // output frame arena, one frame per pass
+	digest []byte // epoch-tagged digest payload (fault-era digests only)
+	idKey  [4]byte
 }
 
 // Program is the ZipLine data plane program. Load it into a
@@ -187,6 +190,16 @@ type Program struct {
 	basisToID tofino.TableHandle
 	idToBasis tofino.TableHandle
 	ctr       counterSet
+
+	// epoch counts dataplane restarts. It rides in every digest once
+	// non-zero, so the controller can tell pre- and post-reboot state
+	// apart; epoch 0 keeps the compact pre-fault digest layout (and so
+	// the pre-fault report bytes) until the first restart.
+	epoch uint32
+	// bypass, while set by the control plane, forwards raw traffic
+	// uncompressed instead of encoding it — graceful degradation while
+	// a downstream decoder's state is unconfirmed.
+	bypass bool
 
 	scr scratch
 }
@@ -216,6 +229,7 @@ func New(cfg Config) (*Program, error) {
 	}
 	p := &Program{cfg: cfg, codec: codec, fmt: f}
 	maxIngress := -1
+	//ziplint:allow determinism max reduction is iteration-order-insensitive
 	for in, out := range cfg.PortMap {
 		if in < 0 || out < 0 || int(in) > MaxPort || int(out) > MaxPort {
 			return nil, fmt.Errorf("zswitch: port mapping %d→%d outside [0,%d]", in, out, MaxPort)
@@ -225,6 +239,7 @@ func New(cfg Config) (*Program, error) {
 		}
 	}
 	p.ports = make([]portEntry, maxIngress+1)
+	//ziplint:allow determinism dense-slice fill writes disjoint indices, order-insensitive
 	for in, out := range cfg.PortMap {
 		p.ports[in] = portEntry{egress: out, role: cfg.Roles[in], mapped: true}
 	}
@@ -280,6 +295,7 @@ func (p *Program) Declare(a *tofino.Alloc) error {
 		{CounterDigests, &p.ctr.digests},
 		{CounterEncPayloadIn, &p.ctr.encPayloadIn},
 		{CounterEncPayloadOut, &p.ctr.encPayloadOut},
+		{CounterBypass, &p.ctr.bypass},
 	} {
 		if *c.h, err = a.Counter(c.name); err != nil {
 			return err
@@ -317,6 +333,22 @@ func (p *Program) frameScratch(n int) []byte {
 	return p.scr.frame[:0]
 }
 
+// digestScratch returns the epoch-tagged digest buffer, emptied, with
+// capacity for at least n bytes.
+func (p *Program) digestScratch(n int) []byte {
+	if cap(p.scr.digest) < n {
+		//ziplint:allow noalloc grows to its high-water mark once; steady state reuses it
+		p.scr.digest = make([]byte, 0, n)
+	}
+	return p.scr.digest[:0]
+}
+
+// Epoch reports how many times the dataplane has restarted.
+func (p *Program) Epoch() uint32 { return p.epoch }
+
+// Bypassing reports whether the control-plane bypass gate is set.
+func (p *Program) Bypassing() bool { return p.bypass }
+
 // encode is the Figure 1 path. Only frames tagged EtherTypeRaw are
 // compressed: the paper transforms "any Ethernet packet" but does not
 // specify how the original EtherType would be restored on decode, so
@@ -334,6 +366,15 @@ func (p *Program) encode(ctx *tofino.Ctx, frame []byte, egress tofino.Port, out 
 		} else {
 			ctx.Count(p.ctr.forwarded, 1)
 		}
+		return append(out, tofino.Emit{Port: egress, Frame: frame})
+	}
+	if p.bypass {
+		// Control-plane bypass gate: a downstream decoder's state is
+		// unconfirmed, so deliverable beats compressible — forward the
+		// raw frame untouched (ratio degrades, delivery holds).
+		ctx.Count(p.ctr.bypass, 1)
+		ctx.Count(p.ctr.encPayloadIn, uint64(len(payload)))
+		ctx.Count(p.ctr.encPayloadOut, uint64(len(payload)))
 		return append(out, tofino.Emit{Port: egress, Frame: frame})
 	}
 	ctx.Count(p.ctr.encPayloadIn, uint64(len(payload)))
@@ -367,7 +408,17 @@ func (p *Program) encode(ctx *tofino.Ctx, frame []byte, egress tofino.Port, out 
 	}
 
 	// Unknown basis: report to the control plane and emit type 2.
-	ctx.Digest(DigestNewBasis, basis)
+	if p.epoch == 0 {
+		ctx.Digest(DigestNewBasis, basis)
+	} else {
+		// Post-restart digests carry the epoch so the controller can
+		// spot a reboot even before (or without) its notification.
+		d := p.digestScratch(len(basis) + 4)
+		d = append(d, basis...)
+		d = binary.BigEndian.AppendUint32(d, p.epoch)
+		p.scr.digest = d
+		ctx.Digest(DigestNewBasis, d)
+	}
 	ctx.Count(p.ctr.digests, 1)
 	buf := p.frameScratch(packet.HeaderLen + p.fmt.Type2Len() + len(tail))
 	buf = packet.AppendHeader(buf, packet.Header{
