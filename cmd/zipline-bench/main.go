@@ -22,14 +22,15 @@
 // The perf experiment measures the software dataplane itself — chunk
 // codec MB/s, CRC throughput, per-role switch pkts/s through the
 // zero-allocation ProcessAppend path, the scenario engine's events/s,
-// and the reusable encoder API (EncodeAll/DecodeAll and the pooled
-// Reset+re-encode cycle against a shared pre-trained dictionary) —
-// the repo's performance trajectory. -json writes every collected
-// measurement (perf rows plus Figure 3 compression ratios) as
-// machine-readable JSON; BENCH_PR5.json in the repo root is the
-// committed baseline:
+// the reusable encoder API (EncodeAll/DecodeAll and the pooled
+// Reset+re-encode cycle against a shared pre-trained dictionary), and
+// the ziphttp deployment surfaces (HTTP gateway encode and round
+// trip, TCP proxy streaming) — the repo's performance trajectory.
+// -json writes every collected measurement (perf rows plus Figure 3
+// compression ratios) as machine-readable JSON; BENCH_PR9.json in the
+// repo root is the committed baseline:
 //
-//	zipline-bench -run perf -json BENCH_PR5.json
+//	zipline-bench -run perf -json BENCH_PR9.json
 package main
 
 import (

@@ -1,0 +1,141 @@
+// Command zipline-proxy compresses arbitrary TCP byte streams between
+// two points: the paper's switch pair as deployable userspace
+// infrastructure. Run one proxy in encode position next to the
+// application and one in decode position next to the far endpoint;
+// everything crossing the link between them travels as zipline
+// container streams, and the endpoints see plain TCP.
+//
+// Usage:
+//
+//	zipline-proxy -mode encode -listen :9000 -connect far-host:9001 [-dict FILE]
+//	zipline-proxy -mode decode -listen :9001 -connect app-host:80   [-dict FILE]
+//
+// Each accepted connection is bridged to a fresh connection to
+// -connect. In encode mode the accepted side is the application and
+// the dialed side is the compressed peer link; in decode mode the
+// roles are reversed — the accepted side carries container streams
+// from the far proxy and the dialed side is the plain application.
+// Both directions of every bridge are duplex: each proxy compresses
+// whatever it sends onto the link and decompresses whatever it
+// receives. Half-closes propagate: the application's FIN finishes the
+// in-flight container (tail and trailer) before the link is
+// half-closed, and a finished incoming container half-closes toward
+// the application, so no bytes are stranded on shutdown.
+//
+// -dict loads a shared pre-trained dictionary (a zipline.TrainDict
+// artifact, serialized with Dict.Bytes); both ends of a link must
+// load the same file or streams are rejected with a dictionary
+// mismatch.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"os"
+
+	"zipline"
+	"zipline/ziphttp"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stderr))
+}
+
+// run is the testable entry point; the accept loop only terminates on
+// a listener error, so tests drive it via a closable listener.
+func run(args []string, stderr io.Writer) int {
+	fs := flag.NewFlagSet("zipline-proxy", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	mode := fs.String("mode", "", "position of this proxy: encode (application side) or decode (far side)")
+	listen := fs.String("listen", "", "address to accept connections on (required)")
+	connect := fs.String("connect", "", "address to bridge each connection to (required)")
+	dictPath := fs.String("dict", "", "shared pre-trained dictionary file (optional; both ends must match)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *listen == "" || *connect == "" {
+		fmt.Fprintln(stderr, "zipline-proxy: -listen and -connect are required")
+		fs.Usage()
+		return 2
+	}
+	if *mode != "encode" && *mode != "decode" {
+		fmt.Fprintln(stderr, "zipline-proxy: -mode must be encode or decode")
+		fs.Usage()
+		return 2
+	}
+
+	logger := log.New(stderr, "zipline-proxy: ", log.LstdFlags)
+	proxy, err := buildProxy(*dictPath)
+	if err != nil {
+		logger.Print(err)
+		return 1
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		logger.Print(err)
+		return 1
+	}
+	defer func() {
+		if err := ln.Close(); err != nil {
+			logger.Print(err)
+		}
+	}()
+	logger.Printf("%s side: bridging %s ↔ %s", *mode, ln.Addr(), *connect)
+	if err := serve(ln, *connect, *mode == "encode", proxy, logger); err != nil {
+		logger.Print(err)
+		return 1
+	}
+	return 0
+}
+
+// buildProxy assembles the shared bridge state, loading the optional
+// dictionary file.
+func buildProxy(dictPath string) (*ziphttp.Proxy, error) {
+	var opts []ziphttp.Option
+	if dictPath != "" {
+		raw, err := os.ReadFile(dictPath)
+		if err != nil {
+			return nil, err
+		}
+		dict, err := zipline.LoadDict(raw)
+		if err != nil {
+			return nil, fmt.Errorf("load dictionary %s: %w", dictPath, err)
+		}
+		opts = append(opts, ziphttp.WithDict(dict))
+	}
+	return ziphttp.NewProxy(opts...)
+}
+
+// serve accepts connections forever, bridging each to a fresh
+// connection to connect on its own goroutine. encodePos selects which
+// side of the bridge is the plain application: the accepted side in
+// encode position, the dialed side in decode position. It returns
+// only when the listener fails (or is closed).
+func serve(ln net.Listener, connect string, encodePos bool, proxy *ziphttp.Proxy, logger *log.Logger) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go func() {
+			dialed, err := net.Dial("tcp", connect)
+			if err != nil {
+				logger.Printf("%s: dial: %v", conn.RemoteAddr(), err)
+				if cerr := conn.Close(); cerr != nil {
+					logger.Printf("%s: close: %v", conn.RemoteAddr(), cerr)
+				}
+				return
+			}
+			plain, peer := conn, dialed
+			if !encodePos {
+				plain, peer = dialed, conn
+			}
+			if err := proxy.Bridge(plain, peer); err != nil {
+				logger.Printf("%s: bridge: %v", conn.RemoteAddr(), err)
+			}
+		}()
+	}
+}

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"log"
+	"math/rand"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"zipline"
+)
+
+func TestFlagValidation(t *testing.T) {
+	var errOut bytes.Buffer
+	if code := run(nil, &errOut); code != 2 {
+		t.Fatalf("missing flags: exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "-listen and -connect are required") {
+		t.Fatalf("usage not explained:\n%s", errOut.String())
+	}
+	if code := run([]string{"-bogus"}, &errOut); code != 2 {
+		t.Fatalf("unknown flag: exit %d, want 2", code)
+	}
+	errOut.Reset()
+	if code := run([]string{"-listen", ":0", "-connect", "x:1", "-mode", "sideways"}, &errOut); code != 2 {
+		t.Fatalf("bad mode: exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "-mode must be encode or decode") {
+		t.Fatalf("mode not explained:\n%s", errOut.String())
+	}
+}
+
+func TestBuildProxyDict(t *testing.T) {
+	if _, err := buildProxy(filepath.Join(t.TempDir(), "absent")); err == nil {
+		t.Fatal("missing dictionary file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad")
+	if err := os.WriteFile(bad, []byte("not a dictionary"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := buildProxy(bad); err == nil {
+		t.Fatal("corrupt dictionary file accepted")
+	}
+
+	corpus := make([]byte, 64<<10)
+	rand.New(rand.NewSource(7)).Read(corpus)
+	dict, err := zipline.TrainDict(corpus, zipline.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := filepath.Join(t.TempDir(), "dict")
+	if err := os.WriteFile(good, dict.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := buildProxy(good); err != nil {
+		t.Fatalf("valid dictionary rejected: %v", err)
+	}
+}
+
+// TestProxyPairLoopback stands up the deployed topology on loopback —
+// sender → encode proxy → decode proxy → sink — and pushes a stream
+// through it.
+func TestProxyPairLoopback(t *testing.T) {
+	logger := log.New(io.Discard, "", 0)
+
+	// Sink: the far application.
+	sinkLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sinkLn.Close()
+	sinkGot := make(chan []byte, 1)
+	go func() {
+		c, err := sinkLn.Accept()
+		if err != nil {
+			return
+		}
+		got, _ := io.ReadAll(c)
+		c.Close()
+		sinkGot <- got
+	}()
+
+	// Decode proxy in front of the sink.
+	decLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer decLn.Close()
+	decProxy, err := buildProxy("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go serve(decLn, sinkLn.Addr().String(), false, decProxy, logger)
+
+	// Encode proxy in front of the sender.
+	encLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer encLn.Close()
+	encProxy, err := buildProxy("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go serve(encLn, decLn.Addr().String(), true, encProxy, logger)
+
+	// Sender: connect to the encode proxy, stream, half-close.
+	conn, err := net.Dial("tcp", encLn.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 0, 128<<10)
+	base := []byte("telemetry-frame-000:temperature=21.4;humidity=40.2%%;ok.")
+	for len(payload) < 128<<10 {
+		payload = append(payload, base...)
+	}
+	if _, err := conn.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.(*net.TCPConn).CloseWrite(); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case got := <-sinkGot:
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("stream corrupted: %d bytes arrived, want %d", len(got), len(payload))
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("stream never drained to the sink")
+	}
+	if err := conn.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

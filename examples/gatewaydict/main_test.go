@@ -1,0 +1,26 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestGatewayDict runs the example and asserts both client classes
+// round-trip losslessly and the dictionary actually paid for itself.
+func TestGatewayDict(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if strings.Count(got, "lossless: true") != 2 {
+		t.Fatalf("a client class lost data:\n%s", got)
+	}
+	if !strings.Contains(got, "trained dictionary ") {
+		t.Fatalf("missing dictionary identity:\n%s", got)
+	}
+	if strings.Contains(got, "saved -") || strings.Contains(got, "saved 0.0%") {
+		t.Fatalf("dictionary transfer did not shrink:\n%s", got)
+	}
+}

@@ -1,0 +1,9 @@
+// Package baseline implements the comparison points of the paper's
+// Figure 3: gzip (DEFLATE — "an algorithm that doubtlessly cannot be
+// implemented on our hardware P4 target due to its unbounded
+// execution time") and, as an extra ablation, classic exact-match
+// deduplication, to quantify what the GD transformation itself adds.
+//
+// Both baselines consume the same chunked datasets as the GD
+// pipeline, so Figure 3 ratios are comparable by construction.
+package baseline

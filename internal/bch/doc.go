@@ -1,0 +1,19 @@
+// Package bch implements binary BCH codes and the corresponding GD
+// transform — the paper's future-work direction (§8): "computation of
+// more complex transformations, e.g., BCH codes, by using different
+// generator polynomial parameters. These allow for more chunks to be
+// mapped to each basis, albeit at the cost of a larger deviation."
+//
+// A t-error-correcting BCH code of length n = 2^m − 1 has generator
+// g(x) = lcm of the minimal polynomials of α, α³, …, α^{2t−1}. Its
+// syndrome — like the Hamming special case t = 1 — is just the CRC of
+// the word with g as the polynomial, so the transform still fits the
+// switch's CRC engine; only the syndrome width (deg g ≤ t·m bits) and
+// the flip table change.
+//
+// The GD transform built here is total: syndromes whose coset leader
+// the t-error decoder cannot identify fall back to a canonical
+// deterministic leader (the syndrome embedded in the parity
+// positions), so Split/Merge remain a bijection and compression is
+// simply absent for such words.
+package bch

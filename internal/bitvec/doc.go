@@ -1,0 +1,14 @@
+// Package bitvec provides fixed-length bit vectors and MSB-first bit
+// readers and writers.
+//
+// ZipLine's coding layer works on Hamming code words whose lengths
+// (n = 2^m - 1 bits) are never multiples of eight, so every module
+// above the CRC engine manipulates data at bit granularity. This
+// package is the single home for that logic.
+//
+// Bit addressing convention: position 0 is the most significant bit
+// of the first byte ("network order", matching how bits appear on the
+// wire). The coding packages translate between positional indexing
+// and polynomial coefficient indexing (where bit j is the coefficient
+// of x^j and the highest-degree coefficient is transmitted first).
+package bitvec

@@ -126,6 +126,18 @@ func NewReaderBits(data []byte, nbits int) *Reader {
 	return &Reader{data: data, n: nbits}
 }
 
+// ResetBits rewinds the Reader over the first nbits of data, so a
+// long-lived Reader can parse a stream of blocks without allocating
+// one parser per block.
+//
+//zipline:noalloc
+func (r *Reader) ResetBits(data []byte, nbits int) {
+	if nbits > len(data)*8 {
+		panic(fmt.Sprintf("bitvec: ResetBits %d > %d available", nbits, len(data)*8))
+	}
+	r.data, r.pos, r.n = data, 0, nbits
+}
+
 // ReadBit consumes and returns one bit.
 func (r *Reader) ReadBit() (bool, error) {
 	if r.pos >= r.n {

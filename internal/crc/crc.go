@@ -1,24 +1,3 @@
-// Package crc implements bit-granular cyclic redundancy checks in the
-// plain-polynomial-remainder convention used by ZipLine.
-//
-// The Tofino switch exposes a native CRC engine; ZipLine programs it
-// with the generator polynomial of a Hamming code so that the CRC of
-// an n-bit chunk equals the chunk's Hamming syndrome (paper §2,
-// Tables 1 and 2). That equivalence only holds under the *plain*
-// convention:
-//
-//	CRC(B) = B(x) mod g(x)
-//
-// with zero initial value, no final XOR, no bit reflection and no
-// implicit x^m augmentation. This differs from most off-the-shelf
-// CRCs (e.g. hash/crc32), which compute rem(B(x)·x^m / g(x)) with
-// reflection; those conventions would break the syndrome mapping in
-// paper Table 2. Unit tests pin the convention to the published
-// table.
-//
-// Bit-order convention: messages are processed MSB first. A message
-// of L bits is the polynomial B(x) = b_{L-1}·x^{L-1} + … + b_0, where
-// b_{L-1} is the first bit on the wire — identical to the paper's §2.
 package crc
 
 import (

@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"zipline"
+	"zipline/ziphttp"
+)
+
+// perfGateway measures the PR-9 deployment surfaces end to end: the
+// HTTP middleware's compress-and-respond path, a full
+// middleware+transport round trip over a real loopback connection,
+// and sustained streaming through a TCP proxy bridge pair. The
+// workload is the same 64 KiB dictionary-covered sensor payload as
+// the encoder rows, so gateway-encode overhead reads directly against
+// pooled-reset-encode.
+func perfGateway(seed int64, budget time.Duration) ([]PerfResult, error) {
+	rng := rand.New(rand.NewSource(seed))
+	bases := make([][]byte, 8)
+	for i := range bases {
+		bases[i] = make([]byte, 32)
+		rng.Read(bases[i])
+	}
+	payload := make([]byte, 0, 64<<10)
+	for len(payload) < 64<<10 {
+		chunk := append([]byte(nil), bases[rng.Intn(len(bases))]...)
+		chunk[rng.Intn(32)] ^= 1 << uint(rng.Intn(8))
+		payload = append(payload, chunk...)
+	}
+	dict, err := zipline.TrainDict(payload, zipline.Config{})
+	if err != nil {
+		return nil, err
+	}
+
+	var out []PerfResult
+
+	// gateway-encode: the middleware's full response path — pool
+	// acquire, negotiation, gating, compress, trailer, pool release —
+	// against an in-memory ResponseRecorder.
+	wrap, err := ziphttp.NewMiddleware(ziphttp.WithDict(dict))
+	if err != nil {
+		return nil, err
+	}
+	handler := wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/octet-stream")
+		if _, err := w.Write(payload); err != nil {
+			return
+		}
+	}))
+	req := httptest.NewRequest("GET", "/perf", nil)
+	req.Header.Set("Accept-Encoding", ziphttp.ContentEncoding)
+	req.Header.Set(ziphttp.DictHeader, ziphttp.FormatDictID(dict.ID()))
+	var encoded int
+	r := measure("gateway-encode", budget, 20, func() {
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req)
+		encoded = rec.Body.Len()
+	})
+	r.MBPerS = float64(len(payload)) / r.NsPerOp * 1e9 / 1e6
+	r.Ratio = float64(encoded) / float64(len(payload))
+	out = append(out, r)
+
+	// gateway-roundtrip: handler + transport over a live loopback HTTP
+	// connection — what a caller of the gateway actually experiences.
+	srv := httptest.NewServer(handler)
+	defer srv.Close()
+	base := srv.Client().Transport.(*http.Transport)
+	tr, err := ziphttp.NewTransport(base, ziphttp.WithDict(dict))
+	if err != nil {
+		return nil, err
+	}
+	client := &http.Client{Transport: tr}
+	var rerr error
+	r = measure("gateway-roundtrip", budget, 10, func() {
+		resp, err := client.Get(srv.URL)
+		if err != nil {
+			rerr = err
+			return
+		}
+		n, err := io.Copy(io.Discard, resp.Body)
+		if cerr := resp.Body.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			rerr = err
+			return
+		}
+		if n != int64(len(payload)) {
+			rerr = fmt.Errorf("perf: round trip returned %d bytes, want %d", n, len(payload))
+		}
+	})
+	if rerr != nil {
+		return nil, rerr
+	}
+	r.MBPerS = float64(len(payload)) / r.NsPerOp * 1e9 / 1e6
+	out = append(out, r)
+
+	// proxy-stream: sustained throughput through a bridged TCP proxy
+	// pair, one 64 KiB segment per op (write plain, read plain on the
+	// far side; compression and decompression ride the link between).
+	res, err := perfProxyStream(payload, dict, budget)
+	if err != nil {
+		return nil, err
+	}
+	return append(out, res), nil
+}
+
+// perfProxyStream wires app ↔ encode proxy ↔ link ↔ decode proxy ↔
+// app over loopback TCP and measures one 64 KiB segment per op
+// through the live bridges.
+func perfProxyStream(payload []byte, dict *zipline.Dict, budget time.Duration) (PerfResult, error) {
+	pair := func() (net.Conn, net.Conn, error) {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, nil, err
+		}
+		defer func() {
+			if cerr := ln.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}()
+		type accepted struct {
+			c   net.Conn
+			err error
+		}
+		ac := make(chan accepted, 1)
+		go func() {
+			c, err := ln.Accept()
+			ac <- accepted{c, err}
+		}()
+		d, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			return nil, nil, err
+		}
+		a := <-ac
+		if a.err != nil {
+			d.Close()
+			return nil, nil, a.err
+		}
+		return d, a.c, nil
+	}
+
+	pEnc, err := ziphttp.NewProxy(ziphttp.WithDict(dict))
+	if err != nil {
+		return PerfResult{}, err
+	}
+	pDec, err := ziphttp.NewProxy(ziphttp.WithDict(dict))
+	if err != nil {
+		return PerfResult{}, err
+	}
+	appA, innerA, err := pair()
+	if err != nil {
+		return PerfResult{}, err
+	}
+	linkA, linkB, err := pair()
+	if err != nil {
+		return PerfResult{}, err
+	}
+	appB, innerB, err := pair()
+	if err != nil {
+		return PerfResult{}, err
+	}
+	go pEnc.Bridge(innerA, linkA)
+	go pDec.Bridge(innerB, linkB)
+	defer func() {
+		// Tearing down the app conns unwinds both bridges.
+		appA.Close()
+		appB.Close()
+	}()
+
+	buf := make([]byte, len(payload))
+	var serr error
+	r := measure("proxy-stream", budget, 5, func() {
+		if _, err := appA.Write(payload); err != nil {
+			serr = err
+			return
+		}
+		if _, err := io.ReadFull(appB, buf); err != nil {
+			serr = err
+		}
+	})
+	if serr != nil {
+		return PerfResult{}, serr
+	}
+	r.MBPerS = float64(len(payload)) / r.NsPerOp * 1e9 / 1e6
+	return r, nil
+}

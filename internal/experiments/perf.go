@@ -143,6 +143,12 @@ func PerfSuite(seed int64, quick bool) ([]PerfResult, error) {
 		return nil, err
 	}
 	out = append(out, api...)
+
+	gw, err := perfGateway(rng.Int63(), budget)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, gw...)
 	return out, nil
 }
 

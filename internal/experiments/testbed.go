@@ -1,8 +1,3 @@
-// Package experiments reproduces every table and figure of the
-// paper's evaluation (§7) on the simulated testbed, plus the ablation
-// studies DESIGN.md calls out. Each experiment is a pure function
-// returning structured results; cmd/zipline-bench renders them in
-// paper layout and bench_test.go wraps them as Go benchmarks.
 package experiments
 
 import (

@@ -1,0 +1,17 @@
+// Package gd implements generalized deduplication (GD), the
+// compression algorithm at the heart of ZipLine (paper §2, §4).
+//
+// GD first applies an invertible transformation that splits a data
+// word into a pair (basis, deviation): many similar words share one
+// basis and differ only in the small deviation. The system then
+// deduplicates bases against a dictionary while keeping each word's
+// deviation, so the original data can always be reconstructed.
+//
+// The paper's transformation is a Hamming-code decode step whose
+// syndrome doubles as the deviation; this package also provides the
+// identity transform (classic deduplication, used as a baseline) and
+// a bit-extraction transform in the spirit of the bit-swapping
+// future-work reference [37]. The BCH transform from the paper's
+// future work lives in zipline/internal/bch and plugs into the same
+// interface.
+package gd

@@ -1,12 +1,3 @@
-// Package gf2m implements arithmetic in the finite fields GF(2^m),
-// the substrate for the BCH transforms the paper names as future work
-// (§8: "the CRC module in Tofino switches opens the door to …
-// BCH codes").
-//
-// Elements are represented as polynomials over GF(2) packed into
-// uint32 (bit i = coefficient of x^i), reduced modulo a primitive
-// polynomial. Multiplication uses log/antilog tables, the classical
-// O(1) construction.
 package gf2m
 
 import "fmt"

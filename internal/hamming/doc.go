@@ -1,0 +1,19 @@
+// Package hamming implements the binary Hamming codes that drive
+// ZipLine's generalized-deduplication transform.
+//
+// A Hamming code with m parity bits has n = 2^m − 1 total bits and
+// k = n − m message bits. ZipLine uses the cyclic construction: the
+// code is the set of multiples of a primitive degree-m generator
+// polynomial g(x), so the syndrome of a word B is simply
+// B(x) mod g(x) — a width-m CRC with g as the polynomial (paper §2).
+// Because the code is perfect (Hamming balls of radius one tile the
+// whole space), *every* n-bit word is at distance ≤ 1 from exactly
+// one codeword; GD therefore maps any chunk to exactly one basis.
+//
+// Wire-order convention: bit position 0 of a word is the first bit on
+// the wire and the coefficient of x^{n−1}; position n−1 is the
+// coefficient of x^0. A systematic codeword carries the m parity bits
+// first (positions 0..m−1) followed by the k message bits — the
+// G_s = [P I_k] form the paper adopts because "it matches the output
+// of CRC functions".
+package hamming

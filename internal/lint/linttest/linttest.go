@@ -1,18 +1,3 @@
-// Package linttest runs ziplint analyzers over fixture packages and
-// compares the diagnostics against expectations written in the fixture
-// source — a dependency-free analogue of go/analysis/analysistest.
-//
-// Fixtures live under testdata/src/<importpath>/ and form a miniature
-// GOPATH: an import of "zipline" from a fixture resolves to
-// testdata/src/zipline, while standard-library imports fall back to
-// compiling the real packages from GOROOT source. Expected diagnostics
-// are trailing comments of the form
-//
-//	expr // want "regexp" "another regexp"
-//
-// one quoted regexp per expected diagnostic on that line. A fixture
-// line that produces a diagnostic with no matching want, or a want that
-// matches no diagnostic, fails the test.
 package linttest
 
 import (

@@ -1,0 +1,12 @@
+// Package packet implements ZipLine's Ethernet-based framing
+// (paper §5): layer-2 frames carrying one of three payload kinds —
+// raw chunks (type 1), processed-but-uncompressed basis+syndrome
+// payloads (type 2), and compressed ID+syndrome payloads (type 3).
+//
+// The wire layouts come in two flavours. The aligned flavour models
+// the Tofino artifact: every header field occupies whole bytes, which
+// costs one extra pad byte in type 2 (the paper's measured 1.03×
+// "no table" overhead, §7 "The 3% overhead is due to padding bits").
+// The packed flavour bit-packs fields back to back, the ideal an
+// "expert P4₁₆/TNA programmer" could approach.
+package packet

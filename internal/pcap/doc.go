@@ -1,0 +1,9 @@
+// Package pcap reads and writes classic libpcap capture files
+// (the .pcap format, version 2.4). The paper's datasets are "converted
+// to a pcap trace of Ethernet packets" and replayed at the switch;
+// this package lets the workload generators produce the same artifact
+// and the harness replay it.
+//
+// Both microsecond (0xa1b2c3d4) and nanosecond (0xa1b23c4d) timestamp
+// flavours are supported, in either byte order.
+package pcap

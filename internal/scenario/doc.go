@@ -1,0 +1,16 @@
+// Package scenario is the declarative layer over the discrete-event
+// testbed: it turns a small JSON-serialisable Spec — hosts, switches
+// with per-port ZipLine roles, links with impairments, traffic from
+// the paper's workload generators — into a wired simulation with one
+// shared control plane, runs it, and distils a metrics report
+// (compression ratio, learning-delay percentiles, goodput, digest
+// volume) from the run.
+//
+// This is the engine behind cmd/zipline-sim and the §7 end-to-end
+// experiments: where the paper evaluates ZipLine on one switch and
+// two servers, a Spec can place encoders and decoders across an
+// arbitrary topology and degrade any link, the scenario axis the
+// packet-level network-compression literature (Beirami et al.) shows
+// matters for en-route compression. Every run is deterministic under
+// its seed, so scenarios double as regression tests.
+package scenario

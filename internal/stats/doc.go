@@ -1,0 +1,8 @@
+// Package stats provides the summary statistics the paper's
+// methodology uses: "each measurement is repeated 10 times, and we
+// show the average and the 95 % confidence interval" (§7): mean,
+// sample standard deviation, Student-t confidence intervals and
+// percentiles over small samples. Pure functions of their input
+// slices — no global state — so experiment reports stay
+// deterministic.
+package stats

@@ -1,6 +1,3 @@
-// Package stats provides the summary statistics the paper's
-// methodology uses: "each measurement is repeated 10 times, and we
-// show the average and the 95 % confidence interval" (§7).
 package stats
 
 import (

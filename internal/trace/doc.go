@@ -1,0 +1,15 @@
+// Package trace generates the paper's two evaluation workloads
+// (§7 "Compression"):
+//
+//   - a synthetic dataset "engineered to be behaviorally close to
+//     typical readouts from a sensor": 3,124,000 chunks of 256 bits
+//     (≈100 MB), modelled as a fleet of sensors whose quantised
+//     readings follow slow random walks;
+//   - a real-world-shaped DNS dataset standing in for "a day of DNS
+//     queries at a 4000 users university campus" [31]: 34-byte
+//     wire-format queries to a single resolver, Zipf-popular names,
+//     with the random transaction identifier stripped (as the paper's
+//     filter does), leaving 32-byte chunks.
+//
+// Generators are deterministic given their seed.
+package trace

@@ -403,10 +403,11 @@ func (pr *parReader) pump(r io.Reader) {
 		close(pr.order)
 	}()
 	var nextSeq uint32
+	var hdr [16]byte
 	for {
 		// Group flags are a v4 construct; v4 streams never reach this
 		// engine (Reader.start routes them serially or via idxReader).
-		byteLen, bitWord, shard, _, err := readBlockHeader(r, pr.version, &nextSeq)
+		byteLen, bitWord, shard, _, err := readBlockHeader(r, pr.version, &nextSeq, &hdr)
 		if err != nil {
 			pr.pumpErr = err
 			return

@@ -356,8 +356,9 @@ func (ix *writerIndex) record(compOff, uncompOff int64) byte {
 // is checked against the segment's indexed extent.
 func decodeSegment(r io.Reader, dec *blockDecoder, version uint8, shards int, seg idxSegment, body, out []byte) ([]byte, []byte, error) {
 	seq := seg.firstGroup
+	var hdr [16]byte
 	for g := 0; g < seg.nGroups; g++ {
-		byteLen, bitWord, shard, gflags, err := readBlockHeader(r, version, &seq)
+		byteLen, bitWord, shard, gflags, err := readBlockHeader(r, version, &seq, &hdr)
 		if err != nil {
 			return out, body, err
 		}
@@ -468,7 +469,8 @@ func (zr *Reader) decodeAllIndexed(src, dst []byte) (out []byte, ok bool, err er
 		st = &idxDecState{}
 	}
 	br := bytes.NewReader(src)
-	info, err := parseStreamHeader(br, st.codec)
+	var phdr [16]byte
+	info, err := parseStreamHeader(br, st.codec, &phdr)
 	if err != nil || !info.hasIndex || info.shards != 1 {
 		zr.iPool.Put(st)
 		return dst, false, nil

@@ -130,6 +130,11 @@ const (
 	defaultBlockBytes = 64 << 10
 	maxBlockBytes     = 1 << 24
 	maxTailBytes      = 0xFFFF
+
+	// maxPooledBlockLen caps the block-body scratch a Reader keeps
+	// across blocks and Resets; larger (corrupt-header) bodies get a
+	// throwaway buffer instead.
+	maxPooledBlockLen = 1 << 20
 )
 
 // tailBlockFlag marks the bitLen word of a raw tail block.
@@ -208,6 +213,7 @@ type blockDecoder struct {
 	codec *Codec
 	dict  *gd.Dictionary
 	stats *StreamStats
+	br    bitvec.Reader // reused per block; live only inside decodeRecords
 }
 
 func newBlockDecoder(codec *Codec, stats *StreamStats, d *Dict) *blockDecoder {
@@ -217,7 +223,11 @@ func newBlockDecoder(codec *Codec, stats *StreamStats, d *Dict) *blockDecoder {
 // decodeRecords replays one block of records, appending the decoded
 // bytes to out.
 func (d *blockDecoder) decodeRecords(body []byte, bitLen int, out []byte) ([]byte, error) {
-	br := bitvec.NewReaderBits(body, bitLen)
+	br := &d.br
+	br.ResetBits(body, bitLen)
+	// body is borrowed scratch; drop the reference on every exit so the
+	// decoder never pins a caller's buffer between blocks.
+	defer br.ResetBits(nil, 0)
 	m := d.codec.DeviationBits()
 	k := d.codec.BasisBits()
 	idBits := d.codec.cfg.IDBits
@@ -488,6 +498,35 @@ func (zw *Writer) Write(p []byte) (int, error) {
 	return n, nil
 }
 
+// Flush writes every buffered complete-chunk record through to the
+// destination as one container block, so a streaming peer can decode
+// the data written so far without waiting for Close — the primitive
+// the ziphttp gateway's http.Flusher path and the zipline-proxy
+// per-segment forwarding are built on. Bytes of a trailing partial
+// chunk (fewer than the codec's ChunkSize) stay pending until further
+// input completes the chunk or Close emits them as the raw tail: the
+// container carries records at chunk granularity, so a mid-stream
+// flush cannot move them. Flushing before any input still forces the
+// stream header out. Flush requires the serial engine
+// (WithWorkers(1)); the sharded writer buffers per worker and returns
+// an error. On an indexed (WithIndex) writer every flushed block is
+// recorded in the trailing index as usual.
+func (zw *Writer) Flush() error {
+	if zw.closed {
+		return fmt.Errorf("zipline: flush after Close")
+	}
+	if zw.w == nil {
+		return fmt.Errorf("zipline: Writer has no destination (NewWriter(nil, ...) serves EncodeAll only)")
+	}
+	if zw.par != nil {
+		return fmt.Errorf("zipline: Flush requires the serial writer (WithWorkers(1))")
+	}
+	if err := zw.writeHeader(); err != nil {
+		return err
+	}
+	return zw.flushBlock()
+}
+
 // writeHeader emits the container header (with the v2/v3 extension
 // and dict frame as configured) from the writer's scratch, so the
 // steady-state pooled path allocates nothing.
@@ -677,7 +716,7 @@ func (zw *Writer) writeTrailer() error {
 }
 
 // Reader decompresses a stream produced by any Writer configuration —
-// it understands all three container versions, following the stream's
+// it understands all four container versions, following the stream's
 // recorded shard count and dictionary identity. It implements
 // io.Reader. With WithWorkers(n > 1), sharded streams are decoded by
 // one worker per shard; Close then releases those workers without
@@ -712,7 +751,10 @@ type Reader struct {
 	hasIndex bool  // header advertised flagIndex
 	idx      *streamIndex
 
-	out     []byte // decoded bytes not yet read
+	out     []byte   // decoded bytes not yet read
+	outBuf  []byte   // recycled backing array for out (streaming Read path)
+	blkBuf  []byte   // recycled block-body scratch (serial decode path)
+	hdrBuf  [16]byte // header scratch (serial decode path)
 	done    bool
 	started bool
 	err     error // sticky: decode failure, io.EOF, or errReaderClosed
@@ -790,7 +832,7 @@ func (zr *Reader) start() error {
 			zr.seeker, zr.origin = sk, off
 		}
 	}
-	info, err := parseStreamHeader(zr.r, zr.codec)
+	info, err := parseStreamHeader(zr.r, zr.codec, &zr.hdrBuf)
 	if err != nil {
 		return err
 	}
@@ -883,11 +925,12 @@ func validateStreamDict(info headerInfo, d *Dict) (*Dict, error) {
 // streams with, so serial and parallel decoders accept exactly the
 // same headers. prev, when non-nil and matching the header's
 // configuration, is reused instead of building a fresh codec — the
-// pooled-reader steady state skips the transform-table setup.
-func parseStreamHeader(r io.Reader, prev *Codec) (headerInfo, error) {
+// pooled-reader steady state skips the transform-table setup. scratch
+// is caller-owned header scratch (same hoisting as readBlockHeader).
+func parseStreamHeader(r io.Reader, prev *Codec, scratch *[16]byte) (headerInfo, error) {
 	var info headerInfo
-	var hdr [8]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	hdr := scratch[:8]
+	if _, err := io.ReadFull(r, hdr); err != nil {
 		return info, fmt.Errorf("%w: header: %w", ErrCorrupt, truncErr(err))
 	}
 	if string(hdr[:4]) != streamMagic {
@@ -911,8 +954,8 @@ func parseStreamHeader(r io.Reader, prev *Codec) (headerInfo, error) {
 	info.shards = 1
 	if info.version >= streamV2 {
 		info.grouped = true
-		var ext [4]byte
-		if _, err := io.ReadFull(r, ext[:]); err != nil {
+		ext := scratch[8:12]
+		if _, err := io.ReadFull(r, ext); err != nil {
 			return info, fmt.Errorf("%w: extended header: %w", ErrCorrupt, truncErr(err))
 		}
 		info.shards = int(ext[0])
@@ -930,8 +973,10 @@ func parseStreamHeader(r io.Reader, prev *Codec) (headerInfo, error) {
 			}
 			info.hasIndex = flags&flagIndex != 0
 			if flags&flagDict != 0 {
-				var df [8]byte
-				if _, err := io.ReadFull(r, df[:]); err != nil {
+				// The fixed header's bytes are fully consumed above, so
+				// its scratch half is free again for the dict frame.
+				df := scratch[:8]
+				if _, err := io.ReadFull(r, df); err != nil {
 					return info, fmt.Errorf("%w: dictionary frame: %w", ErrCorrupt, truncErr(err))
 				}
 				info.hasDict = true
@@ -971,10 +1016,15 @@ func (zr *Reader) Read(p []byte) (int, error) {
 			zr.err = io.EOF
 			return 0, io.EOF
 		}
+		// The previous block's output has been fully copied out; decode
+		// the next one into the same backing array so the streaming
+		// steady state allocates nothing.
+		zr.out = zr.outBuf[:0]
 		if err := zr.readBlock(); err != nil {
 			zr.err = err
 			return 0, err
 		}
+		zr.outBuf = zr.out
 	}
 	n := copy(p, zr.out)
 	zr.out = zr.out[n:]
@@ -1117,7 +1167,7 @@ func (zr *Reader) Close() error {
 }
 
 func (zr *Reader) readBlock() error {
-	byteLen, bitWord, shard, gflags, err := readBlockHeader(zr.r, zr.version, &zr.nextSeq)
+	byteLen, bitWord, shard, gflags, err := readBlockHeader(zr.r, zr.version, &zr.nextSeq, &zr.hdrBuf)
 	if err != nil {
 		return err
 	}
@@ -1133,7 +1183,22 @@ func (zr *Reader) readBlock() error {
 		zr.done = true
 		return nil
 	}
-	body := make([]byte, byteLen)
+	// Block bodies are transient — every downstream consumer copies
+	// what it keeps (parseTailBlock's slice is appended to out,
+	// ReadVector builds fresh vectors) — so one recycled scratch buffer
+	// serves every block. Oversized lengths (only a corrupt or hostile
+	// header produces them; real groups are bounded by the segment
+	// size) use a throwaway allocation instead, so a pooled Reader
+	// never pins a huge buffer.
+	var body []byte
+	if byteLen <= maxPooledBlockLen {
+		if cap(zr.blkBuf) < int(byteLen) {
+			zr.blkBuf = make([]byte, byteLen)
+		}
+		body = zr.blkBuf[:byteLen]
+	} else {
+		body = make([]byte, byteLen)
+	}
 	if _, err := io.ReadFull(zr.r, body); err != nil {
 		return fmt.Errorf("%w: block body: %w", ErrCorrupt, truncErr(err))
 	}
@@ -1203,9 +1268,10 @@ func classifyGroup(bitWord uint32, shard uint8, shards int, body []byte) (tail [
 // length, the bit-length word, the shard and — in version 4 — the
 // group flags. nextSeq tracks the expected sequence number of grouped
 // containers. A header cut short surfaces as ErrCorrupt wrapping
-// io.ErrUnexpectedEOF, never as a clean end of stream.
-func readBlockHeader(r io.Reader, version uint8, nextSeq *uint32) (byteLen, bitWord uint32, shard uint8, gflags byte, err error) {
-	var hdr [16]byte
+// io.ErrUnexpectedEOF, never as a clean end of stream. hdr is
+// caller-owned scratch, hoisted out so reading through the io.Reader
+// interface does not force a heap allocation per block.
+func readBlockHeader(r io.Reader, version uint8, nextSeq *uint32, hdr *[16]byte) (byteLen, bitWord uint32, shard uint8, gflags byte, err error) {
 	n := 8
 	if version >= streamV2 {
 		n = 16

@@ -1,0 +1,56 @@
+// Package ziphttp deploys ZipLine compression as userspace network
+// infrastructure: a transparent HTTP compression gateway and a TCP
+// streaming proxy pair — the serving shape of the paper's in-network
+// compression (Vaucher et al., CoNEXT '20), where compression sits on
+// the path between endpoints rather than inside the application.
+//
+// Three entry points:
+//
+//   - NewMiddleware wraps any http.Handler so responses are
+//     zipline-compressed for clients that advertise support, with
+//     content-type and minimum-size gating, per-tenant shared-
+//     dictionary negotiation, and pooled zero-steady-state-allocation
+//     encoders.
+//   - NewTransport wraps an http.RoundTripper so requests advertise
+//     zipline (and the dictionaries the client holds) and responses
+//     are transparently decompressed.
+//   - NewProxy bridges arbitrary TCP byte streams: an encode-side
+//     proxy compresses everything it forwards to its peer, the
+//     decode-side peer restores the original stream — the paper's
+//     switch pair as two userspace processes (see cmd/zipline-proxy).
+//
+// # Protocol
+//
+// The gateway speaks standard HTTP content negotiation with one
+// extension header:
+//
+//   - A client that can decode zipline streams sends
+//     "Accept-Encoding: zipline"; a compressed response carries
+//     "Content-Encoding: zipline" and "Vary: Accept-Encoding".
+//   - A client holding pre-trained dictionaries (zipline.Dict) lists
+//     their identities in "Zipline-Dict: <id>[,<id>...]" (8-digit
+//     lower-case hex of Dict.ID). A server configured with
+//     dictionaries compresses against the first of its dictionaries
+//     the client holds and names it in the response's Zipline-Dict
+//     header; when the client lacks every server dictionary the
+//     response falls back to identity (uncompressed) rather than
+//     shipping streams the client cannot decode.
+//
+// # Invariants
+//
+//   - Encoders and decoders are pooled per dictionary and re-served
+//     via Reset: the steady-state writer cycle is 0 allocs/op (pinned
+//     by TestPooledWriterZeroAllocs).
+//   - The middleware never compresses a response the client did not
+//     opt into, never double-compresses (a handler-set
+//     Content-Encoding passes through), and drops Content-Length
+//     exactly when the body is recoded.
+//   - http.Flusher, http.Hijacker and io.ReaderFrom survive wrapping:
+//     Flush forwards complete chunks mid-response, Hijack hands the
+//     raw connection over and stops the gateway's writer, and
+//     sendfile-style copies are routed through the gating logic.
+//   - Proxy bridges drain gracefully: each direction's end is carried
+//     in-band by the container trailer, so a half-closed connection
+//     finishes delivering buffered data before teardown and no bytes
+//     are stranded (see the half-close tests in proxy_test.go).
+package ziphttp

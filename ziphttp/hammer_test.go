@@ -1,0 +1,227 @@
+package ziphttp_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"zipline"
+	"zipline/ziphttp"
+)
+
+// TestGatewayHammer drives the full handler+transport path with 256
+// concurrent connections (the acceptance bar; run under -race). Every
+// response must decode to its request's exact payload — pooled state
+// bleeding between concurrent streams is the failure mode this exists
+// to catch.
+func TestGatewayHammer(t *testing.T) {
+	corpus := sensorPayload(50, 64<<10)
+	dict, err := zipline.TrainDict(corpus, zipline.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrap, err := ziphttp.NewMiddleware(ziphttp.WithDict(dict))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each request asks for a distinct seeded payload, so cross-stream
+	// state bleed shows up as a content mismatch, not just a crash.
+	srv := httptest.NewServer(wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var seed int64
+		fmt.Sscanf(r.URL.Query().Get("seed"), "%d", &seed)
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(sensorPayload(seed, 8<<10))
+	})))
+	defer srv.Close()
+
+	base := srv.Client().Transport.(*http.Transport).Clone()
+	base.MaxIdleConns = 512
+	base.MaxIdleConnsPerHost = 512
+	tr, err := ziphttp.NewTransport(base, ziphttp.WithDict(dict))
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &http.Client{Transport: tr}
+
+	const conns = 256
+	const perConn = 4
+	var failures atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < conns; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perConn; i++ {
+				seed := int64(c*perConn + i)
+				resp, err := client.Get(fmt.Sprintf("%s/?seed=%d", srv.URL, seed))
+				if err != nil {
+					t.Errorf("conn %d req %d: %v", c, i, err)
+					failures.Add(1)
+					return
+				}
+				got, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					t.Errorf("conn %d req %d: read: %v", c, i, err)
+					failures.Add(1)
+					return
+				}
+				if !bytes.Equal(got, sensorPayload(seed, 8<<10)) {
+					t.Errorf("conn %d req %d: payload mismatch (cross-stream state bleed?)", c, i)
+					failures.Add(1)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if n := failures.Load(); n > 0 {
+		t.Fatalf("%d of %d workers failed", n, conns)
+	}
+}
+
+// TestGatewayClientDisconnect pins the leak behaviour ISSUE's edge-case
+// table calls out: clients that vanish mid-stream must not strand
+// goroutines or poison the writer pool for later requests.
+func TestGatewayClientDisconnect(t *testing.T) {
+	wrap, err := ziphttp.NewMiddleware()
+	if err != nil {
+		t.Fatal(err)
+	}
+	handlerDone := make(chan struct{}, 64)
+	srv := httptest.NewServer(wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() { handlerDone <- struct{}{} }()
+		w.Header().Set("Content-Type", "application/octet-stream")
+		f, _ := w.(http.Flusher)
+		seg := sensorPayload(60, 4<<10)
+		for i := 0; i < 100; i++ {
+			if _, err := w.Write(seg); err != nil {
+				return
+			}
+			if f != nil {
+				f.Flush()
+			}
+			select {
+			case <-r.Context().Done():
+				return
+			case <-time.After(time.Millisecond):
+			}
+		}
+	})))
+	defer srv.Close()
+
+	before := runtime.NumGoroutine()
+	for i := 0; i < 32; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		req, _ := http.NewRequestWithContext(ctx, "GET", srv.URL, nil)
+		req.Header.Set("Accept-Encoding", ziphttp.ContentEncoding)
+		resp, err := http.DefaultTransport.RoundTrip(req)
+		if err != nil {
+			cancel()
+			t.Fatal(err)
+		}
+		// Read a little, then vanish mid-stream.
+		io.ReadFull(resp.Body, make([]byte, 1024))
+		cancel()
+		resp.Body.Close()
+		select {
+		case <-handlerDone:
+		case <-time.After(10 * time.Second):
+			t.Fatal("handler never observed the disconnect")
+		}
+	}
+
+	// The pool must still serve intact writers after all that carnage.
+	body := sensorPayload(61, 8<<10)
+	srv2 := httptest.NewServer(wrap(payloadHandler(body, "application/octet-stream")))
+	defer srv2.Close()
+	tr, err := ziphttp.NewTransport(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := (&http.Client{Transport: tr}).Get(srv2.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, body) {
+		t.Fatal("writer pool poisoned by disconnected clients")
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+4 {
+			return
+		}
+		runtime.GC()
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked after disconnects: %d before, %d after", before, runtime.NumGoroutine())
+}
+
+// TestProxyConcurrentBridges runs 256 concurrent bridges over loopback
+// TCP through one shared proxy pair (run under -race): the pooled
+// engines must keep every stream isolated.
+func TestProxyConcurrentBridges(t *testing.T) {
+	pEnc, err := ziphttp.NewProxy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pDec, err := ziphttp.NewProxy()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Wire every connection on the test goroutine (tcpPair may Fatal),
+	// then let the workers loose concurrently.
+	const conns = 256
+	type wiring struct{ appA, appB net.Conn }
+	ws := make([]wiring, conns)
+	for c := range ws {
+		appA, innerA := tcpPair(t)
+		linkA, linkB := tcpPair(t)
+		appB, innerB := tcpPair(t)
+		go pEnc.Bridge(innerA, linkA)
+		go pDec.Bridge(innerB, linkB)
+		ws[c] = wiring{appA, appB}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, conns)
+	for c := range ws {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			msg := sensorPayload(int64(1000+c), 16<<10)
+			go func() {
+				ws[c].appA.Write(msg)
+				ws[c].appA.Close()
+			}()
+			got, err := io.ReadAll(ws[c].appB)
+			if err != nil {
+				errs <- fmt.Errorf("bridge %d: %v", c, err)
+				return
+			}
+			if !bytes.Equal(got, msg) {
+				errs <- fmt.Errorf("bridge %d: stream mismatch (pool state bleed?)", c)
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,317 @@
+package ziphttp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+
+	"zipline"
+)
+
+// NewMiddleware returns a wrapper that transparently
+// zipline-compresses the responses of any http.Handler for clients
+// that advertise support, subject to content-type and minimum-size
+// gating and per-tenant dictionary negotiation (see the package
+// documentation for the protocol). Configuration errors — an invalid
+// option, or a WithConfig conflicting with a registered dictionary —
+// surface here, not per request.
+//
+// The wrapper is safe for concurrent use by any number of requests;
+// compression state is borrowed from per-dictionary pools and returned
+// when each response completes.
+func NewMiddleware(opts ...Option) (func(http.Handler) http.Handler, error) {
+	set, err := resolveOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	pools, err := newEnginePools(set)
+	if err != nil {
+		return nil, err
+	}
+	m := &middleware{set: set, pools: pools}
+	m.vary = "Accept-Encoding"
+	if len(set.dicts) > 0 {
+		m.vary = "Accept-Encoding, " + DictHeader
+	}
+	return func(next http.Handler) http.Handler {
+		return m.wrap(next)
+	}, nil
+}
+
+// middleware is the shared state behind one NewMiddleware call: the
+// resolved options, the engine pools, and a pool of response-writer
+// wrappers.
+type middleware struct {
+	set   settings
+	pools *enginePools
+	vary  string
+	rwp   sync.Pool // *responseWriter
+}
+
+func (m *middleware) wrap(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Caches must key on the negotiation inputs whether or not this
+		// response ends up compressed.
+		w.Header().Add("Vary", m.vary)
+
+		if !acceptsZipline(r.Header.Get("Accept-Encoding")) ||
+			r.Method == http.MethodHead || r.Header.Get("Upgrade") != "" {
+			next.ServeHTTP(w, r)
+			return
+		}
+		dict := chooseDict(m.set.dicts, r.Header.Get(DictHeader))
+		if dict == nil && len(m.set.dicts) > 0 {
+			// The server compresses against pre-shared dictionaries only;
+			// a client holding none of them gets identity rather than a
+			// stream it cannot decode.
+			next.ServeHTTP(w, r)
+			return
+		}
+
+		zrw, _ := m.rwp.Get().(*responseWriter)
+		if zrw == nil {
+			zrw = &responseWriter{}
+		}
+		*zrw = responseWriter{m: m, rw: w, dict: dict, code: http.StatusOK, buf: zrw.buf[:0]}
+		defer func() {
+			zrw.finish()
+			*zrw = responseWriter{buf: zrw.buf[:0]}
+			m.rwp.Put(zrw)
+		}()
+		next.ServeHTTP(zrw, r)
+	})
+}
+
+// Response-writer states: buffering input while the compress-or-not
+// decision is open, then committed to one of the two.
+const (
+	stateBuffering = iota
+	statePassthrough
+	stateCompressing
+)
+
+// responseWriter wraps the server's http.ResponseWriter, buffering the
+// head of the body until the gating decision (content type, minimum
+// size, prior Content-Encoding) is made, then streaming the rest
+// through a pooled zipline Writer or straight through.
+type responseWriter struct {
+	m    *middleware
+	rw   http.ResponseWriter
+	dict *zipline.Dict
+
+	state       int
+	code        int
+	wroteHeader bool // handler called WriteHeader explicitly
+	hijacked    bool
+	buf         []byte // body head while buffering (capacity pooled)
+	zw          *zipline.Writer
+}
+
+// Assert the passthrough interfaces survive wrapping.
+var (
+	_ http.ResponseWriter = (*responseWriter)(nil)
+	_ http.Flusher        = (*responseWriter)(nil)
+	_ http.Hijacker       = (*responseWriter)(nil)
+	_ io.ReaderFrom       = (*responseWriter)(nil)
+)
+
+// Header returns the header map of the wrapped writer.
+func (zrw *responseWriter) Header() http.Header { return zrw.rw.Header() }
+
+// WriteHeader records the status code; the header is forwarded when
+// the compress-or-not decision is made, because Content-Encoding and
+// Content-Length must be settled before headers leave.
+func (zrw *responseWriter) WriteHeader(code int) {
+	if zrw.wroteHeader || zrw.hijacked {
+		return
+	}
+	zrw.wroteHeader = true
+	zrw.code = code
+	if zrw.state != stateBuffering {
+		zrw.rw.WriteHeader(code)
+	}
+}
+
+// Write implements io.Writer with the gating decision inline: while
+// buffering, bytes accumulate until the minimum size is reached and
+// the decision commits; afterwards they stream through the chosen
+// path.
+func (zrw *responseWriter) Write(p []byte) (int, error) {
+	switch zrw.state {
+	case stateCompressing:
+		return zrw.zw.Write(p)
+	case statePassthrough:
+		return zrw.rw.Write(p)
+	}
+	if zrw.hijacked {
+		return 0, http.ErrHijacked
+	}
+	zrw.buf = append(zrw.buf, p...)
+	if len(zrw.buf) >= zrw.m.set.minSize {
+		if err := zrw.commit(); err != nil {
+			return 0, err
+		}
+	}
+	return len(p), nil
+}
+
+// commit makes the compress-or-not decision and drains the buffered
+// head down the chosen path. Callers apply the size gate: Write
+// commits once the minimum size is met, Flush commits with the gate
+// waived (a streaming response has no known size to gate on).
+func (zrw *responseWriter) commit() error {
+	h := zrw.rw.Header()
+	compress := true
+	switch {
+	case h.Get("Content-Encoding") != "":
+		// The handler already coded the body; never recode.
+		compress = false
+	case zrw.noBody():
+		compress = false
+	default:
+		ct := h.Get("Content-Type")
+		if ct == "" {
+			ct = http.DetectContentType(zrw.buf)
+			h.Set("Content-Type", ct)
+		}
+		compress = zrw.m.set.compressibleType(ct)
+	}
+	if compress {
+		zrw.state = stateCompressing
+		h.Set("Content-Encoding", ContentEncoding)
+		h.Del("Content-Length")
+		if zrw.dict != nil {
+			h.Set(DictHeader, FormatDictID(zrw.dict.ID()))
+		}
+		zrw.rw.WriteHeader(zrw.code)
+		zrw.zw = zrw.m.pools.getWriter(zrw.dict, zrw.rw)
+		if len(zrw.buf) > 0 {
+			if _, err := zrw.zw.Write(zrw.buf); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	zrw.state = statePassthrough
+	zrw.rw.WriteHeader(zrw.code)
+	if len(zrw.buf) > 0 {
+		if _, err := zrw.rw.Write(zrw.buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// noBody reports status codes that must not carry a message body.
+func (zrw *responseWriter) noBody() bool {
+	return zrw.code == http.StatusNoContent || zrw.code == http.StatusNotModified ||
+		(zrw.code >= 100 && zrw.code < 200)
+}
+
+// finish completes the response after the handler returns: an
+// undecided response below the size gate goes out identity, a
+// compressed one gets its trailer, and the pooled writer goes home.
+func (zrw *responseWriter) finish() {
+	if zrw.hijacked {
+		return
+	}
+	switch zrw.state {
+	case stateBuffering:
+		// Below the minimum size (or empty): identity.
+		h := zrw.rw.Header()
+		if h.Get("Content-Type") == "" && len(zrw.buf) > 0 {
+			h.Set("Content-Type", http.DetectContentType(zrw.buf))
+		}
+		zrw.rw.WriteHeader(zrw.code)
+		if len(zrw.buf) > 0 {
+			// The connection may be gone; there is no one left to tell.
+			_, _ = zrw.rw.Write(zrw.buf)
+		}
+	case stateCompressing:
+		// A close error here means the client went away mid-body; the
+		// writer is still pooled — Reset discards the dead stream state.
+		_ = zrw.zw.Close()
+		zrw.m.pools.putWriter(zrw.dict, zrw.zw)
+		zrw.zw = nil
+	}
+}
+
+// Flush forwards buffered data to the client. On an undecided response
+// it forces the gating decision with the size gate waived — a handler
+// that flushes is streaming, and streams compress well — then pushes
+// complete chunks through the encoder and flushes the wrapped writer.
+func (zrw *responseWriter) Flush() {
+	if zrw.hijacked {
+		return
+	}
+	if zrw.state == stateBuffering {
+		if err := zrw.commit(); err != nil {
+			return
+		}
+	}
+	if zrw.state == stateCompressing {
+		if err := zrw.zw.Flush(); err != nil {
+			return
+		}
+	}
+	if f, ok := zrw.rw.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Hijack hands the raw connection to the handler (WebSocket upgrades
+// and the like). The gateway steps aside: nothing is written, and the
+// pooled writer — if compression had started — keeps its place in the
+// pool with its dead stream state discarded by the next Reset.
+func (zrw *responseWriter) Hijack() (net.Conn, *bufio.ReadWriter, error) {
+	hj, ok := zrw.rw.(http.Hijacker)
+	if !ok {
+		return nil, nil, fmt.Errorf("ziphttp: underlying ResponseWriter is not a Hijacker")
+	}
+	conn, rw, err := hj.Hijack()
+	if err == nil {
+		zrw.hijacked = true
+		if zrw.zw != nil {
+			zrw.m.pools.putWriter(zrw.dict, zrw.zw)
+			zrw.zw = nil
+		}
+	}
+	return conn, rw, err
+}
+
+// readFromBufPool recycles the copy buffers ReadFrom uses, so
+// sendfile-style handlers do not allocate 32 KiB per response.
+var readFromBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 32<<10)
+	return &b
+}}
+
+// ReadFrom routes io.Copy/sendfile-style sources through Write so the
+// gating logic still applies. Without this, http.ServeContent against
+// the wrapper would bypass compression via the underlying
+// connection's ReaderFrom.
+func (zrw *responseWriter) ReadFrom(r io.Reader) (int64, error) {
+	bp := readFromBufPool.Get().(*[]byte)
+	defer readFromBufPool.Put(bp)
+	buf := *bp
+	var total int64
+	for {
+		n, rerr := r.Read(buf)
+		if n > 0 {
+			w, werr := zrw.Write(buf[:n])
+			total += int64(w)
+			if werr != nil {
+				return total, werr
+			}
+		}
+		if rerr == io.EOF {
+			return total, nil
+		}
+		if rerr != nil {
+			return total, rerr
+		}
+	}
+}

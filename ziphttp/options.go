@@ -1,0 +1,225 @@
+package ziphttp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"zipline"
+)
+
+// Standard header and token names of the gateway protocol (see the
+// package documentation for the negotiation rules).
+const (
+	// ContentEncoding is the content-coding token responses carry in
+	// Content-Encoding and clients advertise in Accept-Encoding.
+	ContentEncoding = "zipline"
+	// DictHeader names the dictionary-negotiation header: a request
+	// lists the dictionary identities the client holds, a compressed
+	// response names the one the stream was encoded against.
+	DictHeader = "Zipline-Dict"
+)
+
+// DefaultMinSize is the response-size gate applied when WithMinSize is
+// not given: bodies below it are served identity. Eight chunks — below
+// that, the container header plus cold-dictionary misses typically
+// cost more than they save.
+const DefaultMinSize = 256
+
+// Option configures a middleware, Transport or Proxy.
+type Option func(*settings) error
+
+// settings is the resolved option state shared by the three entry
+// points.
+type settings struct {
+	cfg      zipline.Config
+	cfgSet   bool
+	dicts    []*zipline.Dict
+	minSize  int
+	types    []string
+	typesSet bool
+}
+
+// WithConfig selects the GD operating point for dictless compression
+// (the zero Config is the paper's deployment: 32-byte chunks, 15-bit
+// identifiers). When dictionaries are registered they fix the
+// configuration; combining both is validated at construction exactly
+// as zipline.NewWriter does.
+func WithConfig(cfg zipline.Config) Option {
+	return func(s *settings) error {
+		s.cfg, s.cfgSet = cfg, true
+		return nil
+	}
+}
+
+// WithDict registers a shared pre-trained dictionary. The option may
+// be repeated — one dictionary per tenant — and registration order is
+// the server's preference order during negotiation. For a Transport,
+// registered dictionaries are the ones advertised and accepted; for a
+// Proxy, at most one may be given (both ends of a bridge must hold
+// it).
+func WithDict(d *zipline.Dict) Option {
+	return func(s *settings) error {
+		if d == nil {
+			return fmt.Errorf("ziphttp: WithDict(nil)")
+		}
+		for _, have := range s.dicts {
+			if have.ID() == d.ID() {
+				return fmt.Errorf("ziphttp: dictionary %08x registered twice", d.ID())
+			}
+		}
+		s.dicts = append(s.dicts, d)
+		return nil
+	}
+}
+
+// WithMinSize sets the response-size gate: bodies shorter than n bytes
+// are served identity. 0 disables the gate; the default is
+// DefaultMinSize. The gate is waived when a handler Flushes before n
+// bytes have accumulated — a streaming response has no known size to
+// gate on.
+func WithMinSize(n int) Option {
+	return func(s *settings) error {
+		if n < 0 {
+			return fmt.Errorf("ziphttp: minimum size %d out of range", n)
+		}
+		s.minSize = n
+		return nil
+	}
+}
+
+// WithContentTypes restricts compression to the listed media types. An
+// entry ending in "/" matches the whole top-level type ("text/"); any
+// other entry matches the exact media type, parameters ignored
+// ("application/json" matches "application/json; charset=utf-8").
+// Without the option every media type compresses except a small
+// blocklist of formats that are already entropy-coded (images, video,
+// audio, archives).
+func WithContentTypes(types ...string) Option {
+	return func(s *settings) error {
+		if len(types) == 0 {
+			return fmt.Errorf("ziphttp: WithContentTypes needs at least one type")
+		}
+		s.types = s.types[:0]
+		for _, t := range types {
+			t = strings.ToLower(strings.TrimSpace(t))
+			if t == "" || (strings.Contains(t, "/") == false) {
+				return fmt.Errorf("ziphttp: %q is not a media type", t)
+			}
+			s.types = append(s.types, t)
+		}
+		s.typesSet = true
+		return nil
+	}
+}
+
+// resolveOptions folds opts over the defaults.
+func resolveOptions(opts []Option) (settings, error) {
+	s := settings{minSize: DefaultMinSize}
+	for _, o := range opts {
+		if o == nil {
+			continue
+		}
+		if err := o(&s); err != nil {
+			return s, err
+		}
+	}
+	return s, nil
+}
+
+// ziplineOptions translates the settings into zipline options for one
+// encoder or decoder variant (dict may be nil for the dictless one).
+func (s *settings) ziplineOptions(d *zipline.Dict) []zipline.Option {
+	var opts []zipline.Option
+	if s.cfgSet {
+		opts = append(opts, zipline.WithConfig(s.cfg))
+	}
+	if d != nil {
+		opts = append(opts, zipline.WithDict(d))
+	}
+	return opts
+}
+
+// alreadyCoded lists media types that are themselves entropy-coded:
+// recoding them wastes cycles for ~1.0 ratios, so the default gate
+// passes them through.
+var alreadyCoded = []string{
+	"image/", "video/", "audio/", "font/",
+	"application/zip", "application/gzip", "application/zstd",
+	"application/x-bzip2", "application/x-xz", "application/x-7z-compressed",
+	"application/pdf", "application/wasm",
+}
+
+// compressibleType applies the content-type gate to a raw
+// Content-Type header value.
+func (s *settings) compressibleType(ct string) bool {
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = ct[:i]
+	}
+	ct = strings.ToLower(strings.TrimSpace(ct))
+	if s.typesSet {
+		for _, t := range s.types {
+			if t == ct || (strings.HasSuffix(t, "/") && strings.HasPrefix(ct, t)) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, t := range alreadyCoded {
+		if t == ct || (strings.HasSuffix(t, "/") && strings.HasPrefix(ct, t)) {
+			return false
+		}
+	}
+	return true
+}
+
+// FormatDictID renders a dictionary identity the way the Zipline-Dict
+// header carries it: 8 lower-case hex digits.
+func FormatDictID(id uint32) string {
+	return fmt.Sprintf("%08x", id)
+}
+
+// parseDictID parses one Zipline-Dict list entry.
+func parseDictID(s string) (uint32, bool) {
+	v, err := strconv.ParseUint(strings.TrimSpace(s), 16, 32)
+	if err != nil {
+		return 0, false
+	}
+	return uint32(v), true
+}
+
+// acceptsZipline reports whether an Accept-Encoding header value
+// offers the zipline coding with a non-zero quality.
+func acceptsZipline(accept string) bool {
+	for _, part := range strings.Split(accept, ",") {
+		name, q, _ := strings.Cut(part, ";")
+		if strings.ToLower(strings.TrimSpace(name)) != ContentEncoding {
+			continue
+		}
+		q = strings.TrimSpace(q)
+		if qv, ok := strings.CutPrefix(q, "q="); ok {
+			if f, err := strconv.ParseFloat(strings.TrimSpace(qv), 64); err == nil && f == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// chooseDict picks the first server dictionary the client's
+// Zipline-Dict header advertises, in registration (preference) order.
+func chooseDict(dicts []*zipline.Dict, held string) *zipline.Dict {
+	if len(dicts) == 0 || held == "" {
+		return nil
+	}
+	for _, d := range dicts {
+		want := d.ID()
+		for _, entry := range strings.Split(held, ",") {
+			if id, ok := parseDictID(entry); ok && id == want {
+				return d
+			}
+		}
+	}
+	return nil
+}

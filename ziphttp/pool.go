@@ -1,0 +1,121 @@
+package ziphttp
+
+import (
+	"io"
+	"sync"
+
+	"zipline"
+)
+
+// enginePools owns one writer pool and one reader pool per encoder
+// variant (the dictless one plus each registered dictionary). The
+// variant set is fixed at construction, so lookups are lock-free map
+// reads and the only synchronisation is sync.Pool's own. A pooled
+// engine is re-served with Reset, which keeps its dictionary, block
+// buffers and worker state — the steady-state acquire→encode→release
+// cycle allocates nothing (pinned by TestPooledWriterZeroAllocs).
+type enginePools struct {
+	set     settings
+	writers map[uint32]*sync.Pool // Dict.ID → pool; dictless under key of nil entry
+	readers map[uint32]*sync.Pool
+	dictless,
+	dictlessR *sync.Pool
+	byID map[uint32]*zipline.Dict
+}
+
+// newEnginePools builds the pools and eagerly constructs one writer
+// per variant, so configuration errors (e.g. a WithConfig conflicting
+// with a dictionary's training point) surface at construction time,
+// not mid-request.
+func newEnginePools(set settings) (*enginePools, error) {
+	p := &enginePools{
+		set:     set,
+		writers: make(map[uint32]*sync.Pool, len(set.dicts)),
+		readers: make(map[uint32]*sync.Pool, len(set.dicts)),
+		byID:    make(map[uint32]*zipline.Dict, len(set.dicts)),
+	}
+	mk := func(d *zipline.Dict) (*sync.Pool, *sync.Pool, error) {
+		opts := set.ziplineOptions(d)
+		probe, err := zipline.NewWriter(io.Discard, opts...)
+		if err != nil {
+			return nil, nil, err
+		}
+		wp := &sync.Pool{New: func() any {
+			zw, err := zipline.NewWriter(io.Discard, opts...)
+			if err != nil {
+				// Unreachable: the probe above validated this option set.
+				panic("ziphttp: " + err.Error())
+			}
+			return zw
+		}}
+		wp.Put(probe)
+		rp := &sync.Pool{New: func() any {
+			zr, err := zipline.NewReader(nil, opts...)
+			if err != nil {
+				panic("ziphttp: " + err.Error())
+			}
+			return zr
+		}}
+		return wp, rp, nil
+	}
+	var err error
+	if p.dictless, p.dictlessR, err = mk(nil); err != nil {
+		return nil, err
+	}
+	for _, d := range set.dicts {
+		wp, rp, err := mk(d)
+		if err != nil {
+			return nil, err
+		}
+		p.writers[d.ID()] = wp
+		p.readers[d.ID()] = rp
+		p.byID[d.ID()] = d
+	}
+	return p, nil
+}
+
+// getWriter borrows a pooled writer for the dictionary (nil for
+// dictless) and points it at w.
+func (p *enginePools) getWriter(d *zipline.Dict, w io.Writer) *zipline.Writer {
+	pool := p.dictless
+	if d != nil {
+		pool = p.writers[d.ID()]
+	}
+	zw := pool.Get().(*zipline.Writer)
+	zw.Reset(w)
+	return zw
+}
+
+// putWriter returns a writer to its pool. Reset drops the reference to
+// the request's ResponseWriter so the pool never pins one.
+func (p *enginePools) putWriter(d *zipline.Dict, zw *zipline.Writer) {
+	zw.Reset(io.Discard)
+	pool := p.dictless
+	if d != nil {
+		pool = p.writers[d.ID()]
+	}
+	pool.Put(zw)
+}
+
+// getReader borrows a pooled reader for the dictionary (nil for
+// dictless) and points it at r.
+func (p *enginePools) getReader(d *zipline.Dict, r io.Reader) *zipline.Reader {
+	pool := p.dictlessR
+	if d != nil {
+		pool = p.readers[d.ID()]
+	}
+	zr := pool.Get().(*zipline.Reader)
+	zr.Reset(r)
+	return zr
+}
+
+// putReader returns a reader to its pool, dropping its source
+// reference first.
+func (p *enginePools) putReader(d *zipline.Dict, zr *zipline.Reader) {
+	zr.Reset(nil)
+	pool := p.dictlessR
+	if d != nil {
+		pool = p.readers[d.ID()]
+	}
+	pool.Put(zr)
+}

@@ -1,0 +1,144 @@
+package ziphttp
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"zipline"
+)
+
+// glitchPayload is a sensor-shaped buffer: a handful of 32-byte bases
+// repeated with single-bit glitches, the workload zipline's transforms
+// are built for.
+func glitchPayload(seed int64, size int) []byte {
+	const chunk = 32
+	bases := make([][]byte, 8)
+	s := uint64(seed)*2862933555777941757 + 3037000493
+	rnd := func() uint64 {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		return s
+	}
+	for i := range bases {
+		b := make([]byte, chunk)
+		for j := range b {
+			b[j] = byte(rnd())
+		}
+		bases[i] = b
+	}
+	out := make([]byte, 0, size)
+	for len(out) < size {
+		c := append([]byte(nil), bases[rnd()%8]...)
+		c[rnd()%chunk] ^= 1 << (rnd() % 8)
+		out = append(out, c...)
+	}
+	return out[:size]
+}
+
+// TestPooledWriterZeroAllocs pins the steady-state invariant the
+// gateway's throughput depends on: once the pools are warm and the
+// shared dictionary covers the traffic (every chunk a hit — a miss
+// grows the dynamic dictionary, which is allocation by design), the
+// acquire → encode → release cycle for a response allocates nothing.
+func TestPooledWriterZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		// sync.Pool deliberately drops puts at random under the race
+		// detector, so pooled cycles cannot be pinned there; the
+		// non-race build enforces this invariant.
+		t.Skip("sync.Pool drops puts randomly under the race detector")
+	}
+	corpus := glitchPayload(1, 64<<10)
+	dict, err := zipline.TrainDict(corpus, zipline.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := resolveOptions([]Option{WithDict(dict)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pools, err := newEnginePools(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chunk-aligned slice of the training corpus: all hits.
+	payload := corpus[:32<<10]
+	var sink bytes.Buffer
+	var misses uint64
+	cycle := func() {
+		sink.Reset()
+		zw := pools.getWriter(dict, &sink)
+		if _, err := zw.Write(payload); err != nil {
+			t.Fatal(err)
+		}
+		if err := zw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		misses = zw.Stats.Misses
+		pools.putWriter(dict, zw)
+	}
+	// Warm the pool (and sync.Pool's per-P caches).
+	for i := 0; i < 8; i++ {
+		cycle()
+	}
+	if misses != 0 {
+		t.Fatalf("warm dictionary missed %d chunks — payload not covered", misses)
+	}
+	if avg := testing.AllocsPerRun(100, cycle); avg != 0 {
+		t.Fatalf("pooled writer cycle allocates: %v allocs/op, want 0", avg)
+	}
+}
+
+// TestPooledReaderZeroAllocs pins the same invariant for the decode
+// path the transport and proxy ride on.
+func TestPooledReaderZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation changes escape analysis; allocation pin runs in the non-race build")
+	}
+	corpus := glitchPayload(1, 64<<10)
+	dict, err := zipline.TrainDict(corpus, zipline.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := resolveOptions([]Option{WithDict(dict)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pools, err := newEnginePools(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var compressed bytes.Buffer
+	zw := pools.getWriter(dict, &compressed)
+	if _, err := zw.Write(corpus[:32<<10]); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	pools.putWriter(dict, zw)
+
+	src := bytes.NewReader(compressed.Bytes())
+	out := make([]byte, 64<<10)
+	cycle := func() {
+		src.Seek(0, io.SeekStart)
+		zr := pools.getReader(dict, src)
+		for {
+			_, err := zr.Read(out)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		pools.putReader(dict, zr)
+	}
+	for i := 0; i < 8; i++ {
+		cycle()
+	}
+	if avg := testing.AllocsPerRun(100, cycle); avg != 0 {
+		t.Fatalf("pooled reader cycle allocates: %v allocs/op, want 0", avg)
+	}
+}

@@ -1,0 +1,157 @@
+package ziphttp
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"zipline"
+)
+
+// Proxy compresses arbitrary TCP byte streams between two points: the
+// paper's switch pair as userspace infrastructure. A bridge carries
+// one duplex connection — everything written toward the peer link is
+// zipline-compressed, everything arriving from it is decompressed, so
+// a Proxy on each end of a long-haul link is invisible to the
+// endpoints. Engines are borrowed from per-proxy pools for each
+// connection and re-served via Reset.
+//
+// Both ends of a link must share the configuration (and the optional
+// pre-trained dictionary — WithDict, at most one): the decompressing
+// side follows the container header and rejects mismatches with
+// zipline's typed dictionary errors.
+type Proxy struct {
+	set   settings
+	dict  *zipline.Dict
+	pools *enginePools
+	bufs  sync.Pool // *[]byte segment buffers
+}
+
+// NewProxy builds the shared state for any number of concurrent
+// bridges. At most one dictionary may be registered; configuration
+// errors surface here.
+func NewProxy(opts ...Option) (*Proxy, error) {
+	set, err := resolveOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	if len(set.dicts) > 1 {
+		return nil, fmt.Errorf("ziphttp: a proxy carries one stream dictionary, got %d", len(set.dicts))
+	}
+	pools, err := newEnginePools(set)
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{set: set, pools: pools}
+	if len(set.dicts) == 1 {
+		p.dict = set.dicts[0]
+	}
+	p.bufs.New = func() any {
+		b := make([]byte, 32<<10)
+		return &b
+	}
+	return p, nil
+}
+
+// closeWriter is the half-close capability of *net.TCPConn and
+// friends; the bridge uses it when available so raw EOFs propagate
+// promptly, but stream ends are also carried in-band by the container
+// trailer, so a transport without it still drains correctly.
+type closeWriter interface {
+	CloseWrite() error
+}
+
+// Bridge carries one connection: plain is the uncompressed side (the
+// application), peer is the link to the opposite proxy. Each direction
+// runs until its source half-closes — the plain side's EOF becomes a
+// finished container (tail and trailer flushed) on the peer link, and
+// the peer stream's trailer becomes a half-close toward the
+// application — then both connections are fully closed. Bridge blocks
+// until both directions have drained and returns the first transfer
+// error, if any (a clean bidirectional shutdown returns nil).
+//
+// Any number of Bridge calls may run concurrently on one Proxy.
+func (p *Proxy) Bridge(plain, peer io.ReadWriteCloser) error {
+	errc := make(chan error, 2)
+	go func() { errc <- p.encodeSide(plain, peer) }()
+	go func() { errc <- p.decodeSide(peer, plain) }()
+
+	err := <-errc
+	if err != nil {
+		// One direction failed: tear both connections down so the other
+		// direction cannot block forever on a dead stream.
+		plain.Close()
+		peer.Close()
+	}
+	err2 := <-errc
+	plain.Close()
+	peer.Close()
+	if err == nil && err2 != nil {
+		err = err2
+	}
+	return err
+}
+
+// encodeSide pumps plain→peer through a pooled compressing writer,
+// flushing after every segment so the stream cuts through with at most
+// one chunk of added latency. On the plain side's EOF the container is
+// finished (Close flushes the partial-chunk tail and the trailer) and
+// the peer link is half-closed.
+func (p *Proxy) encodeSide(plain io.Reader, peer io.Writer) error {
+	zw := p.pools.getWriter(p.dict, peer)
+	defer p.pools.putWriter(p.dict, zw)
+	bp := p.bufs.Get().(*[]byte)
+	defer p.bufs.Put(bp)
+	buf := *bp
+	for {
+		n, rerr := plain.Read(buf)
+		if n > 0 {
+			if _, err := zw.Write(buf[:n]); err != nil {
+				return err
+			}
+			if err := zw.Flush(); err != nil {
+				return err
+			}
+		}
+		if rerr == io.EOF {
+			if err := zw.Close(); err != nil {
+				return err
+			}
+			if cw, ok := peer.(closeWriter); ok {
+				cw.CloseWrite()
+			}
+			return nil
+		}
+		if rerr != nil {
+			return rerr
+		}
+	}
+}
+
+// decodeSide pumps peer→plain through a pooled decompressing reader.
+// The container trailer marks the end of the direction — the in-band
+// half-close — after which the plain side's write half is closed.
+func (p *Proxy) decodeSide(peer io.Reader, plain io.Writer) error {
+	zr := p.pools.getReader(p.dict, peer)
+	defer p.pools.putReader(p.dict, zr)
+	bp := p.bufs.Get().(*[]byte)
+	defer p.bufs.Put(bp)
+	buf := *bp
+	for {
+		n, rerr := zr.Read(buf)
+		if n > 0 {
+			if _, err := plain.Write(buf[:n]); err != nil {
+				return err
+			}
+		}
+		if rerr == io.EOF {
+			if cw, ok := plain.(closeWriter); ok {
+				cw.CloseWrite()
+			}
+			return nil
+		}
+		if rerr != nil {
+			return rerr
+		}
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package ziphttp
+
+// raceEnabled reports that this binary was built with the race
+// detector, which changes inlining and escape behaviour enough to
+// perturb allocation counts.
+const raceEnabled = true

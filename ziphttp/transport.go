@@ -1,0 +1,129 @@
+package ziphttp
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+
+	"zipline"
+)
+
+// Transport is an http.RoundTripper that advertises zipline support on
+// every request (plus the identities of the dictionaries it holds) and
+// transparently decompresses zipline-coded responses, handing the
+// caller the identity body it would have seen without the gateway.
+// Decoders are pooled per dictionary and re-served via Reset.
+//
+// Construct with NewTransport; the zero value is not usable.
+type Transport struct {
+	base   http.RoundTripper
+	set    settings
+	pools  *enginePools
+	advert string // precomputed Zipline-Dict request value
+}
+
+// NewTransport wraps base (nil means http.DefaultTransport) so its
+// responses are transparently decompressed. WithDict registers the
+// dictionaries this client holds — a server only serves
+// dictionary-framed streams the client advertised, so decoding can
+// never hit ErrDictRequired; a response naming an unheld dictionary is
+// a protocol violation and surfaces as an error from Read.
+func NewTransport(base http.RoundTripper, opts ...Option) (*Transport, error) {
+	set, err := resolveOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	pools, err := newEnginePools(set)
+	if err != nil {
+		return nil, err
+	}
+	t := &Transport{base: base, set: set, pools: pools}
+	ids := make([]string, len(set.dicts))
+	for i, d := range set.dicts {
+		ids[i] = FormatDictID(d.ID())
+	}
+	t.advert = strings.Join(ids, ",")
+	return t, nil
+}
+
+// RoundTrip implements http.RoundTripper. The request is cloned before
+// the negotiation headers are added, per the RoundTripper contract.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	r2 := req.Clone(req.Context())
+	if ae := r2.Header.Get("Accept-Encoding"); ae == "" {
+		r2.Header.Set("Accept-Encoding", ContentEncoding)
+	} else if !acceptsZipline(ae) {
+		r2.Header.Set("Accept-Encoding", ae+", "+ContentEncoding)
+	}
+	if t.advert != "" {
+		r2.Header.Set(DictHeader, t.advert)
+	}
+	base := t.base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	resp, err := base.RoundTrip(r2)
+	if err != nil || resp.Header.Get("Content-Encoding") != ContentEncoding {
+		return resp, err
+	}
+
+	var dict *zipline.Dict
+	if id := resp.Header.Get(DictHeader); id != "" {
+		v, ok := parseDictID(id)
+		if ok {
+			dict = t.pools.byID[v]
+		}
+		if dict == nil {
+			resp.Body.Close()
+			return nil, fmt.Errorf("ziphttp: response encoded against unheld dictionary %q", id)
+		}
+	}
+	zr := t.pools.getReader(dict, resp.Body)
+	resp.Body = &decompressedBody{zr: zr, raw: resp.Body, pools: t.pools, dict: dict}
+	resp.Header.Del("Content-Encoding")
+	resp.Header.Del("Content-Length")
+	resp.Header.Del(DictHeader)
+	resp.ContentLength = -1
+	resp.Uncompressed = true
+	return resp, nil
+}
+
+// decompressedBody streams the identity bytes out of a zipline-coded
+// response body. The pooled decoder goes home only when the stream was
+// drained to EOF before Close — the steady-state path; an early or
+// concurrent Close (the cancellation path, where a Read may still be
+// blocked on the connection) drops the decoder to the GC instead, so
+// the pool never re-serves a reader another goroutine could still
+// touch.
+type decompressedBody struct {
+	zr     *zipline.Reader
+	raw    io.ReadCloser
+	pools  *enginePools
+	dict   *zipline.Dict
+	eof    bool
+	closed atomic.Bool
+}
+
+// Read implements io.Reader over the decoded stream.
+func (b *decompressedBody) Read(p []byte) (int, error) {
+	n, err := b.zr.Read(p)
+	if err == io.EOF {
+		b.eof = true
+	}
+	return n, err
+}
+
+// Close closes the network body (unblocking any pending Read, like any
+// http response body) and recycles the decoder when it is provably
+// idle. Safe to call more than once.
+func (b *decompressedBody) Close() error {
+	if !b.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	if b.eof {
+		b.pools.putReader(b.dict, b.zr)
+	}
+	return b.raw.Close()
+}

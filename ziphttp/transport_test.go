@@ -1,0 +1,202 @@
+package ziphttp_test
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"zipline"
+	"zipline/ziphttp"
+)
+
+// gatewayServer wires a middleware-wrapped payload handler into a real
+// HTTP server.
+func gatewayServer(t *testing.T, body []byte, mwOpts ...ziphttp.Option) *httptest.Server {
+	t.Helper()
+	wrap, err := ziphttp.NewMiddleware(mwOpts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(wrap(payloadHandler(body, "application/octet-stream")))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestTransportRoundTrip(t *testing.T) {
+	body := sensorPayload(20, 16<<10)
+	srv := gatewayServer(t, body)
+
+	tr, err := ziphttp.NewTransport(srv.Client().Transport)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &http.Client{Transport: tr}
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	if resp.Header.Get("Content-Encoding") != "" {
+		t.Fatalf("Content-Encoding %q leaked through the transport", resp.Header.Get("Content-Encoding"))
+	}
+	if !resp.Uncompressed {
+		t.Fatal("resp.Uncompressed = false")
+	}
+	if resp.ContentLength != -1 {
+		t.Fatalf("ContentLength = %d, want -1 after recoding", resp.ContentLength)
+	}
+	got, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, body) {
+		t.Fatalf("transparent round trip mismatch: %d bytes, want %d", len(got), len(body))
+	}
+}
+
+func TestTransportSharedDictRoundTrip(t *testing.T) {
+	corpus := sensorPayload(21, 64<<10)
+	dict, err := zipline.TrainDict(corpus, zipline.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := sensorPayload(21, 16<<10)
+	srv := gatewayServer(t, body, ziphttp.WithDict(dict))
+
+	tr, err := ziphttp.NewTransport(srv.Client().Transport, ziphttp.WithDict(dict))
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &http.Client{Transport: tr}
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	got, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, body) {
+		t.Fatal("shared-dict round trip mismatch")
+	}
+	if resp.Header.Get("Zipline-Dict") != "" {
+		t.Fatal("Zipline-Dict header leaked through the transport")
+	}
+
+	// A transport without the dict gets identity from the same server —
+	// the negotiated fallback, end to end.
+	plainTr, err := ziphttp.NewTransport(srv.Client().Transport)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2, err := (&http.Client{Transport: plainTr}).Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.Uncompressed {
+		t.Fatal("dictless client should have received identity")
+	}
+	got2, err := io.ReadAll(resp2.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got2, body) {
+		t.Fatal("identity fallback body mismatch")
+	}
+}
+
+// TestTransportPassthrough: responses that are not zipline-coded come
+// back untouched.
+func TestTransportPassthrough(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain")
+		io.WriteString(w, "plain as day")
+	}))
+	defer srv.Close()
+
+	tr, err := ziphttp.NewTransport(srv.Client().Transport)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := (&http.Client{Transport: tr}).Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	got, _ := io.ReadAll(resp.Body)
+	if string(got) != "plain as day" {
+		t.Fatalf("passthrough body %q", got)
+	}
+	if resp.Uncompressed {
+		t.Fatal("passthrough response marked Uncompressed")
+	}
+}
+
+// TestTransportUnheldDict: a response claiming a dictionary the client
+// never advertised is a protocol violation, surfaced as an error.
+func TestTransportUnheldDict(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Encoding", "zipline")
+		w.Header().Set("Zipline-Dict", "deadbeef")
+		w.Write([]byte("whatever"))
+	}))
+	defer srv.Close()
+
+	tr, err := ziphttp.NewTransport(srv.Client().Transport)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (&http.Client{Transport: tr}).Get(srv.URL); err == nil {
+		t.Fatal("unheld dictionary accepted")
+	}
+}
+
+// TestTransportDoesNotMutateRequest pins the RoundTripper contract.
+func TestTransportDoesNotMutateRequest(t *testing.T) {
+	srv := gatewayServer(t, sensorPayload(22, 8<<10))
+	tr, err := ziphttp.NewTransport(srv.Client().Transport)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, _ := http.NewRequest("GET", srv.URL, nil)
+	resp, err := tr.RoundTrip(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if req.Header.Get("Accept-Encoding") != "" {
+		t.Fatal("transport mutated the caller's request headers")
+	}
+}
+
+// TestTransportSequentialReuse drives many sequential requests through
+// one transport so pooled readers are re-served via Reset.
+func TestTransportSequentialReuse(t *testing.T) {
+	body := sensorPayload(23, 8<<10)
+	srv := gatewayServer(t, body)
+	tr, err := ziphttp.NewTransport(srv.Client().Transport)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &http.Client{Transport: tr}
+	for i := 0; i < 50; i++ {
+		resp, err := client.Get(srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, body) {
+			t.Fatalf("request %d: body mismatch", i)
+		}
+	}
+}

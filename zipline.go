@@ -1,31 +1,3 @@
-// Package zipline is a Go implementation of ZipLine, the in-network
-// compression system of Vaucher et al. (CoNEXT '20): generalized
-// deduplication (GD) with Hamming-code transformations computable by
-// a switch CRC engine, a basis dictionary with short identifiers, and
-// the packet formats and control-plane protocol that let a pair of
-// programmable switches compress a link transparently at line rate.
-//
-// Three layers of API:
-//
-//   - Codec: chunk-level GD — Split a fixed-size chunk into
-//     (basis, deviation, extra) and Merge it back losslessly.
-//   - Writer/Reader: streaming GD compression of arbitrary byte
-//     streams with an LRU basis dictionary, the file/IoT-gateway use
-//     case of the GD literature the paper builds on. One reusable
-//     pair serves every mode, selected by functional options:
-//     WithWorkers picks serial or sharded-parallel engines, WithDict
-//     shares a pre-trained basis dictionary (TrainDict) across any
-//     number of encoders, Reset re-serves a pooled instance with zero
-//     steady-state allocations, and EncodeAll/DecodeAll are the
-//     concurrency-safe one-shot paths for short streams.
-//   - SimulateLink: the full in-network system — two switch
-//     pipelines, digests, a control plane with realistic learning
-//     latency — on a deterministic discrete-event testbed.
-//
-// The implementation details live in internal/ packages (bit-level
-// CRC engine, Hamming codes, the Tofino pipeline model, the network
-// simulator); see DESIGN.md for the system inventory and
-// EXPERIMENTS.md for the paper-versus-measured record.
 package zipline
 
 import (
