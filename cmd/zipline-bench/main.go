@@ -27,10 +27,10 @@
 // the ziphttp deployment surfaces (HTTP gateway encode and round
 // trip, TCP proxy streaming) — the repo's performance trajectory.
 // -json writes every collected measurement (perf rows plus Figure 3
-// compression ratios) as machine-readable JSON; BENCH_PR9.json in the
+// compression ratios) as machine-readable JSON; BENCH_PR10.json in the
 // repo root is the committed baseline:
 //
-//	zipline-bench -run perf -json BENCH_PR9.json
+//	zipline-bench -run perf -json BENCH_PR10.json
 package main
 
 import (

@@ -8,6 +8,8 @@
 //
 //	zipline-sim -preset lossy-chain3 [-seed N] [-records N] [-duration MS] [-json]
 //	zipline-sim -scenario spec.json [-json]
+//	zipline-sim -topo fat-tree:k=4 -placement greedy     # generated datacenter topology
+//	zipline-sim -topo fat-tree:k=8,hosts=32 -flows 128   # 1024-host churn
 //	zipline-sim -preset chain3 -trace sensor.pcap        # replay a tracegen capture
 //	zipline-sim -preset chain3 -control-loss 0.2 -restart dec@10+2   # inject faults
 //	zipline-sim -preset chain3 -dump-spec   > my-scenario.json
@@ -82,6 +84,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	presetName := fs.String("preset", "lossy-chain3", "built-in scenario (see -list)")
 	specPath := fs.String("scenario", "", "JSON scenario spec (overrides -preset)")
 	seed := fs.Int64("seed", 0, "override the scenario seed")
+	topoFlag := fs.String("topo", "", "generate the topology, e.g. \"fat-tree:k=4\", \"fat-tree:k=8,hosts=32\", \"isp:switches=16\"")
+	placementFlag := fs.String("placement", "", "dictionary-placement strategy for generated topologies: uniform, greedy, edge, core")
+	flows := fs.Int("flows", 0, "churn flow count for generated topologies (default 64)")
 	records := fs.Int("records", 0, "override every traffic flow's record count")
 	tracePath := fs.String("trace", "", "replay this pcap (e.g. tracegen output) as every flow's workload")
 	durationMs := fs.Int64("duration", 0, "override the bounded run length in milliseconds")
@@ -119,6 +124,32 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *seed != 0 {
 		spec.Seed = *seed
+	}
+	if *topoFlag != "" {
+		t, err := parseTopo(*topoFlag)
+		if err != nil {
+			fmt.Fprintf(stderr, "zipline-sim: -topo: %v\n", err)
+			return 2
+		}
+		// A generated topology replaces any explicit declarations
+		// wholesale; flows and placement keep their blocks (or the
+		// defaults) on top of the new graph.
+		spec.Topology = t
+		spec.Hosts, spec.Switches, spec.Links, spec.Traffic = nil, nil, nil, nil
+		spec.Faults = nil
+		spec.Name = *topoFlag
+	}
+	if *placementFlag != "" {
+		if spec.Placement == nil {
+			spec.Placement = &scenario.PlacementSpec{}
+		}
+		spec.Placement.Strategy = *placementFlag
+	}
+	if *flows > 0 {
+		if spec.Flows == nil {
+			spec.Flows = &scenario.FlowsSpec{}
+		}
+		spec.Flows.Count = *flows
 	}
 	if *records > 0 {
 		for i := range spec.Traffic {
@@ -180,6 +211,37 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	report.WriteText(stdout)
 	return 0
+}
+
+// parseTopo parses the -topo flag: kind[:key=val,...], e.g.
+// "fat-tree:k=8,hosts=32" or "isp:switches=16".
+func parseTopo(s string) (*scenario.TopologySpec, error) {
+	kind, opts, _ := strings.Cut(s, ":")
+	t := &scenario.TopologySpec{Kind: kind}
+	if opts == "" {
+		return t, nil
+	}
+	for _, kv := range strings.Split(opts, ",") {
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, fmt.Errorf("%q: want key=value", kv)
+		}
+		n, err := strconv.Atoi(val)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("%q: bad value %q", kv, val)
+		}
+		switch key {
+		case "k":
+			t.K = n
+		case "hosts":
+			t.HostsPerEdge = n
+		case "switches":
+			t.Switches = n
+		default:
+			return nil, fmt.Errorf("unknown topology option %q (want k, hosts, switches)", key)
+		}
+	}
+	return t, nil
 }
 
 // parseRestarts parses the -restart flag: comma-separated

@@ -56,6 +56,20 @@ func CopyBits(dst []byte, dstOff int, src []byte, srcOff, nbits int) {
 			dstOff += 64
 			nbits -= 64
 		}
+		// A 32-bit stride picks up most of what the word loop leaves
+		// when the source runs out of spill headroom near its end.
+		for nbits >= 32 && si+5 <= len(src) {
+			v := binary.BigEndian.Uint32(src[si:])
+			if sh > 0 {
+				v = v<<sh | uint32(src[si+4])>>(8-sh)
+			}
+			binary.BigEndian.PutUint32(dst[di:], v)
+			si += 4
+			di += 4
+			srcOff += 32
+			dstOff += 32
+			nbits -= 32
+		}
 	}
 	for nbits > 0 {
 		db := dstOff & 7

@@ -15,6 +15,15 @@ import (
 type Config struct {
 	// IDBits sizes the identifier pool at 2^IDBits (default 15).
 	IDBits int
+	// IDFirst and IDLimit restrict this controller's allocations to
+	// the half-open identifier range [IDFirst, IDLimit) within the
+	// 2^IDBits pool. Zero IDLimit means the whole pool. Disjoint
+	// ranges let several controllers — one per encoder domain — share
+	// a network's decoder tables without identifier collisions: this
+	// is how dictionary capacity is split across encoding switches in
+	// placement experiments.
+	IDFirst uint32
+	IDLimit uint32
 	// DigestLatencyNs is the data-plane→controller delivery delay,
 	// covering hardware digest batching and the BfRt stream channel
 	// (default 150 µs).
@@ -138,6 +147,7 @@ type mapping struct {
 // the multi-switch deployment of §8's network-wide discussion.
 type Controller struct {
 	sim  *netsim.Sim
+	lane netsim.Lane
 	cfg  Config
 	encs []*tofino.Pipeline
 	decs []*tofino.Pipeline
@@ -161,6 +171,12 @@ type Controller struct {
 
 	stats  Stats
 	delays *stats.Sample // per-basis learning delay, milliseconds
+
+	// digestsBy attributes digests to the pipeline that emitted them,
+	// counted at the Bind tap (before delivery latency, so the count
+	// is schedule-neutral). Placement strategies read it as the
+	// per-switch redundancy signal.
+	digestsBy map[*tofino.Pipeline]uint64
 }
 
 // New builds a controller for an encoder/decoder pipeline pair.
@@ -187,6 +203,7 @@ func NewMulti(sim *netsim.Sim, cfg Config, encs, decs []*tofino.Pipeline, basisB
 	}
 	c := &Controller{
 		sim:         sim,
+		lane:        sim.NewLane(),
 		cfg:         cfg,
 		encs:        encs,
 		decs:        decs,
@@ -197,14 +214,22 @@ func NewMulti(sim *netsim.Sim, cfg Config, encs, decs []*tofino.Pipeline, basisB
 		switches:    make(map[*tofino.Pipeline]*netsim.Switch),
 		bypassHolds: make(map[*tofino.Pipeline]int),
 		delays:      stats.New(),
+		digestsBy:   make(map[*tofino.Pipeline]uint64),
 	}
 	n := 1 << uint(cfg.IDBits)
-	c.free = make([]uint32, 0, n)
-	for id := n - 1; id >= 0; id-- {
+	first, limit := int(cfg.IDFirst), int(cfg.IDLimit)
+	if limit == 0 {
+		limit = n
+	}
+	if first >= limit || limit > n {
+		return nil, fmt.Errorf("controlplane: identifier range [%d,%d) invalid for IDBits %d", first, limit, cfg.IDBits)
+	}
+	c.free = make([]uint32, 0, limit-first)
+	for id := limit - 1; id >= first; id-- {
 		c.free = append(c.free, uint32(id))
 	}
 	if cfg.SweepIntervalNs > 0 {
-		sim.After(cfg.SweepIntervalNs, c.sweep)
+		sim.AfterLane(c.lane, cfg.SweepIntervalNs, c.sweep)
 	}
 	return c, nil
 }
@@ -221,6 +246,11 @@ func (c *Controller) LearningDelayMs() *stats.Sample { return c.delays }
 // Mappings reports the number of live basis→ID mappings.
 func (c *Controller) Mappings() int { return len(c.byKey) }
 
+// DigestsFrom reports how many new-basis digests the given pipeline
+// has emitted through this controller's Bind tap — the per-switch
+// redundancy signal placement strategies rank on.
+func (c *Controller) DigestsFrom(pl *tofino.Pipeline) uint64 { return c.digestsBy[pl] }
+
 // Bind subscribes the controller to a switch's digests, paying the
 // digest delivery latency for each. RegisterSwitch is implied: the
 // fault machinery learns which switch hosts the pipeline.
@@ -236,12 +266,13 @@ func (c *Controller) Bind(sw *netsim.Switch) {
 			if d.Name != zswitch.DigestNewBasis {
 				continue
 			}
+			c.digestsBy[pl]++
 			data, emitted := d.Data, d.EmittedAt
 			if c.armed() {
 				c.sendDigest(pl, data, emitted)
 				continue
 			}
-			c.sim.After(c.sim.Jitter(c.cfg.DigestLatencyNs, c.cfg.JitterFrac), func() {
+			c.sim.AfterLane(c.lane, c.sim.Jitter(c.cfg.DigestLatencyNs, c.cfg.JitterFrac), func() {
 				c.handleDigest(data, emitted)
 			})
 		}
@@ -316,7 +347,7 @@ func (c *Controller) acceptDigest(data []byte, emitted netsim.Time) {
 		return
 	}
 	c.inflight[key] = emitted
-	c.sim.After(c.sim.Jitter(c.cfg.DecisionNs, c.cfg.JitterFrac), func() {
+	c.sim.AfterLane(c.lane, c.sim.Jitter(c.cfg.DecisionNs, c.cfg.JitterFrac), func() {
 		if c.armed() {
 			c.armedAllocate(key, basis)
 			return
@@ -342,7 +373,7 @@ func (c *Controller) allocateAndInstall(key string, basis *bitvec.Vector) {
 	// after a write interval.
 	victimKey := c.pickVictim()
 	if victimKey == "" {
-		c.sim.After(c.sim.Jitter(c.cfg.WriteLatencyNs, c.cfg.JitterFrac), func() {
+		c.sim.AfterLane(c.lane, c.sim.Jitter(c.cfg.WriteLatencyNs, c.cfg.JitterFrac), func() {
 			c.allocateAndInstall(key, basis)
 		})
 		return
@@ -351,7 +382,7 @@ func (c *Controller) allocateAndInstall(key string, basis *bitvec.Vector) {
 	c.recycling[victimKey] = true
 	// Phase 0: stop every encoder from using the identifier (one
 	// batched write).
-	c.sim.After(c.sim.Jitter(c.cfg.WriteLatencyNs, c.cfg.JitterFrac), func() {
+	c.sim.AfterLane(c.lane, c.sim.Jitter(c.cfg.WriteLatencyNs, c.cfg.JitterFrac), func() {
 		basisVictim := c.byKey[victimKey].basis
 		for _, enc := range c.encs {
 			zswitch.DeleteBasisToID(enc, basisVictim)
@@ -413,14 +444,14 @@ func (c *Controller) idleAcrossEncoders(key string) (int64, bool) {
 func (c *Controller) installDecoderThenEncoder(key string, basis *bitvec.Vector, id uint32) {
 	// Phase 1: every decoder first, so that compressed packets can
 	// always be uncompressed (paper §5) — one batched BfRt write.
-	c.sim.After(c.sim.Jitter(c.cfg.WriteLatencyNs, c.cfg.JitterFrac), func() {
+	c.sim.AfterLane(c.lane, c.sim.Jitter(c.cfg.WriteLatencyNs, c.cfg.JitterFrac), func() {
 		for _, dec := range c.decs {
 			if err := zswitch.InstallIDToBasis(dec, id, basis, c.sim.Now()); err != nil {
 				panic(fmt.Sprintf("controlplane: decoder install: %v", err))
 			}
 		}
 		// Phase 2: the encoder mappings go live.
-		c.sim.After(c.sim.Jitter(c.cfg.WriteLatencyNs, c.cfg.JitterFrac), func() {
+		c.sim.AfterLane(c.lane, c.sim.Jitter(c.cfg.WriteLatencyNs, c.cfg.JitterFrac), func() {
 			for _, enc := range c.encs {
 				if err := zswitch.InstallBasisToID(enc, basis, id, c.sim.Now()); err != nil {
 					panic(fmt.Sprintf("controlplane: encoder install: %v", err))
@@ -448,7 +479,7 @@ func (c *Controller) sweep() {
 		}
 	}
 	if len(expired) == 0 {
-		c.sim.After(c.cfg.SweepIntervalNs, c.sweep)
+		c.sim.AfterLane(c.lane, c.cfg.SweepIntervalNs, c.sweep)
 		return
 	}
 	// A key only expires when every encoder holding it reports it
@@ -479,13 +510,13 @@ func (c *Controller) sweep() {
 		// One write per tier: encoder entries out first, then the
 		// decoder entries, then the identifier returns to the pool.
 		keyCopy, idCopy := key, m.id
-		c.sim.After(c.sim.Jitter(c.cfg.WriteLatencyNs, c.cfg.JitterFrac), func() {
+		c.sim.AfterLane(c.lane, c.sim.Jitter(c.cfg.WriteLatencyNs, c.cfg.JitterFrac), func() {
 			for _, enc := range c.encs {
 				zswitch.DeleteBasisToID(enc, basis)
 			}
 			delete(c.byKey, keyCopy)
 			delete(c.recycling, keyCopy)
-			c.sim.After(c.sim.Jitter(c.cfg.WriteLatencyNs, c.cfg.JitterFrac), func() {
+			c.sim.AfterLane(c.lane, c.sim.Jitter(c.cfg.WriteLatencyNs, c.cfg.JitterFrac), func() {
 				for _, dec := range c.decs {
 					zswitch.DeleteIDToBasis(dec, idCopy)
 				}
@@ -494,5 +525,5 @@ func (c *Controller) sweep() {
 			})
 		})
 	}
-	c.sim.After(c.cfg.SweepIntervalNs, c.sweep)
+	c.sim.AfterLane(c.lane, c.cfg.SweepIntervalNs, c.sweep)
 }

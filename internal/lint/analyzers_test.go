@@ -15,6 +15,14 @@ func TestDeterminism(t *testing.T) {
 	linttest.Run(t, "testdata", lint.Determinism, "zipline/internal/netsim")
 }
 
+func TestDeterminismTopo(t *testing.T) {
+	linttest.Run(t, "testdata", lint.Determinism, "zipline/internal/topo")
+}
+
+func TestDeterminismPlacement(t *testing.T) {
+	linttest.Run(t, "testdata", lint.Determinism, "zipline/internal/placement")
+}
+
 func TestStreamClose(t *testing.T) {
 	linttest.Run(t, "testdata", lint.StreamClose, "zipline/cmd/ziptool")
 }

@@ -20,6 +20,11 @@ var DeterminismPackages = map[string]bool{
 	// The fault-era dataplane hooks (epoch-tagged digests, bypass,
 	// restart) put zswitch on the byte-stability critical path too.
 	"zipline/internal/zswitch": true,
+	// Topology generation and dictionary placement feed the scenario
+	// expander: a map-ordered graph walk or share split would shuffle
+	// ports, identifier ranges, and ultimately whole reports.
+	"zipline/internal/topo":      true,
+	"zipline/internal/placement": true,
 }
 
 // Determinism bans nondeterminism sources inside the simulation and

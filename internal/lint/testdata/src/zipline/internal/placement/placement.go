@@ -1,0 +1,40 @@
+// Fixture for the determinism analyzer: dictionary placement splits
+// identifier ranges across encoders, so share computation must not
+// depend on map layout or wall time.
+package placement
+
+import (
+	"sort"
+	"sync"
+)
+
+var shares sync.Map // want `sync\.Map in a deterministic package`
+
+// rankedScores is the negative corpus: scores sort before any range is
+// cut, so the digest map's layout never reaches the plan.
+func rankedScores(scores map[string]uint64) []string {
+	var names []string
+	for n := range scores {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func unstableSplit(scores map[string]uint64) uint64 {
+	var first uint64
+	for _, s := range scores { // want `map iteration order leaks into a deterministic package`
+		first = s
+		break
+	}
+	return first
+}
+
+func allowedTotal(scores map[string]uint64) uint64 {
+	var sum uint64
+	//ziplint:allow determinism sum is iteration-order-insensitive
+	for _, s := range scores {
+		sum += s
+	}
+	return sum
+}

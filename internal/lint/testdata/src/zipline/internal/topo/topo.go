@@ -1,0 +1,41 @@
+// Fixture for the determinism analyzer: topology generation feeds the
+// scenario expander, so graph construction must be byte-stable for a
+// given seed.
+package topo
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func seededGraph(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // threaded generator: not flagged
+}
+
+func jitter() int64 {
+	return time.Now().UnixNano() // want `time\.Now in a deterministic package`
+}
+
+func shuffledHosts() int {
+	return rand.Intn(4) // want `global math/rand\.Intn in a deterministic package`
+}
+
+// sortedPorts is the negative corpus: collect-then-sort keeps the port
+// numbering independent of map layout.
+func sortedPorts(degree map[string]int) []string {
+	var names []string
+	for n := range degree {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func unsortedPorts(degree map[string]int) []string {
+	var names []string
+	for n := range degree { // want `map iteration order leaks into a deterministic package`
+		names = append(names, n)
+	}
+	return names
+}

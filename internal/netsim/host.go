@@ -68,9 +68,10 @@ type RxStats struct {
 
 // Host is a testbed server: traffic generator and sink.
 type Host struct {
-	sim *Sim
-	cfg HostConfig
-	nic *Endpoint
+	sim  *Sim
+	lane Lane
+	cfg  HostConfig
+	nic  *Endpoint
 
 	// OnReceive, when set, observes every delivered frame.
 	OnReceive func(frame []byte, at Time)
@@ -78,9 +79,11 @@ type Host struct {
 	rx RxStats
 }
 
-// NewHost builds a host and attaches it to its NIC endpoint.
+// NewHost builds a host and attaches it to its NIC endpoint. Each
+// host gets its own event lane: generator and receive events shard
+// per host and merge deterministically.
 func NewHost(sim *Sim, cfg HostConfig, nic *Endpoint) *Host {
-	h := &Host{sim: sim, cfg: cfg.withDefaults(), nic: nic}
+	h := &Host{sim: sim, lane: sim.NewLane(), cfg: cfg.withDefaults(), nic: nic}
 	h.resetRxMarks()
 	nic.SetReceiver(h.receive)
 	return h
@@ -112,7 +115,7 @@ func (h *Host) receive(frame []byte, at Time) {
 	// Host-side receive cost: the frame is visible to the
 	// application a little after the wire delivered it.
 	delay := h.sim.Jitter(h.cfg.RxLatencyNs, h.cfg.LatencyJitterFrac)
-	h.sim.After(delay, func() {
+	h.sim.AfterLane(h.lane, delay, func() {
 		now := h.sim.Now()
 		h.rx.Frames++
 		h.rx.FrameBytes += uint64(len(frame))
@@ -138,7 +141,7 @@ func (h *Host) receive(frame []byte, at Time) {
 // Send transmits one frame, paying the host TX cost first.
 func (h *Host) Send(frame []byte) {
 	delay := h.sim.Jitter(h.cfg.TxLatencyNs, h.cfg.LatencyJitterFrac)
-	h.sim.After(delay, func() {
+	h.sim.AfterLane(h.lane, delay, func() {
 		h.nic.Send(frame)
 	})
 }
@@ -180,13 +183,13 @@ func (h *Host) StreamPaced(start, stop Time, pps float64, next func(i uint64) []
 		if nextAt == h.sim.Now() {
 			nextAt++ // guarantee progress even with no pacing
 		}
-		h.sim.At(nextAt, tick)
+		h.sim.AtLane(h.lane, nextAt, tick)
 	}
-	h.sim.At(start, func() {
+	h.sim.AtLane(h.lane, start, func() {
 		// The first frame pays the host TX cost; subsequent frames
 		// stream from the NIC without re-paying it (the generator
 		// keeps the NIC fed, as raw_ethernet_bw does).
-		h.sim.After(h.sim.Jitter(h.cfg.TxLatencyNs, h.cfg.LatencyJitterFrac), tick)
+		h.sim.AfterLane(h.lane, h.sim.Jitter(h.cfg.TxLatencyNs, h.cfg.LatencyJitterFrac), tick)
 	})
 }
 
@@ -218,7 +221,7 @@ func (h *Host) StreamTimed(start, stop Time, offsetAt func(i uint64) (Time, bool
 		if wire := h.sim.Now() + h.nic.QueueDelay(); wire > sendAt {
 			sendAt = wire
 		}
-		h.sim.At(sendAt, func() {
+		h.sim.AtLane(h.lane, sendAt, func() {
 			if stop > 0 && h.sim.Now() >= stop {
 				return
 			}
@@ -231,8 +234,8 @@ func (h *Host) StreamTimed(start, stop Time, offsetAt func(i uint64) (Time, bool
 			step()
 		})
 	}
-	h.sim.At(start, func() {
+	h.sim.AtLane(h.lane, start, func() {
 		// Like StreamPaced, only the first frame pays the host TX cost.
-		h.sim.After(h.sim.Jitter(h.cfg.TxLatencyNs, h.cfg.LatencyJitterFrac), step)
+		h.sim.AfterLane(h.lane, h.sim.Jitter(h.cfg.TxLatencyNs, h.cfg.LatencyJitterFrac), step)
 	})
 }

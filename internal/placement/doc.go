@@ -1,0 +1,39 @@
+// Package placement decides where compression capacity sits in a
+// generated topology: which switch ports encode, where decompression
+// happens, and how the global dictionary identifier space is split
+// across the encoding switches.
+//
+// A strategy maps a topo.Graph to a Plan — per-port roles plus a
+// half-open identifier range per switch. Disjoint ranges let one
+// control-plane controller per encoding switch share the network's
+// decoder tables without collisions, so a switch's range IS its
+// dictionary capacity share.
+//
+// Strategies:
+//
+//   - uniform: every candidate tier encodes (edge host-facing ports,
+//     agg down-facing ports, all core ports) and the identifier space
+//     splits evenly across all encoding switches — including the ones
+//     deep in the fabric that mostly see already-compressed traffic
+//     and waste their share.
+//   - edge: only edge switches encode, splitting the space evenly.
+//   - core: only core switches encode; intra-pod traffic is never
+//     compressed.
+//   - greedy: candidate roles as uniform, but shares are proportional
+//     to each switch's observed redundancy (control-plane digest
+//     counts from a profiling run); zero-signal switches drop their
+//     encode role entirely, concentrating capacity where compressible
+//     traffic actually appears.
+//
+// Decompression is strategy-independent: every edge switch decodes on
+// its fabric-facing ingress ports, so traffic is always raw by the
+// time it reaches a host.
+//
+// # Determinism
+//
+// Plans are pure functions of (graph, strategy, idBits, scores):
+// no randomness, no time, no map iteration — identifier ranges are
+// assigned in the graph's switch order and proportional splits use
+// largest-remainder rounding with index tie-breaks. Byte-stable
+// scenario reports depend on this.
+package placement

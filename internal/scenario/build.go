@@ -26,8 +26,15 @@ type Scenario struct {
 	Spec Spec
 	Sim  *netsim.Sim
 	// Ctl is the shared control plane, nil when no port has the
-	// encode role.
+	// encode role. Identifier-ranged builds run one controller per
+	// encoding switch; Ctl is then the first (spec order) and ctls
+	// holds them all.
 	Ctl *controlplane.Controller
+
+	ctls []*controlplane.Controller
+	// placement records the topology expansion's dictionary placement
+	// (nil for explicitly-declared scenarios).
+	placement *PlacementReport
 
 	hosts    map[string]*netsim.Host
 	macs     map[string]packet.MAC
@@ -53,6 +60,17 @@ func Build(spec Spec) (*Scenario, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, fmt.Errorf("scenario %q: %w", spec.Name, err)
 	}
+	var placeRep *PlacementReport
+	if spec.Topology != nil {
+		var err error
+		spec, placeRep, err = expandTopology(spec)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %q: %w", spec.Name, err)
+		}
+		if err := spec.Validate(); err != nil {
+			return nil, fmt.Errorf("scenario %q: expanded: %w", spec.Name, err)
+		}
+	}
 	sc := &Scenario{
 		Spec:     spec,
 		Sim:      netsim.NewSim(spec.Seed),
@@ -61,6 +79,7 @@ func Build(spec Spec) (*Scenario, error) {
 		switches: make(map[string]*netsim.Switch),
 		pipes:    make(map[string]*tofino.Pipeline),
 	}
+	sc.placement = placeRep
 	if spec.Faults.Armed() {
 		sc.faultSpec = spec.Faults.WithDefaults()
 		// The injector's seed derives from the scenario seed so fault
@@ -69,12 +88,23 @@ func Build(spec Spec) (*Scenario, error) {
 		sc.faults = netsim.NewFaults(spec.Seed ^ faultSeedSalt)
 	}
 
+	// Host MACs first: switch destination routes resolve against them.
+	// The 24-bit index keeps addresses unique for topology-scale host
+	// counts and is byte-identical to the old single-byte scheme for
+	// the first 255 hosts.
+	for i, h := range spec.Hosts {
+		n := i + 1
+		sc.macs[h.Name] = packet.MAC{0x02, 0x5A, 0x00, byte(n >> 16), byte(n >> 8), byte(n)}
+	}
+
 	// Switch programs and pipelines, in spec order.
 	var encPipes, decPipes []*tofino.Pipeline
+	var encSpecs []SwitchSpec
 	chunkBytes := 32 // paper default; overwritten once a program loads
 	for _, sw := range spec.Switches {
 		roles := make(map[tofino.Port]zswitch.Role)
 		portMap := make(map[tofino.Port]tofino.Port)
+		var macMap map[packet.MAC]tofino.Port
 		hasEnc, hasDec := false, false
 		maxPort := 0
 		for _, p := range sw.Ports {
@@ -86,12 +116,23 @@ func Build(spec Spec) (*Scenario, error) {
 				roles[tofino.Port(p.Port)] = zswitch.RoleDecode
 				hasDec = true
 			}
-			portMap[tofino.Port(p.Port)] = tofino.Port(p.Out)
+			if len(sw.Routes) == 0 {
+				portMap[tofino.Port(p.Port)] = tofino.Port(p.Out)
+				if p.Out > maxPort {
+					maxPort = p.Out
+				}
+			}
 			if p.Port > maxPort {
 				maxPort = p.Port
 			}
-			if p.Out > maxPort {
-				maxPort = p.Out
+		}
+		if len(sw.Routes) > 0 {
+			macMap = make(map[packet.MAC]tofino.Port, len(sw.Routes))
+			for _, r := range sw.Routes {
+				macMap[sc.macs[r.Dst]] = tofino.Port(r.Out)
+				if r.Out > maxPort {
+					maxPort = r.Out
+				}
 			}
 		}
 		prog, err := zswitch.New(zswitch.Config{
@@ -101,6 +142,7 @@ func Build(spec Spec) (*Scenario, error) {
 			TTLNs:   spec.Controller.TTLNs,
 			Roles:   roles,
 			PortMap: portMap,
+			MACMap:  macMap,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("scenario %q: switch %s: %w", spec.Name, sw.Name, err)
@@ -125,6 +167,7 @@ func Build(spec Spec) (*Scenario, error) {
 		if hasEnc {
 			encPipes = append(encPipes, pl)
 			sc.encNames = append(sc.encNames, sw.Name)
+			encSpecs = append(encSpecs, sw)
 		}
 		if hasDec {
 			decPipes = append(decPipes, pl)
@@ -163,13 +206,11 @@ func Build(spec Spec) (*Scenario, error) {
 		}
 	}
 
-	// Hosts, in spec order, with generated locally-administered MACs.
-	for i, h := range spec.Hosts {
-		mac := packet.MAC{0x02, 0x5A, 0x00, 0x00, 0x00, byte(i + 1)}
-		sc.macs[h.Name] = mac
+	// Hosts, in spec order, with the MACs generated above.
+	for _, h := range spec.Hosts {
 		sc.hosts[h.Name] = netsim.NewHost(sc.Sim, netsim.HostConfig{
 			Name:   h.Name,
-			MAC:    mac,
+			MAC:    sc.macs[h.Name],
 			MaxPPS: h.MaxPPS,
 		}, hostNIC[h.Name])
 	}
@@ -203,22 +244,49 @@ func Build(spec Spec) (*Scenario, error) {
 		// All programs share one codec configuration, so any of them
 		// answers for the dictionary key width.
 		basisBits := sc.prog.Codec().BasisBits()
-		ctl, err := controlplane.NewMulti(sc.Sim, cpCfg, encPipes, decPipes, basisBits)
-		if err != nil {
-			return nil, fmt.Errorf("scenario %q: %w", spec.Name, err)
+		ranged := false
+		for _, sw := range encSpecs {
+			if sw.IDLimit > 0 {
+				ranged = true
+				break
+			}
 		}
-		for _, name := range sc.encNames {
-			ctl.Bind(sc.switches[name])
+		if !ranged {
+			ctl, err := controlplane.NewMulti(sc.Sim, cpCfg, encPipes, decPipes, basisBits)
+			if err != nil {
+				return nil, fmt.Errorf("scenario %q: %w", spec.Name, err)
+			}
+			for _, name := range sc.encNames {
+				ctl.Bind(sc.switches[name])
+			}
+			sc.ctls = []*controlplane.Controller{ctl}
+		} else {
+			// Identifier-ranged encoders each get their own controller
+			// scoped to the declared range, all writing every decoder
+			// table: disjoint ranges keep the installs collision-free,
+			// so the range IS the switch's dictionary capacity share.
+			for i, sw := range encSpecs {
+				cfg := cpCfg
+				cfg.IDFirst, cfg.IDLimit = sw.IDFirst, sw.IDLimit
+				ctl, err := controlplane.NewMulti(sc.Sim, cfg, encPipes[i:i+1], decPipes, basisBits)
+				if err != nil {
+					return nil, fmt.Errorf("scenario %q: switch %s: %w", spec.Name, sw.Name, err)
+				}
+				ctl.Bind(sc.switches[sw.Name])
+				sc.ctls = append(sc.ctls, ctl)
+			}
 		}
+		sc.Ctl = sc.ctls[0]
 		if sc.faults != nil {
 			// Reliable writes check the target switch's crash state at
 			// delivery; decoder-only switches aren't Bound, so register
 			// every switch explicitly.
-			for _, sw := range spec.Switches {
-				ctl.RegisterSwitch(sc.switches[sw.Name])
+			for _, ctl := range sc.ctls {
+				for _, sw := range spec.Switches {
+					ctl.RegisterSwitch(sc.switches[sw.Name])
+				}
 			}
 		}
-		sc.Ctl = ctl
 	}
 
 	// Declared traffic.

@@ -147,11 +147,35 @@ func Preset(name string) (Spec, bool) {
 				{From: "senderB", To: "sink", Workload: WorkloadSensor, Records: 10_000, Seed: 100},
 			},
 		}, true
+	case "fat-tree":
+		// A k=4 fat-tree (16 hosts, 20 switches) under flow churn
+		// with greedy dictionary placement: the profiling pass
+		// concentrates identifier shares on the switches that actually
+		// observe raw redundancy — the edge tier, since the first
+		// encode point on a path converts everything to type 2/3.
+		return Spec{
+			Name:      "fat-tree",
+			Topology:  &TopologySpec{Kind: TopoFatTree, K: 4},
+			Flows:     &FlowsSpec{Count: 64},
+			Placement: &PlacementSpec{Strategy: "greedy"},
+		}, true
+
+	case "fat-tree-churn":
+		// Datacenter scale: a k=8 fat-tree with 32 hosts per edge
+		// switch — 1024 hosts, 80 switches, 1280 links — under heavier
+		// churn with edge placement. The sharded event loop's width
+		// test.
+		return Spec{
+			Name:      "fat-tree-churn",
+			Topology:  &TopologySpec{Kind: TopoFatTree, K: 8, HostsPerEdge: 32},
+			Flows:     &FlowsSpec{Count: 128},
+			Placement: &PlacementSpec{Strategy: "edge"},
+		}, true
 	}
 	return Spec{}, false
 }
 
 // PresetNames lists the built-in scenarios in display order.
 func PresetNames() []string {
-	return []string{"single", "chain3", "lossy-chain3", "lossy-control", "fanin", "perf"}
+	return []string{"single", "chain3", "lossy-chain3", "lossy-control", "fanin", "perf", "fat-tree", "fat-tree-churn"}
 }

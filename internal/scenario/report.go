@@ -6,6 +6,7 @@ import (
 
 	"zipline/internal/netsim"
 	"zipline/internal/packet"
+	"zipline/internal/stats"
 	"zipline/internal/zswitch"
 )
 
@@ -72,9 +73,31 @@ type FaultReport struct {
 	SwitchDownDrops uint64 `json:"switch_down_drops"`
 }
 
+// PlacementReport records a topology expansion's dictionary-placement
+// decision: the strategy, the identifier-space width, and each
+// encoding switch's capacity share (plus the profiling signal that
+// earned it, for the greedy strategy).
+type PlacementReport struct {
+	Strategy string             `json:"strategy"`
+	IDBits   int                `json:"id_bits"`
+	Encoders []EncoderPlacement `json:"encoders"`
+}
+
+// EncoderPlacement is one encoding switch's share of the identifier
+// space.
+type EncoderPlacement struct {
+	Switch  string `json:"switch"`
+	IDFirst uint32 `json:"id_first"`
+	IDLimit uint32 `json:"id_limit"`
+	// ProfileDigests is the greedy profiling pass's digest count for
+	// this switch (omitted for signal-free strategies).
+	ProfileDigests uint64 `json:"profile_digests,omitempty"`
+}
+
 // LearningReport summarises the control plane's work: how many bases
 // were learned and how long each took from first digest to the
-// encoder mapping going live.
+// encoder mapping going live. Identifier-ranged builds aggregate the
+// counters and merge the delay samples of every controller.
 type LearningReport struct {
 	Learned     uint64  `json:"learned"`
 	Recycled    uint64  `json:"recycled"`
@@ -111,6 +134,11 @@ type Report struct {
 	// >1 = transform overhead dominating, paper Figure 3).
 	Encode           zswitch.Stats `json:"encode"`
 	CompressionRatio float64       `json:"compression_ratio"`
+
+	// Placement records the topology expansion's dictionary placement;
+	// nil for explicitly-declared scenarios, keeping their JSON
+	// unchanged.
+	Placement *PlacementReport `json:"placement,omitempty"`
 
 	// Learning is nil when the scenario has no encoder (and thus no
 	// control plane).
@@ -168,21 +196,25 @@ func (sc *Scenario) report() Report {
 		r.CompressionRatio = float64(r.Encode.EncPayloadOut) / float64(r.Encode.EncPayloadIn)
 	}
 
-	if sc.Ctl != nil {
-		st := sc.Ctl.Stats()
-		d := sc.Ctl.LearningDelayMs()
-		r.Learning = &LearningReport{
-			Learned:     st.Learned,
-			Recycled:    st.Recycled,
-			Expired:     st.Expired,
-			DigestsSeen: st.DigestsSeen,
-			DigestBytes: st.DigestBytes,
-			DelayN:      d.N(),
-			DelayMeanMs: d.Mean(),
-			DelayP50Ms:  d.Percentile(50),
-			DelayP90Ms:  d.Percentile(90),
-			DelayP99Ms:  d.Percentile(99),
+	r.Placement = sc.placement
+	if len(sc.ctls) > 0 {
+		lr := &LearningReport{}
+		delays := stats.New()
+		for _, ctl := range sc.ctls {
+			st := ctl.Stats()
+			lr.Learned += st.Learned
+			lr.Recycled += st.Recycled
+			lr.Expired += st.Expired
+			lr.DigestsSeen += st.DigestsSeen
+			lr.DigestBytes += st.DigestBytes
+			delays.Add(ctl.LearningDelayMs().Values()...)
 		}
+		lr.DelayN = delays.N()
+		lr.DelayMeanMs = delays.Mean()
+		lr.DelayP50Ms = delays.Percentile(50)
+		lr.DelayP90Ms = delays.Percentile(90)
+		lr.DelayP99Ms = delays.Percentile(99)
+		r.Learning = lr
 	}
 
 	if sc.faults != nil {
@@ -191,13 +223,15 @@ func (sc *Scenario) report() Report {
 			BypassFrames:       r.Encode.Bypass,
 			ControlMsgsLost:    sc.faults.MsgsLost,
 		}
-		if sc.Ctl != nil {
-			st := sc.Ctl.Stats()
-			fr.Retransmits = st.Retransmits
-			fr.Abandoned = st.Abandoned
-			fr.StaleDigests = st.StaleDigests
-			fr.Resyncs = st.Resyncs
-			fr.RecoveryTimeNs = st.RecoveryNsMax
+		for _, ctl := range sc.ctls {
+			st := ctl.Stats()
+			fr.Retransmits += st.Retransmits
+			fr.Abandoned += st.Abandoned
+			fr.StaleDigests += st.StaleDigests
+			fr.Resyncs += st.Resyncs
+			if st.RecoveryNsMax > fr.RecoveryTimeNs {
+				fr.RecoveryTimeNs = st.RecoveryNsMax
+			}
 		}
 		for _, sw := range sc.Spec.Switches {
 			fr.SwitchDownDrops += sc.switches[sw.Name].DownDrops
@@ -245,6 +279,10 @@ func (r Report) WriteText(w io.Writer) {
 		fmt.Fprintf(w, "  encode    : %d→type2  %d→type3  ratio %.4f  (in %d B, out %d B)\n",
 			r.Encode.RawToType2, r.Encode.RawToType3, r.CompressionRatio,
 			r.Encode.EncPayloadIn, r.Encode.EncPayloadOut)
+	}
+	if p := r.Placement; p != nil {
+		fmt.Fprintf(w, "  placement : %s, %d encoders over %d-bit identifiers\n",
+			p.Strategy, len(p.Encoders), p.IDBits)
 	}
 	if l := r.Learning; l != nil {
 		fmt.Fprintf(w, "  learning  : %d bases (recycled %d, expired %d), digests %d (%d B)\n",

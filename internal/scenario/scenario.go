@@ -61,6 +61,16 @@ type Spec struct {
 	Links    []LinkSpec    `json:"links"`
 	Traffic  []TrafficSpec `json:"traffic,omitempty"`
 
+	// Topology, when set, generates Hosts, Switches and Links from a
+	// parameterized graph instead of explicit declarations — the spec
+	// must then declare none of them. Flows generates Traffic from the
+	// flow-churn model, and Placement decides which generated switches
+	// encode and how the identifier space splits across them; both
+	// require Topology.
+	Topology  *TopologySpec  `json:"topology,omitempty"`
+	Flows     *FlowsSpec     `json:"flows,omitempty"`
+	Placement *PlacementSpec `json:"placement,omitempty"`
+
 	// Faults schedules switch restarts, link flaps and control-channel
 	// loss. Nil (or an all-zero schedule) keeps the run on the legacy
 	// fault-free code paths, byte-identical to the pre-fault engine.
@@ -104,6 +114,25 @@ type SwitchSpec struct {
 	Ports []PortSpec `json:"ports"`
 	// PipelineLatencyNs overrides the constant traversal latency.
 	PipelineLatencyNs int64 `json:"pipeline_latency_ns,omitempty"`
+	// Routes forward by destination host instead of static port maps:
+	// a frame whose Ethernet destination is Dst's MAC egresses on Out.
+	// When any route is declared the switch forwards exclusively by
+	// destination (PortSpec.Out is ignored) — what multi-path
+	// topologies need, where one ingress fans out to many egresses.
+	Routes []RouteSpec `json:"routes,omitempty"`
+	// IDFirst/IDLimit scope this switch's dictionary to the half-open
+	// identifier range [IDFirst, IDLimit) — its capacity share. Any
+	// switch declaring a range gives every encoding switch its own
+	// controller over its declared range; disjoint ranges share the
+	// network's decoder tables without collisions.
+	IDFirst uint32 `json:"id_first,omitempty"`
+	IDLimit uint32 `json:"id_limit,omitempty"`
+}
+
+// RouteSpec is one destination-based forwarding entry.
+type RouteSpec struct {
+	Dst string `json:"dst"`
+	Out int    `json:"out"`
 }
 
 // PortSpec assigns a role and static forwarding to one ingress port.
@@ -217,6 +246,20 @@ func parseEndpointRef(s string) (endpointRef, error) {
 // Validate checks the spec's internal consistency; Build calls it,
 // but callers constructing specs programmatically can run it early.
 func (s Spec) Validate() error {
+	if s.Topology != nil {
+		// Topology specs are validated structurally here and in full
+		// after expansion (Build validates the expanded spec too).
+		if len(s.Hosts)+len(s.Switches)+len(s.Links)+len(s.Traffic) > 0 {
+			return fmt.Errorf("topology expansion generates hosts/switches/links/traffic: declare none")
+		}
+		return s.validateTopology()
+	}
+	if s.Flows != nil {
+		return fmt.Errorf("flows block requires a topology block")
+	}
+	if s.Placement != nil {
+		return fmt.Errorf("placement block requires a topology block")
+	}
 	names := make(map[string]string)
 	for _, h := range s.Hosts {
 		if h.Name == "" {
@@ -258,7 +301,50 @@ func (s Spec) Validate() error {
 				return fmt.Errorf("switch %q port %d: unknown role %q", sw.Name, p.Port, p.Role)
 			}
 		}
+		if len(sw.Routes) > 0 {
+			dsts := make(map[string]bool, len(sw.Routes))
+			for _, r := range sw.Routes {
+				if names[r.Dst] != "host" {
+					return fmt.Errorf("switch %q: route to unknown host %q", sw.Name, r.Dst)
+				}
+				if dsts[r.Dst] {
+					return fmt.Errorf("switch %q: duplicate route to %q", sw.Name, r.Dst)
+				}
+				dsts[r.Dst] = true
+				if r.Out < 0 || r.Out > MaxPort {
+					return fmt.Errorf("switch %q: route egress %d outside [0,%d]", sw.Name, r.Out, MaxPort)
+				}
+				known[r.Out] = true
+			}
+		}
+		if sw.IDLimit > 0 && sw.IDFirst >= sw.IDLimit {
+			return fmt.Errorf("switch %q: identifier range [%d,%d) is empty", sw.Name, sw.IDFirst, sw.IDLimit)
+		}
 		knownPorts[sw.Name] = known
+	}
+	// Per-switch identifier ranges are all-or-nothing across encoders:
+	// a ranged build gives each encoding switch its own controller, so
+	// an unranged encoder would have no identifier budget at all.
+	ranged := false
+	for _, sw := range s.Switches {
+		if sw.IDLimit > 0 {
+			ranged = true
+			break
+		}
+	}
+	if ranged {
+		for _, sw := range s.Switches {
+			hasEnc := false
+			for _, p := range sw.Ports {
+				if p.Role == RoleEncode {
+					hasEnc = true
+					break
+				}
+			}
+			if hasEnc && sw.IDLimit == 0 {
+				return fmt.Errorf("switch %q encodes without an identifier range while others declare one", sw.Name)
+			}
+		}
 	}
 
 	hostLinks := make(map[string]int)

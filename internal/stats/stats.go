@@ -24,6 +24,10 @@ func (s *Sample) Add(xs ...float64) { s.xs = append(s.xs, xs...) }
 // N returns the number of measurements.
 func (s *Sample) N() int { return len(s.xs) }
 
+// Values returns a copy of the measurements in insertion order, for
+// merging samples.
+func (s *Sample) Values() []float64 { return append([]float64(nil), s.xs...) }
+
 // Mean returns the arithmetic mean (0 for an empty sample).
 func (s *Sample) Mean() float64 {
 	if len(s.xs) == 0 {

@@ -79,11 +79,27 @@ func Preset(name string) (Spec, bool) {
 				{Param: "id_bits", Values: Nums(8, 15)},
 			},
 		}, true
+	case "placement":
+		// The dictionary-placement matrix: every placement strategy ×
+		// identifier scarcity on the k=4 fat-tree under churn. Greedy
+		// must beat uniform on aggregate compression ratio wherever
+		// identifiers are scarce — uniform wastes shares on deep-fabric
+		// switches that only ever see already-compressed traffic. The
+		// CI topo-smoke job asserts the matrix is byte-identical across
+		// worker counts and repeat runs.
+		return Spec{
+			Name:   "placement",
+			Preset: "fat-tree",
+			Axes: []Axis{
+				{Param: "placement", Values: []Value{Str("uniform"), Str("greedy"), Str("edge"), Str("core")}},
+				{Param: "id_bits", Values: Nums(6, 8, 10, 15)},
+			},
+		}, true
 	}
 	return Spec{}, false
 }
 
 // PresetNames lists the built-in sweeps in display order.
 func PresetNames() []string {
-	return []string{"loss-sensitivity", "dict-size", "ttl", "chaos", "smoke"}
+	return []string{"loss-sensitivity", "dict-size", "ttl", "chaos", "smoke", "placement"}
 }

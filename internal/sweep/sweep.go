@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"zipline/internal/netsim"
+	"zipline/internal/placement"
 	"zipline/internal/scenario"
 )
 
@@ -185,6 +186,7 @@ func cloneScenario(sp scenario.Spec) scenario.Spec {
 func ParamNames() []string {
 	return []string{
 		"preset", "seed", "records", "pps", "workload", "trace",
+		"placement", "k",
 		"id_bits", "m", "t", "ttl_ms", "ttl_ns", "duration_ms",
 		"loss_prob", "dup_prob", "reorder_prob", "reorder_delay_ns", "extra_latency_ns",
 		"control_loss_prob", "restart_down_ms",
@@ -357,6 +359,30 @@ func applyParam(sp *scenario.Spec, ax Axis, v Value) error {
 			sp.Traffic[i].Workload = scenario.WorkloadTrace
 			sp.Traffic[i].Trace = path
 		}
+	case "placement":
+		name, err := wantStr(ax.Param, v)
+		if err != nil {
+			return err
+		}
+		if !placement.Strategy(name).Valid() {
+			return fmt.Errorf("param %q: unknown strategy %q", ax.Param, name)
+		}
+		if sp.Topology == nil {
+			return fmt.Errorf("param %q needs a base scenario with a topology block", ax.Param)
+		}
+		if sp.Placement == nil {
+			sp.Placement = &scenario.PlacementSpec{}
+		}
+		sp.Placement.Strategy = name
+	case "k":
+		n, err := wantInt(ax.Param, v)
+		if err != nil {
+			return err
+		}
+		if sp.Topology == nil {
+			return fmt.Errorf("param %q needs a base scenario with a topology block", ax.Param)
+		}
+		sp.Topology.K = n
 	case "id_bits":
 		n, err := wantInt(ax.Param, v)
 		if err != nil {

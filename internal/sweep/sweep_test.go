@@ -146,6 +146,12 @@ func TestExpandRejects(t *testing.T) {
 		{"grid too large", Spec{Preset: "chain3", Axes: []Axis{
 			{Param: "loss_prob", Values: Nums(make([]float64, 100)...)},
 			{Param: "dup_prob", Values: Nums(make([]float64, 100)...)}}}},
+		{"placement axis without topology", Spec{Preset: "chain3", Axes: []Axis{
+			{Param: "placement", Values: []Value{Str("greedy")}}}}},
+		{"k axis without topology", Spec{Preset: "chain3", Axes: []Axis{
+			{Param: "k", Values: Nums(4)}}}},
+		{"unknown placement strategy", Spec{Preset: "fat-tree", Axes: []Axis{
+			{Param: "placement", Values: []Value{Str("psychic")}}}}},
 	}
 	for _, tc := range cases {
 		if _, err := Expand(tc.spec); err == nil {
@@ -189,6 +195,47 @@ func TestExpandPresetAxis(t *testing.T) {
 		if c.Spec.Traffic[0].Records != 500 {
 			t.Errorf("cell %d: records axis not applied over preset", i)
 		}
+	}
+}
+
+// TestPlacementAxes: the placement and k axes rewrite the topology
+// block per cell, and the built-in placement preset spans every
+// strategy × identifier width.
+func TestPlacementAxes(t *testing.T) {
+	cells, err := Expand(Spec{
+		Preset: "fat-tree",
+		Axes: []Axis{
+			{Param: "placement", Values: []Value{Str("uniform"), Str("core")}},
+			{Param: "k", Values: Nums(4, 8)},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 4 {
+		t.Fatalf("cells = %d, want 4", len(cells))
+	}
+	for i, want := range []struct {
+		strategy string
+		k        int
+	}{{"uniform", 4}, {"uniform", 8}, {"core", 4}, {"core", 8}} {
+		c := cells[i]
+		if c.Spec.Placement.Strategy != want.strategy || c.Spec.Topology.K != want.k {
+			t.Errorf("cell %d: placement=%s k=%d, want %s k=%d",
+				i, c.Spec.Placement.Strategy, c.Spec.Topology.K, want.strategy, want.k)
+		}
+	}
+
+	preset, ok := Preset("placement")
+	if !ok {
+		t.Fatal("placement sweep preset missing")
+	}
+	cells, err = Expand(preset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 16 {
+		t.Fatalf("placement preset expands to %d cells, want 16", len(cells))
 	}
 }
 

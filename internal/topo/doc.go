@@ -1,0 +1,32 @@
+// Package topo generates parameterized network topologies — fat-tree
+// datacenters and ISP-like random graphs — plus a flow-churn traffic
+// model, as pure data for the scenario engine to expand into its
+// host/switch/link model.
+//
+// # Determinism
+//
+// Every generator is a pure function of its configuration and seed:
+// the same inputs always produce the same graph, the same routes in
+// the same order, and the same flow list. Randomized generators (ISP
+// graphs, churn) draw exclusively from a rand.Rand seeded by the
+// caller — never from global rand, wall-clock time, or map iteration
+// order. This is load-bearing: scenario reports are byte-stable per
+// seed, and a topology that varied across runs would break that
+// invariant for every experiment built on it.
+//
+// # Routing
+//
+// Graphs carry explicit destination-based routing tables (host →
+// egress port, per switch), computed at generation time. Fat-tree
+// routes spread traffic across the fabric deterministically by
+// destination index (ECMP-by-destination); ISP routes follow BFS
+// shortest paths with lowest-index tie-breaks. Both are loop-free by
+// construction.
+//
+// # Compression roles
+//
+// topo does not assign encode/decode roles — it only labels each
+// switch with a tier (edge/agg/core) and each port with a direction
+// (host/down/up). The placement package maps those labels to per-port
+// roles and dictionary capacity shares.
+package topo

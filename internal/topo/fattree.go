@@ -1,0 +1,149 @@
+package topo
+
+import "fmt"
+
+// FatTreeConfig parameterizes the canonical k-ary fat-tree: k pods,
+// each with k/2 edge and k/2 aggregation switches, and (k/2)² core
+// switches. Hosts hang off the edge tier.
+type FatTreeConfig struct {
+	// K is the pod count and switch radix basis; even, ≥ 2.
+	K int
+	// HostsPerEdge oversubscribes the edge tier: hosts per edge
+	// switch (default K/2, the canonical non-oversubscribed tree).
+	HostsPerEdge int
+}
+
+func (c FatTreeConfig) withDefaults() FatTreeConfig {
+	if c.HostsPerEdge == 0 {
+		c.HostsPerEdge = c.K / 2
+	}
+	return c
+}
+
+// FatTree generates a k-ary fat-tree. The graph, port numbering, and
+// routing tables are pure functions of the configuration: no
+// randomness at all.
+//
+// Port layout: edge switches use ports [0,H) for hosts and [H, H+k/2)
+// up to their pod's aggregation switches; aggregation switch i uses
+// [0,k/2) down to the pod's edges and [k/2, k) up to core group i;
+// core switch j uses port p toward pod p.
+//
+// Routing is ECMP-by-destination: upward hops pick among the k/2
+// uplinks by the destination host's global index, so distinct
+// destinations spread across the fabric while each destination's path
+// is deterministic and loop-free.
+func FatTree(cfg FatTreeConfig) (*Graph, error) {
+	cfg = cfg.withDefaults()
+	k, h := cfg.K, cfg.HostsPerEdge
+	if k < 2 || k%2 != 0 {
+		return nil, fmt.Errorf("topo: fat-tree k %d must be even and ≥ 2", k)
+	}
+	if h < 1 {
+		return nil, fmt.Errorf("topo: fat-tree hosts-per-edge %d must be ≥ 1", h)
+	}
+	half := k / 2
+	g := &Graph{Kind: fmt.Sprintf("fat-tree:k=%d", k)}
+
+	edgeName := func(pod, i int) string { return fmt.Sprintf("e%d-%d", pod, i) }
+	aggName := func(pod, i int) string { return fmt.Sprintf("a%d-%d", pod, i) }
+	coreName := func(j int) string { return fmt.Sprintf("c%d", j) }
+	hostName := func(pod, e, j int) string { return fmt.Sprintf("h%d-%d-%d", pod, e, j) }
+
+	// Hosts in global order: pod-major, then edge, then host slot.
+	// Global index drives both MAC assignment (in the scenario
+	// expansion) and ECMP spreading here.
+	for pod := 0; pod < k; pod++ {
+		for e := 0; e < half; e++ {
+			for j := 0; j < h; j++ {
+				g.Hosts = append(g.Hosts, Host{Name: hostName(pod, e, j), Edge: edgeName(pod, e), Port: j})
+			}
+		}
+	}
+	// hostPod/hostEdge/hostSlot recover a host's coordinates from its
+	// global index gidx = ((pod*half)+e)*h + j.
+	hostPod := func(gidx int) int { return gidx / (half * h) }
+	hostEdge := func(gidx int) int { return (gidx / h) % half }
+	hostSlot := func(gidx int) int { return gidx % h }
+
+	// Edge switches.
+	for pod := 0; pod < k; pod++ {
+		for e := 0; e < half; e++ {
+			sw := Switch{Name: edgeName(pod, e), Tier: TierEdge}
+			for j := 0; j < h; j++ {
+				sw.Ports = append(sw.Ports, Port{Num: j, Dir: DirHost})
+			}
+			for i := 0; i < half; i++ {
+				sw.Ports = append(sw.Ports, Port{Num: h + i, Dir: DirUp})
+			}
+			for gidx, host := range g.Hosts {
+				if hostPod(gidx) == pod && hostEdge(gidx) == e {
+					sw.Routes = append(sw.Routes, Route{Dst: host.Name, Out: hostSlot(gidx)})
+				} else {
+					sw.Routes = append(sw.Routes, Route{Dst: host.Name, Out: h + gidx%half})
+				}
+			}
+			g.Switches = append(g.Switches, sw)
+		}
+	}
+	// Aggregation switches.
+	for pod := 0; pod < k; pod++ {
+		for i := 0; i < half; i++ {
+			sw := Switch{Name: aggName(pod, i), Tier: TierAgg}
+			for e := 0; e < half; e++ {
+				sw.Ports = append(sw.Ports, Port{Num: e, Dir: DirDown})
+			}
+			for j := 0; j < half; j++ {
+				sw.Ports = append(sw.Ports, Port{Num: half + j, Dir: DirUp})
+			}
+			for gidx, host := range g.Hosts {
+				if hostPod(gidx) == pod {
+					sw.Routes = append(sw.Routes, Route{Dst: host.Name, Out: hostEdge(gidx)})
+				} else {
+					sw.Routes = append(sw.Routes, Route{Dst: host.Name, Out: half + gidx%half})
+				}
+			}
+			g.Switches = append(g.Switches, sw)
+		}
+	}
+	// Core switches: core j belongs to group j/half, port p faces pod p.
+	for j := 0; j < half*half; j++ {
+		sw := Switch{Name: coreName(j), Tier: TierCore}
+		for p := 0; p < k; p++ {
+			sw.Ports = append(sw.Ports, Port{Num: p, Dir: DirDown})
+		}
+		for gidx, host := range g.Hosts {
+			sw.Routes = append(sw.Routes, Route{Dst: host.Name, Out: hostPod(gidx)})
+		}
+		g.Switches = append(g.Switches, sw)
+	}
+
+	// Links: host↔edge, edge↔agg (intra-pod), agg↔core.
+	for gidx, host := range g.Hosts {
+		g.Links = append(g.Links, Link{
+			A: host.Name,
+			B: fmt.Sprintf("%s:%d", host.Edge, hostSlot(gidx)),
+		})
+	}
+	for pod := 0; pod < k; pod++ {
+		for e := 0; e < half; e++ {
+			for i := 0; i < half; i++ {
+				g.Links = append(g.Links, Link{
+					A: fmt.Sprintf("%s:%d", edgeName(pod, e), h+i),
+					B: fmt.Sprintf("%s:%d", aggName(pod, i), e),
+				})
+			}
+		}
+	}
+	for pod := 0; pod < k; pod++ {
+		for i := 0; i < half; i++ {
+			for j := 0; j < half; j++ {
+				g.Links = append(g.Links, Link{
+					A: fmt.Sprintf("%s:%d", aggName(pod, i), half+j),
+					B: fmt.Sprintf("%s:%d", coreName(i*half+j), pod),
+				})
+			}
+		}
+	}
+	return g, nil
+}

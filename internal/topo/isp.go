@@ -1,0 +1,225 @@
+package topo
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// ISPConfig parameterizes the ISP-like random graph: a ring backbone
+// (guaranteeing connectivity) plus seeded random chords, with
+// per-link latency drawn from a configurable range and hosts hanging
+// off a spread-out subset of edge switches.
+type ISPConfig struct {
+	// Switches is the backbone size (≥ 2).
+	Switches int
+	// EdgeFrac is the fraction of switches bearing hosts (default
+	// 0.5, minimum one).
+	EdgeFrac float64
+	// HostsPerEdge attaches this many hosts to each edge switch
+	// (default 2).
+	HostsPerEdge int
+	// ExtraDegree adds ⌊Switches·ExtraDegree/2⌋ random chords beyond
+	// the ring (default 1.0, i.e. average degree ≈ 3).
+	ExtraDegree float64
+	// LatencyMinNs/LatencyMaxNs bound the per-link propagation draw
+	// (defaults 10 µs and 500 µs — metro to regional fibre spans).
+	LatencyMinNs int64
+	LatencyMaxNs int64
+}
+
+func (c ISPConfig) withDefaults() ISPConfig {
+	if c.EdgeFrac == 0 {
+		c.EdgeFrac = 0.5
+	}
+	if c.HostsPerEdge == 0 {
+		c.HostsPerEdge = 2
+	}
+	if c.ExtraDegree == 0 {
+		c.ExtraDegree = 1.0
+	}
+	if c.LatencyMinNs == 0 {
+		c.LatencyMinNs = 10_000
+	}
+	if c.LatencyMaxNs == 0 {
+		c.LatencyMaxNs = 500_000
+	}
+	return c
+}
+
+// ISP generates an ISP-like seeded random graph. All randomness comes
+// from the given seed; the same (cfg, seed) pair always yields the
+// same graph, byte for byte.
+//
+// Switches bearing hosts are TierEdge (spread evenly around the
+// ring); the rest are TierCore. Routing follows BFS shortest paths
+// with lowest-index tie-breaks.
+func ISP(cfg ISPConfig, seed int64) (*Graph, error) {
+	cfg = cfg.withDefaults()
+	n := cfg.Switches
+	if n < 2 {
+		return nil, fmt.Errorf("topo: ISP graph needs ≥ 2 switches, got %d", n)
+	}
+	if cfg.LatencyMinNs < 0 || cfg.LatencyMaxNs < cfg.LatencyMinNs {
+		return nil, fmt.Errorf("topo: ISP latency range [%d,%d] invalid", cfg.LatencyMinNs, cfg.LatencyMaxNs)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := &Graph{Kind: fmt.Sprintf("isp:n=%d", n)}
+
+	numEdge := int(float64(n) * cfg.EdgeFrac)
+	if numEdge < 1 {
+		numEdge = 1
+	}
+	if numEdge > n {
+		numEdge = n
+	}
+	isEdge := make([]bool, n)
+	step := n / numEdge
+	for j := 0; j < numEdge; j++ {
+		isEdge[j*step] = true
+	}
+
+	swName := func(i int) string {
+		if isEdge[i] {
+			return fmt.Sprintf("s%d", i)
+		}
+		return fmt.Sprintf("b%d", i)
+	}
+
+	// Backbone links: the ring, then random chords (no self-loops, no
+	// parallel links). Latencies draw per link, in creation order.
+	type edge struct{ a, b int }
+	var edges []edge
+	haveLink := make(map[edge]bool)
+	addEdge := func(a, b int) bool {
+		if a == b {
+			return false
+		}
+		if a > b {
+			a, b = b, a
+		}
+		if haveLink[edge{a, b}] {
+			return false
+		}
+		haveLink[edge{a, b}] = true
+		edges = append(edges, edge{a, b})
+		return true
+	}
+	for i := 0; i < n; i++ {
+		addEdge(i, (i+1)%n)
+	}
+	chords := int(float64(n) * cfg.ExtraDegree / 2)
+	for c := 0; c < chords; c++ {
+		// Bounded retry keeps generation total even on tiny dense
+		// graphs; a failed draw just yields one fewer chord.
+		for attempt := 0; attempt < 8; attempt++ {
+			if addEdge(rng.Intn(n), rng.Intn(n)) {
+				break
+			}
+		}
+	}
+
+	// Port assignment in link-creation order; adjacency for routing.
+	type adjEntry struct{ peer, port int }
+	nextPort := make([]int, n)
+	adj := make([][]adjEntry, n)
+	for _, e := range edges {
+		pa, pb := nextPort[e.a], nextPort[e.b]
+		nextPort[e.a]++
+		nextPort[e.b]++
+		adj[e.a] = append(adj[e.a], adjEntry{peer: e.b, port: pa})
+		adj[e.b] = append(adj[e.b], adjEntry{peer: e.a, port: pb})
+		lat := cfg.LatencyMinNs
+		if cfg.LatencyMaxNs > cfg.LatencyMinNs {
+			lat += rng.Int63n(cfg.LatencyMaxNs - cfg.LatencyMinNs + 1)
+		}
+		g.Links = append(g.Links, Link{
+			A:             fmt.Sprintf("%s:%d", swName(e.a), pa),
+			B:             fmt.Sprintf("%s:%d", swName(e.b), pb),
+			PropagationNs: lat,
+		})
+	}
+
+	// Hosts on edge switches, in switch order.
+	hostEdgeIdx := make([]int, 0) // host global index → edge switch index
+	for i := 0; i < n; i++ {
+		if !isEdge[i] {
+			continue
+		}
+		for j := 0; j < cfg.HostsPerEdge; j++ {
+			name := fmt.Sprintf("h%d-%d", i, j)
+			port := nextPort[i]
+			nextPort[i]++
+			g.Hosts = append(g.Hosts, Host{Name: name, Edge: swName(i), Port: port})
+			hostEdgeIdx = append(hostEdgeIdx, i)
+			g.Links = append(g.Links, Link{A: name, B: fmt.Sprintf("%s:%d", swName(i), port)})
+		}
+	}
+
+	// nextHopPort[t][s]: the port switch s forwards on toward switch
+	// t, from a BFS rooted at t exploring neighbors in adjacency
+	// (creation) order — deterministic shortest paths.
+	nextHopPort := make([][]int, n)
+	for t := 0; t < n; t++ {
+		dist := make([]int, n)
+		hop := make([]int, n)
+		for i := range dist {
+			dist[i], hop[i] = -1, -1
+		}
+		dist[t] = 0
+		queue := []int{t}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, a := range adj[u] {
+				if dist[a.peer] < 0 {
+					dist[a.peer] = dist[u] + 1
+					hop[a.peer] = a.port // a.peer's port toward u is found below
+					queue = append(queue, a.peer)
+					// Record the peer's egress port toward u.
+					for _, back := range adj[a.peer] {
+						if back.peer == u {
+							hop[a.peer] = back.port
+							break
+						}
+					}
+				}
+			}
+		}
+		nextHopPort[t] = hop
+	}
+
+	// Routing tables: every switch routes every host, local hosts to
+	// their access port, remote hosts along the BFS next hop toward
+	// the host's edge switch.
+	hostAccessPort := make([]int, len(g.Hosts))
+	for gidx, h := range g.Hosts {
+		hostAccessPort[gidx] = h.Port
+	}
+	for i := 0; i < n; i++ {
+		tier := TierCore
+		if isEdge[i] {
+			tier = TierEdge
+		}
+		sw := Switch{Name: swName(i), Tier: tier}
+		for _, a := range adj[i] {
+			dir := DirDown
+			if isEdge[i] {
+				dir = DirUp
+			}
+			sw.Ports = append(sw.Ports, Port{Num: a.port, Dir: dir})
+		}
+		for p := len(adj[i]); p < nextPort[i]; p++ {
+			sw.Ports = append(sw.Ports, Port{Num: p, Dir: DirHost})
+		}
+		for gidx, h := range g.Hosts {
+			t := hostEdgeIdx[gidx]
+			if t == i {
+				sw.Routes = append(sw.Routes, Route{Dst: h.Name, Out: hostAccessPort[gidx]})
+			} else {
+				sw.Routes = append(sw.Routes, Route{Dst: h.Name, Out: nextHopPort[t][i]})
+			}
+		}
+		g.Switches = append(g.Switches, sw)
+	}
+	return g, nil
+}

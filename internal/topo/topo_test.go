@@ -1,0 +1,184 @@
+package topo
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// wire maps each "switch:port" attachment to the far end of its link,
+// for walking routes hop by hop.
+func wire(t *testing.T, g *Graph) map[string]string {
+	t.Helper()
+	m := make(map[string]string)
+	for _, l := range g.Links {
+		m[l.A] = l.B
+		m[l.B] = l.A
+	}
+	return m
+}
+
+// routeTables indexes g's routing tables: switch → destination →
+// egress port.
+func routeTables(g *Graph) map[string]map[string]int {
+	routes := make(map[string]map[string]int)
+	for _, sw := range g.Switches {
+		rt := make(map[string]int, len(sw.Routes))
+		for _, r := range sw.Routes {
+			rt[r.Dst] = r.Out
+		}
+		routes[sw.Name] = rt
+	}
+	return routes
+}
+
+// walk follows g's routing tables from src toward dst and returns the
+// hop count, failing if the path loops or dead-ends.
+func walk(t *testing.T, g *Graph, w map[string]string, routes map[string]map[string]int, src, dst Host) int {
+	t.Helper()
+	at := src.Edge
+	for hops := 1; hops <= len(g.Switches)+1; hops++ {
+		out, ok := routes[at][dst.Name]
+		if !ok {
+			t.Fatalf("switch %s has no route to %s", at, dst.Name)
+		}
+		far, ok := w[fmt.Sprintf("%s:%d", at, out)]
+		if !ok {
+			t.Fatalf("switch %s port %d is not wired", at, out)
+		}
+		if far == dst.Name {
+			return hops
+		}
+		next, _, ok := strings.Cut(far, ":")
+		if !ok {
+			t.Fatalf("route from %s to %s left the fabric at %q", src.Name, dst.Name, far)
+		}
+		at = next
+	}
+	t.Fatalf("route from %s to %s did not terminate", src.Name, dst.Name)
+	return 0
+}
+
+func TestFatTreeShape(t *testing.T) {
+	g, err := FatTree(FatTreeConfig{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(g.Hosts), 16; got != want {
+		t.Errorf("hosts = %d, want %d", got, want)
+	}
+	if got, want := len(g.Switches), 20; got != want {
+		t.Errorf("switches = %d, want %d", got, want)
+	}
+	// 16 host links + 16 edge-agg + 16 agg-core.
+	if got, want := len(g.Links), 48; got != want {
+		t.Errorf("links = %d, want %d", got, want)
+	}
+	for _, sw := range g.Switches {
+		if got, want := len(sw.Routes), len(g.Hosts); got != want {
+			t.Errorf("switch %s has %d routes, want %d", sw.Name, got, want)
+		}
+	}
+}
+
+func TestFatTreeRoutesDeliver(t *testing.T) {
+	for _, cfg := range []FatTreeConfig{{K: 4}, {K: 4, HostsPerEdge: 4}, {K: 8}} {
+		g, err := FatTree(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := wire(t, g)
+		routes := routeTables(g)
+		for _, src := range g.Hosts {
+			for _, dst := range g.Hosts {
+				if src.Name == dst.Name {
+					continue
+				}
+				if hops := walk(t, g, w, routes, src, dst); hops > 5 {
+					t.Fatalf("%s: %s→%s took %d switch hops, want ≤ 5", g.Kind, src.Name, dst.Name, hops)
+				}
+			}
+		}
+	}
+}
+
+func TestFatTreeDeterministic(t *testing.T) {
+	a, err := FatTree(FatTreeConfig{K: 8, HostsPerEdge: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := FatTree(FatTreeConfig{K: 8, HostsPerEdge: 8})
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("fat-tree generation is not deterministic")
+	}
+}
+
+func TestISPRoutesDeliverAndDeterministic(t *testing.T) {
+	cfg := ISPConfig{Switches: 12}
+	g, err := ISP(cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Hosts) == 0 {
+		t.Fatal("ISP graph has no hosts")
+	}
+	w := wire(t, g)
+	routes := routeTables(g)
+	for _, src := range g.Hosts {
+		for _, dst := range g.Hosts {
+			if src.Name != dst.Name {
+				walk(t, g, w, routes, src, dst)
+			}
+		}
+	}
+	again, _ := ISP(cfg, 7)
+	if !reflect.DeepEqual(g, again) {
+		t.Fatal("ISP generation is not deterministic for one seed")
+	}
+	other, _ := ISP(cfg, 8)
+	if reflect.DeepEqual(g.Links, other.Links) {
+		t.Fatal("ISP generation ignores the seed")
+	}
+}
+
+func TestChurn(t *testing.T) {
+	g, err := FatTree(FatTreeConfig{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edgeOf := make(map[string]string)
+	for _, h := range g.Hosts {
+		edgeOf[h.Name] = h.Edge
+	}
+	cfg := ChurnConfig{Flows: 64}
+	flows, err := Churn(g, 42, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flows) != 64 {
+		t.Fatalf("flows = %d, want 64", len(flows))
+	}
+	seeds := make(map[int64]bool)
+	last := int64(-1)
+	for i, f := range flows {
+		if edgeOf[f.From] == edgeOf[f.To] {
+			t.Errorf("flow %d: %s→%s shares edge switch %s", i, f.From, f.To, edgeOf[f.From])
+		}
+		if f.StartNs < last {
+			t.Errorf("flow %d arrives at %d, before flow %d", i, f.StartNs, i-1)
+		}
+		last = f.StartNs
+		if f.Records < 1 {
+			t.Errorf("flow %d has %d records", i, f.Records)
+		}
+		seeds[f.Seed] = true
+	}
+	if len(seeds) != cfg.withDefaults().ContentStreams {
+		t.Errorf("distinct content seeds = %d, want %d", len(seeds), cfg.withDefaults().ContentStreams)
+	}
+	again, _ := Churn(g, 42, cfg)
+	if !reflect.DeepEqual(flows, again) {
+		t.Fatal("churn is not deterministic for one seed")
+	}
+}

@@ -97,6 +97,15 @@ type Config struct {
 	// PortMap is static forwarding: ingress port → egress port.
 	// Packets arriving on unmapped ports are dropped.
 	PortMap map[tofino.Port]tofino.Port
+	// MACMap is destination-based forwarding: a frame whose Ethernet
+	// destination appears here egresses on the mapped port, overriding
+	// PortMap. Frames matching neither map are dropped. The ingress
+	// role still applies (roles are per ingress port, not per route),
+	// and compressed type 2/3 frames carry the original Dst MAC in
+	// their Ethernet header, so destination routing works on them
+	// unchanged. This is what multi-path topologies (fat-trees, ISP
+	// graphs) need: one ingress port fans out to many egresses.
+	MACMap map[packet.MAC]tofino.Port
 }
 
 func (c Config) withDefaults() Config {
@@ -157,6 +166,10 @@ type Program struct {
 	codec *gd.Codec
 	fmt   packet.Format
 	ports []portEntry
+	// macRoutes is the resolved MACMap; the per-packet lookup converts
+	// the frame's Dst bytes to the array key in place, so destination
+	// routing costs one map probe and no allocation.
+	macRoutes map[packet.MAC]tofino.Port
 
 	basisToID tofino.TableHandle
 	idToBasis tofino.TableHandle
@@ -209,10 +222,36 @@ func New(cfg Config) (*Program, error) {
 			maxIngress = int(in)
 		}
 	}
+	// Role-only ports (routed by MACMap, never statically forwarded)
+	// still need a dense-slice entry for the role dispatch.
+	//ziplint:allow determinism max reduction is iteration-order-insensitive
+	for in := range cfg.Roles {
+		if in < 0 || int(in) > MaxPort {
+			return nil, fmt.Errorf("zswitch: role port %d outside [0,%d]", in, MaxPort)
+		}
+		if int(in) > maxIngress {
+			maxIngress = int(in)
+		}
+	}
 	p.ports = make([]portEntry, maxIngress+1)
 	//ziplint:allow determinism dense-slice fill writes disjoint indices, order-insensitive
+	for in, role := range cfg.Roles {
+		p.ports[in].role = role
+	}
+	//ziplint:allow determinism dense-slice fill writes disjoint indices, order-insensitive
 	for in, out := range cfg.PortMap {
-		p.ports[in] = portEntry{egress: out, role: cfg.Roles[in], mapped: true}
+		p.ports[in].egress = out
+		p.ports[in].mapped = true
+	}
+	if len(cfg.MACMap) > 0 {
+		p.macRoutes = make(map[packet.MAC]tofino.Port, len(cfg.MACMap))
+		//ziplint:allow determinism map-to-map copy is iteration-order-insensitive
+		for mac, out := range cfg.MACMap {
+			if out < 0 || int(out) > MaxPort {
+				return nil, fmt.Errorf("zswitch: MAC route %s→%d outside [0,%d]", mac, out, MaxPort)
+			}
+			p.macRoutes[mac] = out
+		}
 	}
 	return p, nil
 }
@@ -279,6 +318,9 @@ func (p *Program) Declare(a *tofino.Alloc) error {
 //
 //zipline:noalloc
 func (p *Program) Process(ctx *tofino.Ctx, frame []byte, ingress tofino.Port, out []tofino.Emit) []tofino.Emit {
+	if p.macRoutes != nil {
+		return p.processRouted(ctx, frame, ingress, out)
+	}
 	if int(ingress) < 0 || int(ingress) >= len(p.ports) || !p.ports[ingress].mapped {
 		return out // unmapped port: drop
 	}
@@ -291,6 +333,41 @@ func (p *Program) Process(ctx *tofino.Ctx, frame []byte, ingress tofino.Port, ou
 	default:
 		ctx.Count(p.ctr.forwarded, 1)
 		return append(out, tofino.Emit{Port: pe.egress, Frame: frame})
+	}
+}
+
+// processRouted is the destination-routed slow(er) path, split out so
+// statically-forwarded switches keep the original three-compare entry.
+//
+//zipline:noalloc
+func (p *Program) processRouted(ctx *tofino.Ctx, frame []byte, ingress tofino.Port, out []tofino.Emit) []tofino.Emit {
+	if int(ingress) < 0 {
+		return out // unknown port: drop
+	}
+	// An ingress beyond the dense slice carries no role and no static
+	// map; with destination routes it still forwards (a MAC-routed
+	// switch may have forward-role ports it never declared).
+	var pe portEntry
+	if int(ingress) < len(p.ports) {
+		pe = p.ports[ingress]
+	}
+	egress, routed := pe.egress, pe.mapped
+	if len(frame) >= packet.HeaderLen {
+		if port, ok := p.macRoutes[packet.MAC(frame[0:6])]; ok {
+			egress, routed = port, true
+		}
+	}
+	if !routed {
+		return out // neither a static nor a destination route: drop
+	}
+	switch pe.role {
+	case RoleEncode:
+		return p.encode(ctx, frame, egress, out)
+	case RoleDecode:
+		return p.decode(ctx, frame, egress, out)
+	default:
+		ctx.Count(p.ctr.forwarded, 1)
+		return append(out, tofino.Emit{Port: egress, Frame: frame})
 	}
 }
 
@@ -327,18 +404,25 @@ func (p *Program) Bypassing() bool { return p.bypass }
 // exactly the traffic the decoder can reconstruct losslessly
 // (documented in DESIGN.md).
 func (p *Program) encode(ctx *tofino.Ctx, frame []byte, egress tofino.Port, out []tofino.Emit) []tofino.Emit {
-	hdr, payload, err := packet.ParseHeader(frame)
-	if err != nil || hdr.EtherType != packet.EtherTypeRaw || len(payload) < p.codec.ChunkBytes() {
+	// The header fields are read in place (no Header struct, no MAC
+	// copies): only the EtherType gates the path, and the rewritten
+	// frame reuses the original Dst/Src bytes verbatim.
+	if len(frame) < packet.HeaderLen ||
+		binary.BigEndian.Uint16(frame[12:14]) != packet.EtherTypeRaw ||
+		len(frame)-packet.HeaderLen < p.codec.ChunkBytes() {
 		// Not compressible: forward unchanged.
-		if err == nil && hdr.EtherType == packet.EtherTypeRaw && len(payload) < p.codec.ChunkBytes() {
+		if len(frame) >= packet.HeaderLen &&
+			binary.BigEndian.Uint16(frame[12:14]) == packet.EtherTypeRaw {
+			n := uint64(len(frame) - packet.HeaderLen)
 			ctx.Count(p.ctr.tooShort, 1)
-			ctx.Count(p.ctr.encPayloadIn, uint64(len(payload)))
-			ctx.Count(p.ctr.encPayloadOut, uint64(len(payload)))
+			ctx.Count(p.ctr.encPayloadIn, n)
+			ctx.Count(p.ctr.encPayloadOut, n)
 		} else {
 			ctx.Count(p.ctr.forwarded, 1)
 		}
 		return append(out, tofino.Emit{Port: egress, Frame: frame})
 	}
+	payload := frame[packet.HeaderLen:]
 	if p.bypass {
 		// Control-plane bypass gate: a downstream decoder's state is
 		// unconfirmed, so deliverable beats compressible — forward the
@@ -365,9 +449,8 @@ func (p *Program) encode(ctx *tofino.Ctx, frame []byte, egress tofino.Port, out 
 	if act, hit := ctx.ApplyBytes(p.basisToID, basis); hit {
 		id := act.(uint32)
 		buf := p.frameScratch(packet.HeaderLen + p.fmt.Type3Len() + len(tail))
-		buf = packet.AppendHeader(buf, packet.Header{
-			Dst: hdr.Dst, Src: hdr.Src, EtherType: packet.EtherTypeCompressed,
-		})
+		buf = append(buf, frame[:12]...)
+		buf = binary.BigEndian.AppendUint16(buf, packet.EtherTypeCompressed)
 		buf = p.fmt.AppendType3(buf, packet.Compressed{
 			Deviation: dev, Extra: extra, ID: id,
 		})
@@ -392,9 +475,8 @@ func (p *Program) encode(ctx *tofino.Ctx, frame []byte, egress tofino.Port, out 
 	}
 	ctx.Count(p.ctr.digests, 1)
 	buf := p.frameScratch(packet.HeaderLen + p.fmt.Type2Len() + len(tail))
-	buf = packet.AppendHeader(buf, packet.Header{
-		Dst: hdr.Dst, Src: hdr.Src, EtherType: packet.EtherTypeUncompressed,
-	})
+	buf = append(buf, frame[:12]...)
+	buf = binary.BigEndian.AppendUint16(buf, packet.EtherTypeUncompressed)
 	buf = p.fmt.AppendType2Bytes(buf, basis, dev, extra)
 	buf = append(buf, tail...)
 	p.scr.frame = buf
@@ -405,18 +487,21 @@ func (p *Program) encode(ctx *tofino.Ctx, frame []byte, egress tofino.Port, out 
 
 // decode is the Figure 2 path.
 func (p *Program) decode(ctx *tofino.Ctx, frame []byte, egress tofino.Port, out []tofino.Emit) []tofino.Emit {
-	hdr, payload, err := packet.ParseHeader(frame)
-	if err != nil {
+	// Like encode, the header is read in place: the EtherType picks
+	// the parse, and the rebuilt frame reuses the Dst/Src bytes.
+	if len(frame) < packet.HeaderLen {
 		return out
 	}
+	payload := frame[packet.HeaderLen:]
 	var (
 		basis []byte
 		dev   uint32
 		extra uint8
 		tail  []byte
 		cnt   tofino.CounterHandle
+		err   error
 	)
-	switch hdr.Type() {
+	switch packet.TypeOf(binary.BigEndian.Uint16(frame[12:14])) {
 	case packet.TypeUncompressed:
 		basis, dev, extra, tail, err = p.fmt.ParseType2Bytes(payload, p.scr.basis)
 		if err != nil {
@@ -449,9 +534,8 @@ func (p *Program) decode(ctx *tofino.Ctx, frame []byte, egress tofino.Port, out 
 	}
 
 	buf := p.frameScratch(packet.HeaderLen + p.codec.ChunkBytes() + len(tail))
-	buf = packet.AppendHeader(buf, packet.Header{
-		Dst: hdr.Dst, Src: hdr.Src, EtherType: packet.EtherTypeRaw,
-	})
+	buf = append(buf, frame[:12]...)
+	buf = binary.BigEndian.AppendUint16(buf, packet.EtherTypeRaw)
 	buf, err = p.codec.MergeChunkBytes(basis, dev, extra, buf)
 	if err != nil {
 		return out
